@@ -1,0 +1,62 @@
+// Reproduces the OptSMT scalability narrative of paper Sec. 8.3: the exact
+// (sketch-free) synthesizer is run with a small per-dataset time budget and
+// reports its soft-clause growth. In the paper the solver generated tens of
+// millions of clauses and exceeded 24 hours on the *smallest* dataset; here
+// the same combinatorial explosion shows up as budget exhaustion, while the
+// MEC-based synthesizer finishes each dataset in a fraction of the budget.
+
+#include <cstdio>
+
+#include "baselines/optsmt.h"
+#include "bench_common.h"
+#include "exp/pipeline.h"
+
+namespace guardrail {
+namespace {
+
+int Run() {
+  bench::TextTable table({"Dataset ID", "# Attr.", "Clauses generated",
+                          "Candidates", "Time (s)", "Outcome",
+                          "Guardrail time (s)"});
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    config.train_model = false;
+    auto prepared = exp::PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "dataset %d failed: %s\n", id,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const exp::PreparedDataset& p = **prepared;
+
+    baselines::OptSmtSynthesizer::Options opt;
+    opt.time_budget_seconds = 2.0;
+    opt.max_determinants = 3;
+    baselines::OptSmtSynthesizer optsmt(opt);
+    auto result = optsmt.Synthesize(p.train);
+
+    double guardrail_time = p.synthesis.enumeration_seconds +
+                            p.synthesis.fill_seconds +
+                            p.synthesis.structure_seconds +
+                            p.synthesis.sampling_seconds;
+    table.AddRow({bench::FmtInt(id),
+                  bench::FmtInt(p.bundle.spec.num_attributes),
+                  bench::FmtInt(result.clauses_generated),
+                  bench::FmtInt(result.candidates_explored),
+                  bench::Fmt(result.seconds, 3),
+                  result.timed_out ? "BUDGET EXCEEDED" : "completed",
+                  bench::Fmt(guardrail_time, 3)});
+  }
+  std::printf("Ablation (Sec. 8.3): OptSMT-style exact synthesis vs. "
+              "MEC-based synthesis\n\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape: the exact search does not scale (24h timeout on the\n"
+      "smallest dataset); the sketch/MEC pipeline completes every dataset.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

@@ -1,0 +1,118 @@
+// Design-choice ablation for the rectify scheme: the paper's plain
+// dependent-overwrite repair vs. the MAP repair (sibling-branch support
+// arbitration) vs. the full policy (MAP + tolerated-values skip). Measured
+// as cell-level repair precision/recall against the injected-error ground
+// truth, under the harder in-domain-swap corruption.
+//
+// The ablation works by stripping Branch metadata: clearing
+// tolerated_values disables the legitimate-deviation skip, and equalizing
+// supports makes every MAP arbitration fall back to hypothesis A (the
+// plain dependent repair).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/guard.h"
+#include "exp/pipeline.h"
+
+namespace guardrail {
+namespace {
+
+core::Program StripTolerated(core::Program program) {
+  for (auto& stmt : program.statements) {
+    for (auto& branch : stmt.branches) {
+      branch.tolerated_values = {branch.assignment};
+    }
+  }
+  return program;
+}
+
+core::Program StripMapArbitration(core::Program program) {
+  program = StripTolerated(std::move(program));
+  for (auto& stmt : program.statements) {
+    for (auto& branch : stmt.branches) branch.support = 1;
+  }
+  return program;
+}
+
+struct RepairQuality {
+  int64_t good = 0;      // Injected cell restored to the clean value.
+  int64_t bad = 0;       // A clean cell rewritten away from its value.
+  int64_t repaired = 0;  // Total cells rewritten.
+};
+
+RepairQuality Evaluate(const core::Program& program,
+                       const exp::PreparedDataset& p) {
+  core::Guard guard(&program);
+  Table repaired = p.test_dirty;
+  core::GuardOutcome outcome =
+      guard.ProcessTable(&repaired, core::ErrorPolicy::kRectify);
+  RepairQuality quality;
+  quality.repaired = outcome.cells_repaired;
+  for (RowIndex r = 0; r < repaired.num_rows(); ++r) {
+    for (AttrIndex c = 0; c < repaired.num_columns(); ++c) {
+      bool was_wrong = p.test_dirty.Get(r, c) != p.test_clean.Get(r, c);
+      bool now_wrong = repaired.Get(r, c) != p.test_clean.Get(r, c);
+      if (was_wrong && !now_wrong) ++quality.good;
+      if (!was_wrong && now_wrong) ++quality.bad;
+    }
+  }
+  return quality;
+}
+
+int Run() {
+  bench::TextTable table({"Dataset", "Policy", "Cells repaired",
+                          "Restored", "Damaged", "Net"});
+  int64_t net_naive = 0, net_map = 0, net_full = 0;
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    config.train_model = false;
+    config.injection.mode = CorruptionMode::kDomainSwap;
+    auto prepared = exp::PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "dataset %d failed: %s\n", id,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const exp::PreparedDataset& p = **prepared;
+
+    core::Program naive = StripMapArbitration(p.synthesis.program);
+    core::Program map_only = StripTolerated(p.synthesis.program);
+    const core::Program& full = p.synthesis.program;
+
+    for (auto [program, name] :
+         {std::pair<const core::Program*, const char*>{&naive, "naive"},
+          {&map_only, "MAP"},
+          {&full, "MAP+tolerated"}}) {
+      RepairQuality q = Evaluate(*program, p);
+      int64_t net = q.good - q.bad;
+      if (std::string(name) == "naive") net_naive += net;
+      if (std::string(name) == "MAP") net_map += net;
+      if (std::string(name) == "MAP+tolerated") net_full += net;
+      table.AddRow({bench::FmtInt(id), name, bench::FmtInt(q.repaired),
+                    bench::FmtInt(q.good), bench::FmtInt(q.bad),
+                    bench::FmtInt(net)});
+    }
+  }
+  std::printf("Ablation: rectify policy (cell-level repair quality under "
+              "in-domain swaps)\n\n");
+  table.Print();
+  std::printf("\nNet cells fixed (restored - damaged), all datasets: "
+              "naive %lld, MAP %lld, MAP+tolerated %lld\n",
+              static_cast<long long>(net_naive),
+              static_cast<long long>(net_map),
+              static_cast<long long>(net_full));
+  std::printf(
+      "\nNote: in-domain swaps are deliberately ambiguous — a swapped\n"
+      "determinant legitimately selects a different branch, so some wrong\n"
+      "repairs are information-theoretically unavoidable and the interesting\n"
+      "signal is the ORDERING of the three policies. Under the paper's\n"
+      "out-of-domain corruption (Example 2.1, the Fig. 6 regime) repairs are\n"
+      "near-unambiguous and rectification is strongly net-positive.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

@@ -1,0 +1,46 @@
+#ifndef GUARDRAIL_BENCH_BENCH_COMMON_H_
+#define GUARDRAIL_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/pipeline.h"
+
+namespace guardrail {
+namespace bench {
+
+/// Fixed-width text table printer for the experiment binaries; each bench
+/// prints the same rows/series as the corresponding paper table or figure.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column-width alignment and a header rule.
+  std::string ToString() const;
+
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats helpers used across benches.
+std::string Fmt(double value, int digits = 3);
+std::string FmtInt(int64_t value);
+
+/// The shared experiment configuration for bench runs. Row counts follow
+/// paper Table 2 but are capped (per dataset) so the full 12-dataset sweep
+/// completes in CI-scale time; the cap preserves every qualitative shape.
+exp::ExperimentConfig DefaultBenchConfig();
+
+/// Dataset ids to sweep (all 12 unless GUARDRAIL_BENCH_FAST is set, then a
+/// representative trio for smoke runs).
+std::vector<int> BenchDatasetIds();
+
+}  // namespace bench
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BENCH_BENCH_COMMON_H_

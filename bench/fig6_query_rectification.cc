@@ -1,0 +1,125 @@
+// Reproduces paper Fig. 6: effectiveness of rectification on the 48
+// ML-integrated SQL queries (4 per dataset). For each query we report the
+// min-max-normalized relative error of (a) the query over the error-injected
+// data and (b) the same query behind a rectifying Guardrail guard, both
+// against the clean-data ground truth. The paper reports an average error
+// reduction of 0.87 +/- 0.25.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/math_util.h"
+#include "core/guard.h"
+#include "exp/pipeline.h"
+#include "exp/query_workload.h"
+#include "sql/executor.h"
+
+namespace guardrail {
+namespace {
+
+int Run() {
+  struct QueryOutcome {
+    int dataset_id;
+    int query_index;
+    double dirty_error;
+    double rectified_error;
+  };
+  std::vector<QueryOutcome> outcomes;
+
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    // RQ2 isolates constraint-covered errors (paper Sec. 8.2 setup).
+    config.restrict_errors_to_constrained = true;
+    auto prepared = exp::PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "dataset %d failed: %s\n", id,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const exp::PreparedDataset& p = **prepared;
+    core::Guard guard(&p.synthesis.program);
+
+    for (const auto& query : exp::GenerateWorkload(p.bundle, "t", "m")) {
+      sql::Executor clean_exec;
+      clean_exec.RegisterTable("t", &p.test_clean);
+      clean_exec.RegisterModel("m", p.model.get());
+      auto clean_result = clean_exec.Execute(query.sql);
+
+      sql::Executor dirty_exec;
+      dirty_exec.RegisterTable("t", &p.test_dirty);
+      dirty_exec.RegisterModel("m", p.model.get());
+      auto dirty_result = dirty_exec.Execute(query.sql);
+
+      sql::Executor guarded_exec;
+      guarded_exec.RegisterTable("t", &p.test_dirty);
+      guarded_exec.RegisterModel("m", p.model.get());
+      guarded_exec.SetGuard(&guard, core::ErrorPolicy::kRectify);
+      auto guarded_result = guarded_exec.Execute(query.sql);
+
+      if (!clean_result.ok() || !dirty_result.ok() || !guarded_result.ok()) {
+        std::fprintf(stderr, "query failed on dataset %d\n", id);
+        return 1;
+      }
+      outcomes.push_back(
+          {id, query.query_index,
+           exp::RelativeQueryError(*clean_result, *dirty_result),
+           exp::RelativeQueryError(*clean_result, *guarded_result)});
+    }
+  }
+
+  // Min-max normalize across all queries so different base units share one
+  // scale (paper Sec. 8.2).
+  std::vector<double> all;
+  for (const auto& o : outcomes) {
+    all.push_back(o.dirty_error);
+    all.push_back(o.rectified_error);
+  }
+  std::vector<double> normalized = all;
+  MinMaxNormalize(&normalized);
+
+  bench::TextTable table({"Query", "Dirty error (norm.)",
+                          "Rectified error (norm.)", "Improved"});
+  double dirty_sum = 0.0, rectified_sum = 0.0;
+  std::vector<double> reductions;  // Over error-affected queries.
+  int improved = 0, affected = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    double dirty = normalized[2 * i];
+    double rectified = normalized[2 * i + 1];
+    dirty_sum += outcomes[i].dirty_error;
+    rectified_sum += outcomes[i].rectified_error;
+    bool is_better = rectified <= dirty + 1e-12;
+    improved += is_better ? 1 : 0;
+    // The paper's 48 hand-written queries were all visibly affected by the
+    // injected errors (every red dot in Fig. 6 sits above zero); per-query
+    // reduction ratios are only meaningful on that subset.
+    if (outcomes[i].dirty_error >= 0.01) {
+      ++affected;
+      reductions.push_back(1.0 - outcomes[i].rectified_error /
+                                     outcomes[i].dirty_error);
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "D%d-Q%d", outcomes[i].dataset_id,
+                  outcomes[i].query_index);
+    table.AddRow({name, bench::Fmt(dirty, 4), bench::Fmt(rectified, 4),
+                  is_better ? "yes" : "no"});
+  }
+  std::printf("Figure 6: effectiveness on rectifying data errors "
+              "(%zu queries)\n\n", outcomes.size());
+  table.Print();
+  double mean_reduction = Mean(reductions);
+  std::printf(
+      "\nQueries improved or unchanged: %d / %zu\n"
+      "Average relative-error reduction over the %d error-affected queries "
+      "(dirty >= 0.01): %.2f +/- %.2f (paper: 0.87 +/- 0.25)\n"
+      "Total relative error across all queries: dirty %.3f -> rectified "
+      "%.3f (%.0f%% reduction)\n",
+      improved, outcomes.size(), affected, mean_reduction, StdDev(reductions),
+      dirty_sum, rectified_sum,
+      dirty_sum > 0 ? 100.0 * (1.0 - rectified_sum / dirty_sum) : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

@@ -1,0 +1,190 @@
+// Micro-benchmarks for the performance-sensitive inner loops, built on
+// google-benchmark. These back the design-choice ablations called out in
+// DESIGN.md: statement-level caching, predicate pushdown, auxiliary
+// sampling cost, and the per-row guard overhead that Table 6 aggregates.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/partition.h"
+#include "core/guard.h"
+#include "core/sketch_filler.h"
+#include "core/synthesizer.h"
+#include "ml/naive_bayes.h"
+#include "pgm/auxiliary_sampler.h"
+#include "pgm/ci_test.h"
+#include "pgm/mec_enumerator.h"
+#include "pgm/pc_algorithm.h"
+#include "sql/executor.h"
+#include "table/sem_generator.h"
+
+namespace guardrail {
+namespace {
+
+SemModel MakeBenchSem(int32_t nodes) {
+  RandomSemOptions opt;
+  opt.num_nodes = nodes;
+  opt.min_cardinality = 3;
+  opt.max_cardinality = 6;
+  Rng rng(0xBEAC);
+  return BuildRandomSem(opt, &rng);
+}
+
+Table MakeBenchTable(int32_t nodes, int64_t rows) {
+  SemModel sem = MakeBenchSem(nodes);
+  Rng rng(0xDA7A);
+  return sem.Sample(rows, &rng);
+}
+
+// ------------------------------------------------------------ interpreter --
+
+void BM_InterpreterCheckRow(benchmark::State& state) {
+  Table data = MakeBenchTable(8, 4000);
+  core::SynthesisOptions options;
+  core::Synthesizer synth(options);
+  Rng rng(1);
+  core::SynthesisReport report = synth.Synthesize(data, &rng);
+  core::Interpreter interp(&report.program);
+  Row row = data.GetRow(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Check(row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterCheckRow);
+
+void BM_GuardDetectViolationsPerRow(benchmark::State& state) {
+  Table data = MakeBenchTable(8, 4000);
+  core::SynthesisOptions options;
+  core::Synthesizer synth(options);
+  Rng rng(2);
+  core::SynthesisReport report = synth.Synthesize(data, &rng);
+  core::Guard guard(&report.program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard.DetectViolations(data));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_GuardDetectViolationsPerRow);
+
+// --------------------------------------------------------------- CI tests --
+
+void BM_GSquareTest(benchmark::State& state) {
+  Table data = MakeBenchTable(6, state.range(0));
+  pgm::EncodedData encoded = pgm::EncodeIdentity(data);
+  pgm::GSquareTest test(&encoded, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test.Test(0, 1, {2}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GSquareTest)->Arg(1000)->Arg(10000);
+
+void BM_AuxiliarySampling(benchmark::State& state) {
+  Table data = MakeBenchTable(10, state.range(0));
+  pgm::AuxiliarySamplerOptions opt;
+  opt.num_shifts = 5;
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(
+        pgm::SampleAuxiliaryDistribution(data, opt, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5);
+}
+BENCHMARK(BM_AuxiliarySampling)->Arg(2000)->Arg(20000);
+
+void BM_PcAlgorithm(benchmark::State& state) {
+  Table data = MakeBenchTable(static_cast<int32_t>(state.range(0)), 4000);
+  pgm::AuxiliarySamplerOptions opt;
+  Rng rng(4);
+  pgm::EncodedData aux = pgm::SampleAuxiliaryDistribution(data, opt, &rng);
+  pgm::PcAlgorithm pc({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc.Run(aux));
+  }
+}
+BENCHMARK(BM_PcAlgorithm)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------- partitions --
+
+void BM_PartitionProduct(benchmark::State& state) {
+  Table data = MakeBenchTable(6, state.range(0));
+  auto a = baselines::StrippedPartition::ForAttribute(data, 0);
+  auto b = baselines::StrippedPartition::ForAttribute(data, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::StrippedPartition::Product(a, b, data.num_rows()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionProduct)->Arg(1000)->Arg(20000);
+
+// --------------------------------------------------------- sketch filling --
+
+void BM_FillStatementSketch(benchmark::State& state) {
+  Table data = MakeBenchTable(8, state.range(0));
+  core::StatementSketch sketch;
+  sketch.determinants = {0, 1};
+  sketch.dependent = 2;
+  core::FillOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::FillStatementSketch(sketch, data, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FillStatementSketch)->Arg(2000)->Arg(20000);
+
+// Ablation: Alg. 2 with the statement-level cache (production) vs. a run
+// whose MEC has no shared structure to exploit (each fill hits a distinct
+// statement). The delta shows what the cache buys on real MECs.
+void BM_SynthesizeFromMecWithCache(benchmark::State& state) {
+  Table data = MakeBenchTable(7, 3000);
+  pgm::Pdag cpdag = pgm::Pdag::CompleteUndirected(5);
+  core::SynthesisOptions options;
+  options.max_dags = 120;
+  core::Synthesizer synth(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.SynthesizeFromMec(cpdag, data));
+  }
+}
+BENCHMARK(BM_SynthesizeFromMecWithCache)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- MEC enumeration --
+
+void BM_MecEnumeration(benchmark::State& state) {
+  pgm::Pdag cpdag = pgm::Pdag::CompleteUndirected(
+      static_cast<int32_t>(state.range(0)));
+  pgm::MecEnumerator enumerator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerator.Enumerate(cpdag));
+  }
+}
+BENCHMARK(BM_MecEnumeration)->Arg(4)->Arg(5)->Arg(6);
+
+// ------------------------------------------------------------- SQL engine --
+
+void BM_QueryWithPushdown(benchmark::State& state) {
+  bool pushdown = state.range(0) != 0;
+  Table data = MakeBenchTable(8, 8000);
+  ml::NaiveBayesTrainer trainer;
+  auto model = trainer.Train(data, 7).value();
+  sql::Executor::Options opt;
+  opt.enable_predicate_pushdown = pushdown;
+  sql::Executor executor(opt);
+  executor.RegisterTable("t", &data);
+  executor.RegisterModel("m", model.get());
+  std::string label0 = data.schema().attribute(7).label(0);
+  std::string attr0 = data.schema().attribute(0).label(0);
+  std::string sql = "SELECT COUNT(*) FROM t WHERE ML_PREDICT('m') = '" +
+                    label0 + "' AND attr0 = '" + attr0 + "'";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(sql));
+  }
+  state.SetLabel(pushdown ? "pushdown" : "no-pushdown");
+}
+BENCHMARK(BM_QueryWithPushdown)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace guardrail
+
+BENCHMARK_MAIN();

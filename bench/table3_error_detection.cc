@@ -1,0 +1,163 @@
+// Reproduces paper Table 3: row-level error-detection F1 and MCC for
+// Guardrail vs. the FD-discovery baselines TANE, CTANE, and FDX. Baselines
+// discover constraints on the clean train split and detect on the
+// error-injected test split. "-" marks a baseline failure (resource
+// exhaustion / ill-conditioned inversion), "NaN" an undefined MCC — both
+// failure modes appear in the paper's table too.
+
+#include <cstdio>
+
+#include "baselines/ctane.h"
+#include "baselines/fd_detector.h"
+#include "baselines/fdx.h"
+#include "baselines/tane.h"
+#include "bench_common.h"
+#include "core/guard.h"
+#include "exp/detection_metrics.h"
+#include "exp/pipeline.h"
+
+namespace guardrail {
+namespace {
+
+struct Scores {
+  bool failed = false;
+  exp::ConfusionCounts counts;
+};
+
+std::string F1Cell(const Scores& s) {
+  if (s.failed) return "-";
+  return bench::Fmt(exp::F1(s.counts));
+}
+
+std::string MccCell(const Scores& s) {
+  if (s.failed) return "-";
+  if (!exp::IsMccDefined(s.counts)) return "NaN";
+  return bench::Fmt(exp::Mcc(s.counts));
+}
+
+int Run() {
+  bench::TextTable table({"Dataset", "Metric", "Guardrail", "TANE", "CTANE",
+                          "FDX"});
+  int guardrail_wins = 0, comparisons = 0;
+
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    config.train_model = false;
+    // RQ1 injects plausible in-domain swaps: detecting them requires real
+    // constraint quality (an out-of-domain token is trivially "wrong" for
+    // any detector, which would mask the baselines' overfitting penalty).
+    config.injection.mode = CorruptionMode::kDomainSwap;
+    auto prepared = exp::PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "dataset %d failed: %s\n", id,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const exp::PreparedDataset& p = **prepared;
+
+    // --- Guardrail ---
+    Scores guardrail;
+    core::Guard guard(&p.synthesis.program);
+    guardrail.counts =
+        exp::CountConfusion(guard.DetectViolations(p.test_dirty),
+                            p.row_has_error);
+
+    // --- TANE ---
+    Scores tane_scores;
+    {
+      // Plain TANE semantics: exact FDs with raw FD detection (every
+      // witnessed LHS combination defines the expected RHS, no
+      // support/confidence gates). Exact discovery on noisy data is
+      // all-or-nothing — TANE misses the slightly-noisy true FDs and
+      // keeps only overfit sparse ones, the failure mode the paper
+      // attributes to it (their TANE column mixes low scores, NaNs and
+      // out-of-memory dashes).
+      baselines::Tane::Options opt;
+      opt.max_g3_error = 0.0;
+      opt.max_lhs_size = 3;
+      opt.max_level_width = 25000;
+      auto fds = baselines::Tane(opt).Discover(p.train);
+      if (!fds.ok()) {
+        tane_scores.failed = true;
+      } else {
+        baselines::FdDetector::Options dopt;
+        dopt.min_support = 1;
+        dopt.min_confidence = 0.0;
+        baselines::FdDetector detector(*fds, dopt);
+        detector.Fit(p.train);
+        tane_scores.counts = exp::CountConfusion(detector.Detect(p.test_dirty),
+                                                 p.row_has_error);
+      }
+    }
+
+    // --- CTANE ---
+    Scores ctane_scores;
+    {
+      // CTANE keeps its own support/confidence knobs (they are part of
+      // CFD discovery), but at levels that admit the sparse patterns real
+      // CTANE emits.
+      baselines::Ctane::Options opt;
+      opt.min_support = 3;
+      opt.min_confidence = 1.0;
+      opt.max_frontier = 60000;
+      auto cfds = baselines::Ctane(opt).Discover(p.train);
+      if (!cfds.ok()) {
+        ctane_scores.failed = true;
+      } else {
+        baselines::CfdDetector detector(*cfds);
+        ctane_scores.counts = exp::CountConfusion(
+            detector.Detect(p.test_dirty), p.row_has_error);
+      }
+    }
+
+    // --- FDX ---
+    Scores fdx_scores;
+    {
+      Rng rng(0xFD0000 + static_cast<uint64_t>(id));
+      auto fds = baselines::Fdx({}).Discover(p.train, &rng);
+      if (!fds.ok()) {
+        fdx_scores.failed = true;
+      } else {
+        baselines::FdDetector::Options dopt;
+        dopt.min_support = 1;
+        dopt.min_confidence = 0.0;
+        baselines::FdDetector detector(*fds, dopt);
+        detector.Fit(p.train);
+        fdx_scores.counts = exp::CountConfusion(detector.Detect(p.test_dirty),
+                                                p.row_has_error);
+      }
+    }
+
+    table.AddRow({bench::FmtInt(id), "F1", F1Cell(guardrail),
+                  F1Cell(tane_scores), F1Cell(ctane_scores),
+                  F1Cell(fdx_scores)});
+    table.AddRow({bench::FmtInt(id), "MCC", MccCell(guardrail),
+                  MccCell(tane_scores), MccCell(ctane_scores),
+                  MccCell(fdx_scores)});
+
+    auto rank_first = [&](double (*metric)(const exp::ConfusionCounts&)) {
+      double g = metric(guardrail.counts);
+      double best_other = -2.0;
+      for (const Scores* s : {&tane_scores, &ctane_scores, &fdx_scores}) {
+        if (!s->failed) best_other = std::max(best_other, metric(s->counts));
+      }
+      ++comparisons;
+      if (g >= best_other) ++guardrail_wins;
+    };
+    rank_first(exp::F1);
+    rank_first(exp::Mcc);
+  }
+
+  std::printf("Table 3: effectiveness on error detection (F1 / MCC)\n\n");
+  table.Print();
+  std::printf(
+      "\nGuardrail ranks first in %d / %d comparisons "
+      "(paper: 17 / 24).\n",
+      guardrail_wins, comparisons);
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

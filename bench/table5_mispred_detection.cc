@@ -1,0 +1,78 @@
+// Reproduces paper Table 5: how Guardrail's detected data errors relate to
+// ML mis-predictions.
+//   P = (# detected errors that caused a mis-prediction) /
+//       (# total detected data errors)
+//   R = (# missed errors that caused a mis-prediction) /
+//       (# total missed data errors), "-" when nothing was missed.
+// The paper's headline: missed errors almost never cause mis-predictions.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/guard.h"
+#include "exp/pipeline.h"
+
+namespace guardrail {
+namespace {
+
+int Run() {
+  bench::TextTable table(
+      {"Dataset ID", "# Mis-pred", "P", "R", "# Detected", "# Missed"});
+  double missed_mispred_total = 0;
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    auto prepared = exp::PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "dataset %d failed: %s\n", id,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const exp::PreparedDataset& p = **prepared;
+    core::Guard guard(&p.synthesis.program);
+    auto detected = guard.DetectViolations(p.test_dirty);
+    auto mispred = exp::ComputeMispredictions(
+        *p.model, p.test_clean, p.test_dirty, p.bundle.label_column);
+
+    int64_t num_mispred = 0;
+    int64_t detected_errors = 0, detected_mispred = 0;
+    int64_t missed_errors = 0, missed_mispred = 0;
+    for (size_t i = 0; i < detected.size(); ++i) {
+      num_mispred += mispred[i] ? 1 : 0;
+      if (!p.row_has_error[i]) continue;
+      if (detected[i]) {
+        ++detected_errors;
+        detected_mispred += mispred[i] ? 1 : 0;
+      } else {
+        ++missed_errors;
+        missed_mispred += mispred[i] ? 1 : 0;
+      }
+    }
+    missed_mispred_total += static_cast<double>(missed_mispred);
+    std::string precision =
+        detected_errors > 0
+            ? bench::Fmt(static_cast<double>(detected_mispred) /
+                         static_cast<double>(detected_errors), 2)
+            : "-";
+    std::string recall =
+        missed_errors > 0
+            ? bench::Fmt(static_cast<double>(missed_mispred) /
+                         static_cast<double>(missed_errors), 2)
+            : "-";
+    table.AddRow({bench::FmtInt(id), bench::FmtInt(num_mispred), precision,
+                  recall, bench::FmtInt(detected_errors),
+                  bench::FmtInt(missed_errors)});
+  }
+  std::printf("Table 5: effectiveness on mis-prediction detection\n\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape: a sizable share of detected errors cause\n"
+      "mis-predictions while missed errors rarely do (paper: none).\n"
+      "Missed-error mis-predictions across all datasets: %.0f\n",
+      missed_mispred_total);
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

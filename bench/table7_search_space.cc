@@ -1,0 +1,78 @@
+// Reproduces paper Table 7: the program-structure search space with and
+// without the MEC machinery. "# DAGs (w/ MEC)" enumerates the members of
+// the learned Markov equivalence class; "# DAGs (w/o MEC)" counts all
+// acyclic orientations of the learned skeleton (the space a sketch-less
+// search would face); the time column is the MEC enumeration cost.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "exp/pipeline.h"
+#include "pgm/mec_enumerator.h"
+#include "pgm/orientation_count.h"
+
+namespace guardrail {
+namespace {
+
+std::string FmtBig(double value) {
+  if (std::isinf(value)) return ">1e300";
+  if (value < 1e6) return bench::FmtInt(static_cast<int64_t>(value));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+int Run() {
+  bench::TextTable table({"Dataset ID", "# Attr.", "# DAGs (w/ MEC)",
+                          "Time (ms, w/ MEC)", "# DAGs (w/o MEC)",
+                          "Reduction"});
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    config.train_model = false;
+    auto prepared = exp::PrepareDataset(id, config);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "dataset %d failed: %s\n", id,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const exp::PreparedDataset& p = **prepared;
+
+    StopWatch watch;
+    pgm::MecEnumerator::Options opt;
+    opt.max_dags = 100000;
+    // Mirror the synthesizer: repair finite-sample collider conflicts, then
+    // enumerate; fall back to the relaxed mode when the strict MEC is empty.
+    pgm::Pdag working = p.synthesis.cpdag;
+    pgm::RepairCpdagCycles(&working);
+    pgm::MecEnumerator enumerator(opt);
+    int64_t with_mec = enumerator.CountMembers(working);
+    if (with_mec == 0) {
+      opt.strict_v_structures = false;
+      with_mec = pgm::MecEnumerator(opt).CountMembers(working);
+    }
+    double enum_ms = watch.ElapsedMillis();
+
+    double without_mec = pgm::CountAcyclicOrientations(p.synthesis.cpdag);
+
+    double reduction =
+        with_mec > 0 ? without_mec / static_cast<double>(with_mec) : 0.0;
+    table.AddRow({bench::FmtInt(id),
+                  bench::FmtInt(p.bundle.spec.num_attributes),
+                  bench::FmtInt(with_mec), bench::Fmt(enum_ms, 3),
+                  FmtBig(without_mec), FmtBig(reduction)});
+  }
+  std::printf("Table 7: search space and enumeration time\n\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape: the MEC collapses the orientation search space by\n"
+      "orders of magnitude (e.g. 2.2e13 -> 5 on dataset #3) and the\n"
+      "enumeration itself is a negligible share of synthesis time.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

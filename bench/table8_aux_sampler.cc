@@ -1,0 +1,65 @@
+// Reproduces paper Table 8: ablation of the auxiliary sampler. Synthesis is
+// run once with the binary-indicator auxiliary distribution (Def. 4.5) and
+// once directly on the raw data (the identity sampler); the reported metric
+// is the coverage of the synthesized program (min-max-comparable across the
+// two runs per dataset), plus a Wilcoxon signed-rank significance check
+// (paper reports p = 0.037).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/math_util.h"
+#include "core/synthesizer.h"
+#include "exp/pipeline.h"
+
+namespace guardrail {
+namespace {
+
+int Run() {
+  bench::TextTable table({"Dataset ID", "w/o Auxiliary Sampler",
+                          "w/ Auxiliary Sampler", "Winner"});
+  std::vector<double> with_aux, without_aux;
+  int identity_failures = 0;
+  for (int id : bench::BenchDatasetIds()) {
+    exp::ExperimentConfig config = bench::DefaultBenchConfig();
+    DatasetBundle bundle = DatasetRepository::Build(id, config.row_limit);
+    Rng rng(config.seed ^ static_cast<uint64_t>(id));
+    auto [train, test] = bundle.clean.Split(config.train_fraction, &rng);
+    (void)test;
+
+    core::SynthesisOptions aux_options = config.synthesis;
+    aux_options.use_auxiliary_sampler = true;
+    core::SynthesisOptions identity_options = config.synthesis;
+    identity_options.use_auxiliary_sampler = false;
+
+    Rng rng_a = rng.Fork();
+    Rng rng_b = rng.Fork();
+    core::SynthesisReport aux_report =
+        core::Synthesizer(aux_options).Synthesize(train, &rng_a);
+    core::SynthesisReport identity_report =
+        core::Synthesizer(identity_options).Synthesize(train, &rng_b);
+
+    with_aux.push_back(aux_report.coverage);
+    without_aux.push_back(identity_report.coverage);
+    identity_failures += identity_report.coverage == 0.0 ? 1 : 0;
+    table.AddRow({bench::FmtInt(id), bench::Fmt(identity_report.coverage),
+                  bench::Fmt(aux_report.coverage),
+                  aux_report.coverage >= identity_report.coverage ? "aux"
+                                                                  : "identity"});
+  }
+  std::printf("Table 8: effectiveness of the auxiliary sampler "
+              "(normalized coverage)\n\n");
+  table.Print();
+  double p_value = WilcoxonSignedRankPValue(with_aux, without_aux);
+  std::printf(
+      "\nWilcoxon signed-rank p-value = %.3f (paper: 0.037).\n"
+      "Identity-sampler collapses to zero coverage on %d dataset(s) "
+      "(paper: 3, the small high-cardinality ones).\n",
+      p_value, identity_failures);
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

@@ -1,0 +1,96 @@
+#include "baselines/cords.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace guardrail {
+namespace baselines {
+
+Result<std::vector<Fd>> Cords::Discover(const Table& table, Rng* rng) const {
+  const int32_t n = table.num_columns();
+  const int64_t rows = table.num_rows();
+  if (rows < 4) return Status::InvalidArgument("not enough rows for CORDS");
+
+  // Row sample.
+  int64_t sample_size = std::min(options_.sample_size, rows);
+  std::vector<size_t> picked = rng->SampleWithoutReplacement(
+      static_cast<size_t>(rows), static_cast<size_t>(sample_size));
+
+  std::vector<Fd> found;
+  for (int32_t a = 0; a < n; ++a) {
+    for (int32_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Distinct counts and the joint contingency on the sample.
+      std::unordered_set<ValueId> distinct_a;
+      std::unordered_map<uint64_t, int64_t> joint;
+      std::unordered_map<ValueId, int64_t> margin_a, margin_b;
+      int64_t valid = 0;
+      for (size_t idx : picked) {
+        ValueId va = table.Get(static_cast<RowIndex>(idx), a);
+        ValueId vb = table.Get(static_cast<RowIndex>(idx), b);
+        if (va == kNullValue || vb == kNullValue) continue;
+        ++valid;
+        distinct_a.insert(va);
+        ++margin_a[va];
+        ++margin_b[vb];
+        ++joint[(static_cast<uint64_t>(va) << 32) |
+                static_cast<uint64_t>(static_cast<uint32_t>(vb))];
+      }
+      if (valid < 8 || distinct_a.size() < 2) continue;
+      // Keys trivially determine everything; CORDS screens them out.
+      if (static_cast<double>(distinct_a.size()) >
+          options_.max_key_ratio * static_cast<double>(valid)) {
+        continue;
+      }
+
+      // Soft-FD strength: distinct(A) / distinct(A, B), counting only
+      // combinations witnessed at least twice (singleton pairs on a sample
+      // are indistinguishable from noise; CORDS applies the same frequency
+      // cutoff idea to its sampled distinct counts).
+      int64_t cutoff = std::max<int64_t>(2, valid / 200);
+      int64_t solid_pairs = 0;
+      for (const auto& [key, count] : joint) {
+        (void)key;
+        solid_pairs += count >= cutoff ? 1 : 0;
+      }
+      if (solid_pairs == 0) continue;
+      double strength = static_cast<double>(distinct_a.size()) /
+                        static_cast<double>(solid_pairs);
+      if (strength < options_.min_strength || strength > 1.0 + 1e-9) continue;
+
+      // Chi-squared correlation screen.
+      double chi2 = 0.0;
+      for (const auto& [key, observed] : joint) {
+        ValueId va = static_cast<ValueId>(key >> 32);
+        ValueId vb = static_cast<ValueId>(key & 0xFFFFFFFFULL);
+        double expected = static_cast<double>(margin_a[va]) *
+                          static_cast<double>(margin_b[vb]) /
+                          static_cast<double>(valid);
+        if (expected > 0.0) {
+          double diff = static_cast<double>(observed) - expected;
+          chi2 += diff * diff / expected;
+        }
+      }
+      double dof = static_cast<double>(margin_a.size() - 1) *
+                   static_cast<double>(margin_b.size() - 1);
+      if (dof <= 0.0 || ChiSquareSurvival(chi2, dof) >= options_.alpha) {
+        continue;
+      }
+
+      Fd fd;
+      fd.lhs = {a};
+      fd.rhs = b;
+      fd.g3_error = 1.0 - strength;
+      found.push_back(std::move(fd));
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace baselines
+}  // namespace guardrail

@@ -1,0 +1,51 @@
+#ifndef GUARDRAIL_BASELINES_CORDS_H_
+#define GUARDRAIL_BASELINES_CORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// CORDS (Ilyas et al. 2004): sampling-based discovery of correlations and
+/// *soft* functional dependencies between attribute pairs. For each ordered
+/// pair (A, B) it samples rows and declares a soft FD A -> B when the number
+/// of distinct (A, B) combinations stays close to the number of distinct A
+/// values (strength >= `min_strength`), with a chi-squared screen for plain
+/// correlation. As the paper notes (Sec. 6), CORDS is pairwise only: it
+/// cannot represent multi-attribute determinants and keeps redundant
+/// (transitively implied) dependencies.
+class Cords {
+ public:
+  struct Options {
+    /// Row sample size (CORDS' headline trick is that small samples
+    /// suffice).
+    int64_t sample_size = 2000;
+    /// Soft-FD strength threshold: |distinct(A)| / |distinct(A,B)|.
+    double min_strength = 0.95;
+    /// Skip pairs whose determinant looks like a key on the sample
+    /// (distinct count close to the sample size; keys trivially determine
+    /// everything).
+    double max_key_ratio = 0.9;
+    /// Chi-squared significance level for the correlation screen.
+    double alpha = 0.01;
+  };
+
+  explicit Cords(Options options) : options_(options) {}
+
+  /// Discovers pairwise soft FDs.
+  Result<std::vector<Fd>> Discover(const Table& table, Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_CORDS_H_

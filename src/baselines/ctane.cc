@@ -1,0 +1,144 @@
+#include "baselines/ctane.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace baselines {
+
+namespace {
+
+// A constant pattern: sorted (attribute, value) items plus its tid-list.
+struct PatternNode {
+  std::vector<std::pair<AttrIndex, ValueId>> items;
+  std::vector<RowIndex> rows;
+};
+
+}  // namespace
+
+Result<std::vector<ConstantCfd>> Ctane::Discover(const Table& table) const {
+  const int32_t n = table.num_columns();
+  const int64_t num_rows = table.num_rows();
+
+  std::vector<ConstantCfd> found;
+  // (lhs attrs + values, rhs attr) pairs already covered by a smaller rule;
+  // used for minimality pruning.
+  std::set<std::pair<std::vector<std::pair<AttrIndex, ValueId>>, AttrIndex>>
+      covered;
+
+  // Level 1 candidates: frequent single items.
+  std::vector<PatternNode> frontier;
+  for (AttrIndex a = 0; a < n; ++a) {
+    std::unordered_map<ValueId, std::vector<RowIndex>> buckets;
+    const auto& column = table.column(a);
+    for (RowIndex r = 0; r < num_rows; ++r) {
+      ValueId v = column[static_cast<size_t>(r)];
+      if (v != kNullValue) buckets[v].push_back(r);
+    }
+    for (auto& [v, rows] : buckets) {
+      if (static_cast<int64_t>(rows.size()) < options_.min_support) continue;
+      PatternNode node;
+      node.items = {{a, v}};
+      node.rows = std::move(rows);
+      frontier.push_back(std::move(node));
+    }
+  }
+
+  auto emit_rules = [&](const PatternNode& node) {
+    std::vector<bool> in_pattern(static_cast<size_t>(n), false);
+    for (const auto& [a, v] : node.items) in_pattern[static_cast<size_t>(a)] = true;
+    for (AttrIndex rhs = 0; rhs < n; ++rhs) {
+      if (in_pattern[static_cast<size_t>(rhs)]) continue;
+      // Minimality: skip when a sub-pattern already determines rhs.
+      bool redundant = false;
+      if (node.items.size() > 1) {
+        for (size_t skip = 0; skip < node.items.size(); ++skip) {
+          auto sub = node.items;
+          sub.erase(sub.begin() + static_cast<int64_t>(skip));
+          if (covered.count({sub, rhs}) > 0) {
+            redundant = true;
+            break;
+          }
+        }
+      }
+      if (redundant) continue;
+      std::unordered_map<ValueId, int64_t> hist;
+      for (RowIndex r : node.rows) {
+        ValueId v = table.Get(r, rhs);
+        if (v != kNullValue) ++hist[v];
+      }
+      ValueId mode = kNullValue;
+      int64_t mode_count = 0, total = 0;
+      for (const auto& [v, c] : hist) {
+        total += c;
+        if (c > mode_count || (c == mode_count && v < mode)) {
+          mode = v;
+          mode_count = c;
+        }
+      }
+      if (total < options_.min_support) continue;
+      double confidence =
+          static_cast<double>(mode_count) / static_cast<double>(total);
+      if (confidence < options_.min_confidence) continue;
+      ConstantCfd cfd;
+      for (const auto& [a, v] : node.items) {
+        cfd.lhs.push_back(a);
+        cfd.lhs_values.push_back(v);
+      }
+      cfd.rhs = rhs;
+      cfd.rhs_value = mode;
+      cfd.support = total;
+      cfd.confidence = confidence;
+      found.push_back(std::move(cfd));
+      covered.insert({node.items, rhs});
+    }
+  };
+
+  for (int32_t depth = 1;
+       depth <= options_.max_lhs_size && !frontier.empty(); ++depth) {
+    for (const auto& node : frontier) emit_rules(node);
+    if (depth == options_.max_lhs_size) break;
+
+    // Extend: join patterns sharing all but the last item.
+    std::sort(frontier.begin(), frontier.end(),
+              [](const PatternNode& a, const PatternNode& b) {
+                return a.items < b.items;
+              });
+    std::vector<PatternNode> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (size_t j = i + 1; j < frontier.size(); ++j) {
+        const auto& x = frontier[i].items;
+        const auto& y = frontier[j].items;
+        if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
+          break;  // Sorted order: no further shared prefix.
+        }
+        if (x.back().first == y.back().first) continue;  // Same attribute.
+        PatternNode merged;
+        merged.items = x;
+        merged.items.push_back(y.back());
+        std::sort(merged.items.begin(), merged.items.end());
+        std::set_intersection(frontier[i].rows.begin(), frontier[i].rows.end(),
+                              frontier[j].rows.begin(), frontier[j].rows.end(),
+                              std::back_inserter(merged.rows));
+        if (static_cast<int64_t>(merged.rows.size()) < options_.min_support) {
+          continue;
+        }
+        next.push_back(std::move(merged));
+        if (static_cast<int64_t>(next.size()) > options_.max_frontier) {
+          return Status::ResourceExhausted(
+              "CTANE candidate frontier exceeds max_frontier");
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  return found;
+}
+
+}  // namespace baselines
+}  // namespace guardrail

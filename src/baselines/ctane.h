@@ -1,0 +1,43 @@
+#ifndef GUARDRAIL_BASELINES_CTANE_H_
+#define GUARDRAIL_BASELINES_CTANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// CTANE-style discovery of constant conditional functional dependencies
+/// (Fan et al. 2010). This implementation covers the constant-pattern
+/// fragment: levelwise search over (attribute = value) itemsets, emitting
+/// minimal rules (X = x) -> (A = a) with sufficient support and confidence.
+class Ctane {
+ public:
+  struct Options {
+    /// Minimum rows matching the LHS pattern.
+    int64_t min_support = 10;
+    /// Minimum fraction of matching rows that satisfy the consequent.
+    double min_confidence = 0.99;
+    /// Largest LHS pattern size.
+    int32_t max_lhs_size = 2;
+    /// Safety valve on the candidate frontier (mirrors the paper's "-"
+    /// failures on wide/high-cardinality data).
+    int64_t max_frontier = 500000;
+  };
+
+  explicit Ctane(Options options) : options_(options) {}
+
+  Result<std::vector<ConstantCfd>> Discover(const Table& table) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_CTANE_H_

@@ -1,0 +1,29 @@
+#include "baselines/fd.h"
+
+namespace guardrail {
+namespace baselines {
+
+std::string FdToString(const Fd& fd, const Schema& schema) {
+  std::string out = "[";
+  for (size_t i = 0; i < fd.lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(fd.lhs[i]).name();
+  }
+  out += "] -> " + schema.attribute(fd.rhs).name();
+  return out;
+}
+
+std::string CfdToString(const ConstantCfd& cfd, const Schema& schema) {
+  std::string out = "[";
+  for (size_t i = 0; i < cfd.lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(cfd.lhs[i]).name() + "='" +
+           schema.attribute(cfd.lhs[i]).label(cfd.lhs_values[i]) + "'";
+  }
+  out += "] -> " + schema.attribute(cfd.rhs).name() + "='" +
+         schema.attribute(cfd.rhs).label(cfd.rhs_value) + "'";
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace guardrail

@@ -1,0 +1,52 @@
+#ifndef GUARDRAIL_BASELINES_FD_H_
+#define GUARDRAIL_BASELINES_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// A (possibly approximate) functional dependency lhs -> rhs.
+struct Fd {
+  std::vector<AttrIndex> lhs;  // Sorted.
+  AttrIndex rhs = 0;
+  /// g3 error of the dependency on the discovery data: the minimum fraction
+  /// of rows to delete for the FD to hold exactly.
+  double g3_error = 0.0;
+
+  bool operator==(const Fd& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+  bool operator<(const Fd& other) const {
+    if (rhs != other.rhs) return rhs < other.rhs;
+    return lhs < other.lhs;
+  }
+};
+
+/// A constant conditional functional dependency: (lhs = pattern) -> rhs =
+/// consequent, e.g. ([country = 'US'] -> currency = 'USD').
+struct ConstantCfd {
+  std::vector<AttrIndex> lhs;          // Sorted.
+  std::vector<ValueId> lhs_values;     // Aligned with lhs.
+  AttrIndex rhs = 0;
+  ValueId rhs_value = kNullValue;
+  int64_t support = 0;
+  double confidence = 1.0;
+
+  bool operator==(const ConstantCfd& other) const {
+    return lhs == other.lhs && lhs_values == other.lhs_values &&
+           rhs == other.rhs && rhs_value == other.rhs_value;
+  }
+};
+
+std::string FdToString(const Fd& fd, const Schema& schema);
+std::string CfdToString(const ConstantCfd& cfd, const Schema& schema);
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_FD_H_

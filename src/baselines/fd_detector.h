@@ -1,0 +1,70 @@
+#ifndef GUARDRAIL_BASELINES_FD_DETECTOR_H_
+#define GUARDRAIL_BASELINES_FD_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// Turns discovered FDs into a row-level error detector comparable to
+/// Guardrail's guard: for each FD X -> A, the detector memorizes the
+/// majority A-value per X-combination on clean training data and flags test
+/// rows whose combination is known but whose A-value disagrees.
+class FdDetector {
+ public:
+  struct Options {
+    /// Mappings must be witnessed by at least this many training rows.
+    int64_t min_support = 2;
+    /// Required purity of the training mapping (majority fraction).
+    double min_confidence = 0.95;
+  };
+
+  FdDetector(std::vector<Fd> fds, Options options)
+      : fds_(std::move(fds)), options_(options) {}
+
+  /// Learns the value mappings from `train`.
+  void Fit(const Table& train);
+
+  /// Per-row violation flags over `test`.
+  std::vector<bool> Detect(const Table& test) const;
+
+  int64_t num_mappings() const;
+
+ private:
+  struct FdMapping {
+    Fd fd;
+    // Hash of the LHS combination -> expected RHS code.
+    std::unordered_map<uint64_t, ValueId> expected;
+  };
+
+  static uint64_t HashCombo(const Table& table, RowIndex row,
+                            const std::vector<AttrIndex>& attrs, bool* has_null);
+
+  std::vector<Fd> fds_;
+  Options options_;
+  std::vector<FdMapping> mappings_;
+};
+
+/// The same idea for constant CFDs, which carry their expected value
+/// directly: a row matching the LHS pattern with a different RHS value is a
+/// violation.
+class CfdDetector {
+ public:
+  explicit CfdDetector(std::vector<ConstantCfd> cfds)
+      : cfds_(std::move(cfds)) {}
+
+  std::vector<bool> Detect(const Table& test) const;
+
+ private:
+  std::vector<ConstantCfd> cfds_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_FD_DETECTOR_H_

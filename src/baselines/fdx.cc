@@ -1,0 +1,161 @@
+#include "baselines/fdx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pgm/auxiliary_sampler.h"
+
+namespace guardrail {
+namespace baselines {
+
+namespace {
+
+/// Gauss-Jordan inversion with partial pivoting. Returns false when a pivot
+/// falls below `min_pivot` (ill-conditioned input).
+bool InvertMatrix(std::vector<std::vector<double>>* m, double min_pivot) {
+  const size_t n = m->size();
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  auto& a = *m;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < min_pivot) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    double d = a[col][col];
+    for (size_t j = 0; j < n; ++j) {
+      a[col][j] /= d;
+      inv[col][j] /= d;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double f = a[r][col];
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        a[r][j] -= f * a[col][j];
+        inv[r][j] -= f * inv[col][j];
+      }
+    }
+  }
+  *m = std::move(inv);
+  return true;
+}
+
+/// Entropy of a Bernoulli(p), in nats.
+double BernoulliEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+}  // namespace
+
+Result<std::vector<Fd>> Fdx::Discover(const Table& table, Rng* rng) const {
+  const int32_t n = table.num_columns();
+  pgm::AuxiliarySamplerOptions aux_options;
+  aux_options.num_shifts = options_.num_shifts;
+  aux_options.max_pairs = options_.max_pairs;
+  pgm::EncodedData aux = pgm::SampleAuxiliaryDistribution(table, aux_options, rng);
+  if (aux.num_rows < 4) {
+    return Status::InvalidArgument("not enough rows for FDX");
+  }
+  const double rows = static_cast<double>(aux.num_rows);
+
+  // Means and covariance of the binary indicators.
+  std::vector<double> mean(static_cast<size_t>(n), 0.0);
+  for (int32_t i = 0; i < n; ++i) {
+    int64_t sum = 0;
+    for (ValueId v : aux.columns[static_cast<size_t>(i)]) sum += v;
+    mean[static_cast<size_t>(i)] = static_cast<double>(sum) / rows;
+  }
+  std::vector<std::vector<double>> cov(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i; j < n; ++j) {
+      double acc = 0.0;
+      const auto& ci = aux.columns[static_cast<size_t>(i)];
+      const auto& cj = aux.columns[static_cast<size_t>(j)];
+      for (int64_t r = 0; r < aux.num_rows; ++r) {
+        acc += (static_cast<double>(ci[static_cast<size_t>(r)]) -
+                mean[static_cast<size_t>(i)]) *
+               (static_cast<double>(cj[static_cast<size_t>(r)]) -
+                mean[static_cast<size_t>(j)]);
+      }
+      double c = acc / rows;
+      cov[static_cast<size_t>(i)][static_cast<size_t>(j)] = c;
+      cov[static_cast<size_t>(j)][static_cast<size_t>(i)] = c;
+    }
+  }
+  // A constant indicator (an attribute where sampled pairs always agree or
+  // always disagree) makes the covariance singular; the ridge softens but a
+  // fully degenerate matrix still fails — FDX's documented failure mode.
+  for (int32_t i = 0; i < n; ++i) {
+    cov[static_cast<size_t>(i)][static_cast<size_t>(i)] += options_.ridge;
+  }
+  std::vector<std::vector<double>> precision = cov;
+  if (!InvertMatrix(&precision, options_.min_pivot)) {
+    return Status::Internal("FDX: ill-conditioned covariance inversion");
+  }
+
+  // Partial correlations -> undirected candidate edges.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      double denom = std::sqrt(precision[static_cast<size_t>(i)][static_cast<size_t>(i)] *
+                               precision[static_cast<size_t>(j)][static_cast<size_t>(j)]);
+      if (denom <= 0.0) continue;
+      double rho = -precision[static_cast<size_t>(i)][static_cast<size_t>(j)] / denom;
+      if (std::fabs(rho) >= options_.partial_correlation_threshold) {
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Orientation: conditional-entropy asymmetry. H(I_j | I_i) near zero means
+  // knowing "rows agree on i" pins down "rows agree on j" — evidence that i
+  // determines j.
+  auto conditional_entropy = [&](int32_t given, int32_t target) {
+    // Joint histogram over (I_given, I_target).
+    double joint[2][2] = {{0, 0}, {0, 0}};
+    const auto& cg = aux.columns[static_cast<size_t>(given)];
+    const auto& ct = aux.columns[static_cast<size_t>(target)];
+    for (int64_t r = 0; r < aux.num_rows; ++r) {
+      joint[cg[static_cast<size_t>(r)]][ct[static_cast<size_t>(r)]] += 1.0;
+    }
+    double h = 0.0;
+    for (int g = 0; g < 2; ++g) {
+      double ng = joint[g][0] + joint[g][1];
+      if (ng <= 0.0) continue;
+      h += (ng / rows) * BernoulliEntropy(joint[g][1] / ng);
+    }
+    return h;
+  };
+
+  std::vector<std::vector<AttrIndex>> parents(static_cast<size_t>(n));
+  for (const auto& [i, j] : edges) {
+    double h_j_given_i = conditional_entropy(i, j);
+    double h_i_given_j = conditional_entropy(j, i);
+    if (h_j_given_i <= h_i_given_j) {
+      parents[static_cast<size_t>(j)].push_back(i);
+    } else {
+      parents[static_cast<size_t>(i)].push_back(j);
+    }
+  }
+
+  std::vector<Fd> found;
+  for (int32_t j = 0; j < n; ++j) {
+    if (parents[static_cast<size_t>(j)].empty()) continue;
+    Fd fd;
+    fd.lhs = parents[static_cast<size_t>(j)];
+    std::sort(fd.lhs.begin(), fd.lhs.end());
+    fd.rhs = j;
+    found.push_back(std::move(fd));
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace baselines
+}  // namespace guardrail

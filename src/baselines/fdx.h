@@ -1,0 +1,54 @@
+#ifndef GUARDRAIL_BASELINES_FDX_H_
+#define GUARDRAIL_BASELINES_FDX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// FDX (Zhang et al. 2020): statistical FD discovery. Transforms row pairs
+/// into binary equality indicators (the same auxiliary view Guardrail uses),
+/// fits a linear structural model over the indicators via (ridge-regularized)
+/// inverse-covariance estimation, thresholds partial correlations into an
+/// undirected structure, and orients edges with a conditional-entropy
+/// asymmetry heuristic standing in for the linear-non-Gaussian machinery.
+///
+/// The paper (Sec. 6) argues FDX's linear-additive-noise assumption is
+/// mis-specified for binary indicator data; this implementation faithfully
+/// inherits that weakness: inversion can be ill-conditioned (reported as an
+/// error, matching the "-" entries of Table 3) and orientations are noisy.
+class Fdx {
+ public:
+  struct Options {
+    /// Ridge term added to the covariance diagonal before inversion.
+    double ridge = 1e-4;
+    /// Absolute partial-correlation threshold for keeping an edge.
+    double partial_correlation_threshold = 0.12;
+    /// Pivot threshold below which the inversion is declared
+    /// ill-conditioned.
+    double min_pivot = 1e-9;
+    /// Pair sample size knobs (see pgm::AuxiliarySamplerOptions).
+    int32_t num_shifts = 5;
+    int64_t max_pairs = 200000;
+  };
+
+  explicit Fdx(Options options) : options_(options) {}
+
+  /// Discovers FDs; the error status reproduces FDX's ill-conditioned
+  /// inversion failure mode.
+  Result<std::vector<Fd>> Discover(const Table& table, Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_FDX_H_

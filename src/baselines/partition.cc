@@ -1,0 +1,90 @@
+#include "baselines/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace baselines {
+
+StrippedPartition StrippedPartition::ForAttribute(const Table& table,
+                                                  AttrIndex attr) {
+  const int32_t domain =
+      std::max(1, table.schema().attribute(attr).domain_size());
+  // +1 bucket for NULLs (NULL == NULL for partitioning purposes).
+  std::vector<std::vector<RowIndex>> buckets(static_cast<size_t>(domain) + 1);
+  const auto& column = table.column(attr);
+  for (RowIndex r = 0; r < table.num_rows(); ++r) {
+    ValueId v = column[static_cast<size_t>(r)];
+    size_t idx = v == kNullValue ? static_cast<size_t>(domain)
+                                 : static_cast<size_t>(v);
+    buckets[idx].push_back(r);
+  }
+  StrippedPartition out;
+  for (auto& bucket : buckets) {
+    if (bucket.size() >= 2) out.classes_.push_back(std::move(bucket));
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::Product(const StrippedPartition& a,
+                                             const StrippedPartition& b,
+                                             int64_t num_rows) {
+  // TANE's linear probe-table algorithm.
+  std::vector<int64_t> owner(static_cast<size_t>(num_rows), -1);
+  std::vector<std::vector<RowIndex>> scratch(a.classes_.size());
+  for (size_t i = 0; i < a.classes_.size(); ++i) {
+    for (RowIndex t : a.classes_[i]) {
+      owner[static_cast<size_t>(t)] = static_cast<int64_t>(i);
+    }
+  }
+  StrippedPartition out;
+  for (const auto& cls : b.classes_) {
+    // Distribute the class's rows into the scratch buckets of their a-class.
+    for (RowIndex t : cls) {
+      int64_t o = owner[static_cast<size_t>(t)];
+      if (o >= 0) scratch[static_cast<size_t>(o)].push_back(t);
+    }
+    // Flush: each non-trivial intersection is a product class.
+    for (RowIndex t : cls) {
+      int64_t o = owner[static_cast<size_t>(t)];
+      if (o < 0) continue;
+      auto& bucket = scratch[static_cast<size_t>(o)];
+      if (bucket.empty()) continue;  // Already flushed for this b-class.
+      if (bucket.size() >= 2) out.classes_.push_back(bucket);
+      bucket.clear();
+    }
+  }
+  return out;
+}
+
+int64_t StrippedPartition::NumRowsInClasses() const {
+  int64_t total = 0;
+  for (const auto& cls : classes_) total += static_cast<int64_t>(cls.size());
+  return total;
+}
+
+double StrippedPartition::FdG3Error(const StrippedPartition& with_rhs,
+                                    int64_t num_rows) const {
+  if (num_rows == 0) return 0.0;
+  // Mark one representative per refined class with the class size.
+  std::unordered_map<RowIndex, int64_t> rep_size;
+  rep_size.reserve(with_rhs.classes_.size() * 2);
+  for (const auto& cls : with_rhs.classes_) {
+    rep_size[cls.front()] = static_cast<int64_t>(cls.size());
+  }
+  int64_t error = 0;
+  for (const auto& cls : classes_) {
+    int64_t best = 1;  // Unmarked rows are singletons in the refinement.
+    for (RowIndex t : cls) {
+      auto it = rep_size.find(t);
+      if (it != rep_size.end()) best = std::max(best, it->second);
+    }
+    error += static_cast<int64_t>(cls.size()) - best;
+  }
+  return static_cast<double>(error) / static_cast<double>(num_rows);
+}
+
+}  // namespace baselines
+}  // namespace guardrail

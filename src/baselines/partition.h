@@ -1,0 +1,60 @@
+#ifndef GUARDRAIL_BASELINES_PARTITION_H_
+#define GUARDRAIL_BASELINES_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// A stripped partition (TANE, Huhtala et al. 1999): the equivalence classes
+/// of rows under "agree on attribute set X", with singleton classes removed.
+/// Partition refinement over stripped partitions is the workhorse of
+/// lattice-based FD discovery.
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+
+  /// Partition by a single attribute.
+  static StrippedPartition ForAttribute(const Table& table, AttrIndex attr);
+
+  /// Product partition pi_{X union Y} = pi_X * pi_Y (the standard
+  /// linear-time probe-table algorithm). `num_rows` of both operands must
+  /// refer to the same relation.
+  static StrippedPartition Product(const StrippedPartition& a,
+                                   const StrippedPartition& b,
+                                   int64_t num_rows);
+
+  const std::vector<std::vector<RowIndex>>& classes() const {
+    return classes_;
+  }
+
+  /// Number of non-singleton classes.
+  int64_t NumClasses() const { return static_cast<int64_t>(classes_.size()); }
+
+  /// Total rows across stripped classes (||pi|| in TANE notation).
+  int64_t NumRowsInClasses() const;
+
+  /// The TANE e(X) measure building block: ||pi|| - |pi|.
+  int64_t Error() const { return NumRowsInClasses() - NumClasses(); }
+
+  /// g3 error of the FD X -> A where *this is pi_X and `with_rhs` is
+  /// pi_{X union A}: the minimum number of rows to remove, divided by
+  /// `num_rows`, for the FD to hold (TANE Sec. 2.3).
+  double FdG3Error(const StrippedPartition& with_rhs, int64_t num_rows) const;
+
+  /// True when refining by A does not split any class (exact FD X -> A).
+  bool RefinesExactly(const StrippedPartition& with_rhs) const {
+    return Error() == with_rhs.Error();
+  }
+
+ private:
+  std::vector<std::vector<RowIndex>> classes_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_PARTITION_H_

@@ -1,0 +1,108 @@
+#include "baselines/scoded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace baselines {
+
+void Scoded::Fit(const Table& train, const std::vector<Fd>& constraints) {
+  tables_.clear();
+  for (const Fd& fd : constraints) {
+    if (fd.lhs.size() != 1) continue;  // Pairwise statistical constraints.
+    AttrIndex det = fd.lhs[0];
+    AttrIndex dep = fd.rhs;
+    int32_t det_card = train.schema().attribute(det).domain_size();
+    int32_t dep_card = train.schema().attribute(dep).domain_size();
+    if (det_card < 1 || dep_card < 2) continue;
+
+    std::vector<std::vector<int64_t>> counts(
+        static_cast<size_t>(det_card),
+        std::vector<int64_t>(static_cast<size_t>(dep_card), 0));
+    for (RowIndex r = 0; r < train.num_rows(); ++r) {
+      ValueId a = train.Get(r, det);
+      ValueId b = train.Get(r, dep);
+      if (a == kNullValue || b == kNullValue) continue;
+      ++counts[static_cast<size_t>(a)][static_cast<size_t>(b)];
+    }
+
+    ConditionalTable table;
+    table.det = det;
+    table.dep = dep;
+    table.neg_log_prob.assign(
+        static_cast<size_t>(det_card),
+        std::vector<double>(static_cast<size_t>(dep_card), 0.0));
+    for (int32_t a = 0; a < det_card; ++a) {
+      int64_t total = std::accumulate(counts[static_cast<size_t>(a)].begin(),
+                                      counts[static_cast<size_t>(a)].end(),
+                                      int64_t{0});
+      double denom = static_cast<double>(total) +
+                     options_.smoothing * static_cast<double>(dep_card);
+      for (int32_t b = 0; b < dep_card; ++b) {
+        double p =
+            (static_cast<double>(counts[static_cast<size_t>(a)][static_cast<size_t>(b)]) +
+             options_.smoothing) /
+            denom;
+        table.neg_log_prob[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+            -std::log(p);
+      }
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+std::vector<double> Scoded::ScoreRows(const Table& test) const {
+  std::vector<double> scores(static_cast<size_t>(test.num_rows()), 0.0);
+  for (const auto& table : tables_) {
+    int32_t det_card = static_cast<int32_t>(table.neg_log_prob.size());
+    int32_t dep_card =
+        det_card > 0 ? static_cast<int32_t>(table.neg_log_prob[0].size()) : 0;
+    for (RowIndex r = 0; r < test.num_rows(); ++r) {
+      ValueId a = test.Get(r, table.det);
+      ValueId b = test.Get(r, table.dep);
+      if (a == kNullValue || b == kNullValue) continue;
+      if (a >= det_card) continue;  // Unseen determinant: no evidence.
+      double surprise;
+      if (b >= dep_card) {
+        // A dependent value never seen in training: maximally surprising
+        // under this conditional (the smoothed floor).
+        surprise = *std::max_element(
+            table.neg_log_prob[static_cast<size_t>(a)].begin(),
+            table.neg_log_prob[static_cast<size_t>(a)].end());
+      } else {
+        surprise = table.neg_log_prob[static_cast<size_t>(a)][static_cast<size_t>(b)];
+      }
+      // Subtract the per-constraint baseline (the most likely value's
+      // surprise) so rows following every constraint score ~0.
+      double baseline = *std::min_element(
+          table.neg_log_prob[static_cast<size_t>(a)].begin(),
+          table.neg_log_prob[static_cast<size_t>(a)].end());
+      scores[static_cast<size_t>(r)] += surprise - baseline;
+    }
+  }
+  return scores;
+}
+
+std::vector<bool> Scoded::DetectTopK(const Table& test) const {
+  std::vector<double> scores = ScoreRows(test);
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  std::vector<bool> flags(scores.size(), false);
+  int64_t flagged = 0;
+  for (size_t idx : order) {
+    if (flagged >= options_.top_k || scores[idx] <= 0.0) break;
+    flags[idx] = true;
+    ++flagged;
+  }
+  return flags;
+}
+
+}  // namespace baselines
+}  // namespace guardrail

@@ -1,0 +1,65 @@
+#ifndef GUARDRAIL_BASELINES_SCODED_H_
+#define GUARDRAIL_BASELINES_SCODED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// SCODED-style statistical-constraint error detection (Yan et al. 2020,
+/// discussed in paper Sec. 6). Unlike Guardrail's hard constraints, SCODED
+/// takes *user-specified* statistical constraints — here the soft form
+/// "dep is distributed as P(dep | det)" for given (det, dep) pairs — scores
+/// every row by how surprising it is under the fitted conditional
+/// distributions, and surfaces the top-k violations.
+///
+/// The paper positions Guardrail as complementary: it can *infer* the
+/// constraint set SCODED requires as input. ScoreRows accepts exactly the
+/// pairwise dependencies a Guardrail sketch (or an FD discoverer) provides.
+class Scoded {
+ public:
+  struct Options {
+    /// Laplace smoothing for the conditional estimates.
+    double smoothing = 0.5;
+    /// DetectTopK flags this many of the highest-scoring rows.
+    int64_t top_k = 50;
+  };
+
+  explicit Scoded(Options options) : options_(options) {}
+
+  /// Fits P(dep | det) tables from `train` for each statistical constraint
+  /// (single-determinant FDs; wider determinants are ignored, matching the
+  /// pairwise statistical constraints of the original system).
+  void Fit(const Table& train, const std::vector<Fd>& constraints);
+
+  /// Per-row surprise: sum over constraints of -log P(dep value | det
+  /// value). Unseen determinant values contribute nothing (no evidence).
+  std::vector<double> ScoreRows(const Table& test) const;
+
+  /// Flags the top-k rows by score (score must be positive to be flagged).
+  std::vector<bool> DetectTopK(const Table& test) const;
+
+  int64_t num_fitted_constraints() const {
+    return static_cast<int64_t>(tables_.size());
+  }
+
+ private:
+  struct ConditionalTable {
+    AttrIndex det = 0;
+    AttrIndex dep = 0;
+    // [det value][dep value] -> -log P(dep | det), dense.
+    std::vector<std::vector<double>> neg_log_prob;
+  };
+
+  Options options_;
+  std::vector<ConditionalTable> tables_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_SCODED_H_

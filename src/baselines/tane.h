@@ -1,0 +1,43 @@
+#ifndef GUARDRAIL_BASELINES_TANE_H_
+#define GUARDRAIL_BASELINES_TANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace baselines {
+
+/// TANE (Huhtala et al. 1999): levelwise lattice search for minimal
+/// (approximate) functional dependencies using stripped-partition
+/// refinement and rhs+ candidate pruning.
+class Tane {
+ public:
+  struct Options {
+    /// g3 error tolerance: discover X -> A with g3(X -> A) <= max_g3_error.
+    /// 0 discovers exact FDs only.
+    double max_g3_error = 0.0;
+    /// Largest LHS size explored.
+    int32_t max_lhs_size = 3;
+    /// Lattice-size safety valve; discovery aborts with ResourceExhausted
+    /// beyond this many candidate nodes per level (mirrors the paper's "-"
+    /// out-of-memory entries for TANE on wide datasets).
+    int64_t max_level_width = 200000;
+  };
+
+  explicit Tane(Options options) : options_(options) {}
+
+  /// Discovers minimal FDs over `table`.
+  Result<std::vector<Fd>> Discover(const Table& table) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace baselines
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_BASELINES_TANE_H_

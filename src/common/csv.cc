@@ -1,0 +1,126 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace guardrail {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\r\n") != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  CsvDocument doc;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_has_content = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&]() -> Status {
+    end_field();
+    if (doc.header.empty() && doc.rows.empty()) {
+      doc.header = std::move(record);
+    } else {
+      if (record.size() != doc.header.size()) {
+        return Status::ParseError("CSV row has " +
+                                  std::to_string(record.size()) +
+                                  " fields, header has " +
+                                  std::to_string(doc.header.size()));
+      }
+      doc.rows.push_back(std::move(record));
+    }
+    record.clear();
+    record_has_content = false;
+    return Status::OK();
+  };
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+        record_has_content = true;
+      } else if (c == ',') {
+        end_field();
+        record_has_content = true;
+      } else if (c == '\n' || c == '\r') {
+        if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        if (record_has_content || !field.empty() || !record.empty()) {
+          GUARDRAIL_RETURN_NOT_OK(end_record());
+        }
+      } else {
+        field += c;
+        record_has_content = true;
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (record_has_content || !field.empty() || !record.empty()) {
+    GUARDRAIL_RETURN_NOT_OK(end_record());
+  }
+  if (doc.header.empty()) return Status::ParseError("empty CSV input");
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_record = [&](const std::vector<std::string>& record) {
+    for (size_t i = 0; i < record.size(); ++i) {
+      if (i > 0) out += ',';
+      out += NeedsQuoting(record[i]) ? QuoteField(record[i]) : record[i];
+    }
+    out += '\n';
+  };
+  write_record(doc.header);
+  for (const auto& row : doc.rows) write_record(row);
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsv(doc);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace guardrail

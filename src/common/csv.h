@@ -1,0 +1,31 @@
+#ifndef GUARDRAIL_COMMON_CSV_H_
+#define GUARDRAIL_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace guardrail {
+
+/// A parsed CSV document: a header row plus data rows, all as strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text: comma separated, double-quote quoting with
+/// "" escapes, LF or CRLF line endings. The first record is the header.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV text, quoting fields that need it.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// File convenience wrappers.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_CSV_H_

@@ -1,0 +1,55 @@
+#ifndef GUARDRAIL_COMMON_LOGGING_H_
+#define GUARDRAIL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace guardrail {
+namespace internal_logging {
+
+/// Accumulates a fatal message and aborts the process on destruction. Used by
+/// the GUARDRAIL_CHECK family; invariant violations are programming errors,
+/// not recoverable conditions, so they terminate (Status is for data errors).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "FATAL " << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace guardrail
+
+/// Aborts with a message when `condition` is false.
+#define GUARDRAIL_CHECK(condition)                                     \
+  if (!(condition))                                                    \
+  ::guardrail::internal_logging::FatalLogMessage(__FILE__, __LINE__)   \
+      .stream()                                                        \
+      << "Check failed: " #condition " "
+
+#define GUARDRAIL_CHECK_EQ(a, b) GUARDRAIL_CHECK((a) == (b))
+#define GUARDRAIL_CHECK_NE(a, b) GUARDRAIL_CHECK((a) != (b))
+#define GUARDRAIL_CHECK_LT(a, b) GUARDRAIL_CHECK((a) < (b))
+#define GUARDRAIL_CHECK_LE(a, b) GUARDRAIL_CHECK((a) <= (b))
+#define GUARDRAIL_CHECK_GT(a, b) GUARDRAIL_CHECK((a) > (b))
+#define GUARDRAIL_CHECK_GE(a, b) GUARDRAIL_CHECK((a) >= (b))
+
+/// Aborts when a Status-returning expression fails. For call sites where an
+/// error indicates a bug rather than a runtime condition.
+#define GUARDRAIL_CHECK_OK(expr)                                       \
+  do {                                                                 \
+    ::guardrail::Status _st = (expr);                                  \
+    GUARDRAIL_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#endif  // GUARDRAIL_COMMON_LOGGING_H_

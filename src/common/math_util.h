@@ -1,0 +1,56 @@
+#ifndef GUARDRAIL_COMMON_MATH_UTIL_H_
+#define GUARDRAIL_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace guardrail {
+
+/// Natural log of the gamma function (Lanczos approximation); valid for x > 0.
+double LnGamma(double x);
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P[X >= x]. Returns 1.0 when dof == 0 (degenerate test).
+double ChiSquareSurvival(double x, double dof);
+
+/// Natural log of n-choose-k.
+double LnBinomial(int64_t n, int64_t k);
+
+/// Pearson correlation of two equally sized samples; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Approximate two-sided p-value for a Spearman correlation via the
+/// t-distribution approximation with n-2 degrees of freedom.
+double SpearmanPValue(double rho, size_t n);
+
+/// Min-max normalizes `values` in place to [0, 1]; all-equal input maps to 0.
+void MinMaxNormalize(std::vector<double>* values);
+
+/// Mean and (population) standard deviation helpers.
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+/// Binary classification metrics from confusion counts.
+double F1Score(int64_t tp, int64_t fp, int64_t fn);
+double MatthewsCorrelation(int64_t tp, int64_t fp, int64_t tn, int64_t fn);
+
+/// Wilcoxon signed-rank test p-value (normal approximation) for paired
+/// samples; used for the auxiliary-sampler significance claim (Table 8).
+double WilcoxonSignedRankPValue(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_MATH_UTIL_H_

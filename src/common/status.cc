@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace guardrail {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kConstraintViolation:
+      return "Constraint violation";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kTimeout:
+      return "Timeout";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace guardrail

@@ -1,0 +1,153 @@
+#ifndef GUARDRAIL_COMMON_STATUS_H_
+#define GUARDRAIL_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace guardrail {
+
+/// Error category carried by a non-ok Status. Modeled after the Arrow /
+/// RocksDB convention: fallible operations return Status (or Result<T>)
+/// instead of throwing.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kResourceExhausted = 5,
+  kConstraintViolation = 6,  // A data row violated a synthesized constraint.
+  kParseError = 7,
+  kIoError = 8,
+  kNotImplemented = 9,
+  kInternal = 10,
+  kTimeout = 11,
+};
+
+/// Returns a human-readable name for the code ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+/// The OK status carries no allocation and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+
+  /// "<code name>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Access to the value when the
+/// result holds an error aborts (see GUARDRAIL_CHECK in logging.h), so callers
+/// must test ok() first or use ValueOr().
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace guardrail
+
+/// Propagates a non-ok Status from an expression to the caller.
+#define GUARDRAIL_RETURN_NOT_OK(expr)                 \
+  do {                                                \
+    ::guardrail::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// moves the value into `lhs`.
+#define GUARDRAIL_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto GUARDRAIL_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!GUARDRAIL_CONCAT_(_res_, __LINE__).ok())       \
+    return GUARDRAIL_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(GUARDRAIL_CONCAT_(_res_, __LINE__)).value()
+
+#define GUARDRAIL_CONCAT_INNER_(a, b) a##b
+#define GUARDRAIL_CONCAT_(a, b) GUARDRAIL_CONCAT_INNER_(a, b)
+
+#endif  // GUARDRAIL_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef GUARDRAIL_COMMON_STRING_UTIL_H_
+#define GUARDRAIL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace guardrail {
+
+/// Splits `input` at every occurrence of `sep`. Adjacent separators produce
+/// empty fields; an empty input yields one empty field.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string StrToLower(std::string_view s);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool StrEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Parses a decimal integer / double; returns false on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with `digits` significant digits, trimming zeros.
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,30 @@
+#ifndef GUARDRAIL_COMMON_TIMER_H_
+#define GUARDRAIL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace guardrail {
+
+/// Monotonic wall-clock stopwatch used for the timing columns of the
+/// experiment tables.
+class StopWatch {
+ public:
+  StopWatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_TIMER_H_

@@ -1,0 +1,82 @@
+#include "core/ast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+Status ValidateAttr(AttrIndex attr, const Schema& schema) {
+  if (attr < 0 || attr >= schema.num_attributes()) {
+    return Status::OutOfRange("attribute index " + std::to_string(attr));
+  }
+  return Status::OK();
+}
+
+Status ValidateValue(AttrIndex attr, ValueId value, const Schema& schema) {
+  if (value == kNullValue) return Status::OK();
+  if (value < 0 || value >= schema.attribute(attr).domain_size()) {
+    return Status::OutOfRange("value code " + std::to_string(value) +
+                              " for attribute " + schema.attribute(attr).name());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateProgram(const Program& program, const Schema& schema) {
+  for (const auto& stmt : program.statements) {
+    if (stmt.determinants.empty()) {
+      return Status::InvalidArgument("statement with empty GIVEN clause");
+    }
+    GUARDRAIL_RETURN_NOT_OK(ValidateAttr(stmt.dependent, schema));
+    std::set<AttrIndex> det_set;
+    for (AttrIndex a : stmt.determinants) {
+      GUARDRAIL_RETURN_NOT_OK(ValidateAttr(a, schema));
+      if (a == stmt.dependent) {
+        return Status::InvalidArgument(
+            "dependent attribute appears in its own GIVEN clause");
+      }
+      if (!det_set.insert(a).second) {
+        return Status::InvalidArgument("duplicate determinant attribute");
+      }
+    }
+    if (stmt.branches.empty()) {
+      return Status::InvalidArgument("statement with empty HAVING clause");
+    }
+    for (const auto& branch : stmt.branches) {
+      if (branch.target != stmt.dependent) {
+        return Status::InvalidArgument(
+            "branch target differs from the statement's ON attribute");
+      }
+      GUARDRAIL_RETURN_NOT_OK(
+          ValidateValue(branch.target, branch.assignment, schema));
+      if (branch.assignment == kNullValue) {
+        return Status::InvalidArgument("branch assigns NULL");
+      }
+      std::set<AttrIndex> seen;
+      for (const auto& [attr, value] : branch.condition.equalities) {
+        GUARDRAIL_RETURN_NOT_OK(ValidateAttr(attr, schema));
+        GUARDRAIL_RETURN_NOT_OK(ValidateValue(attr, value, schema));
+        if (det_set.count(attr) == 0) {
+          return Status::InvalidArgument(
+              "condition attribute outside the GIVEN clause");
+        }
+        if (!seen.insert(attr).second) {
+          return Status::InvalidArgument(
+              "attribute repeated within one conjunction");
+        }
+      }
+      if (!std::is_sorted(branch.condition.equalities.begin(),
+                          branch.condition.equalities.end())) {
+        return Status::InvalidArgument("condition equalities not sorted");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,103 @@
+#ifndef GUARDRAIL_CORE_AST_H_
+#define GUARDRAIL_CORE_AST_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace guardrail {
+namespace core {
+
+/// The DSL of paper Fig. 2, resolved against a Schema: attributes are
+/// attribute indexes and literals are dictionary codes, so interpretation is
+/// integer comparisons. The parser/printer (parser.h, printer.h) convert
+/// between this form and the human-readable surface syntax.
+///
+///   p ::= s*
+///   s ::= GIVEN a+ ON a HAVING b+
+///   b ::= IF c THEN a <- l
+///   c ::= a = l | c AND c
+
+/// A conjunction of attribute-equals-literal tests. Kept sorted by attribute
+/// index; an attribute appears at most once (a = l1 AND a = l2 with l1 != l2
+/// is unsatisfiable and rejected at construction).
+struct Condition {
+  std::vector<std::pair<AttrIndex, ValueId>> equalities;
+
+  /// True when every equality holds on `row`.
+  bool Matches(const Row& row) const {
+    for (const auto& [attr, value] : equalities) {
+      if (row[static_cast<size_t>(attr)] != value) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const Condition& other) const {
+    return equalities == other.equalities;
+  }
+};
+
+/// IF c THEN target <- assignment.
+struct Branch {
+  Condition condition;
+  AttrIndex target = 0;
+  ValueId assignment = kNullValue;
+  /// Rows witnessing the condition during synthesis (|D^b| on the training
+  /// split). Advisory metadata used by the MAP rectification policy; not
+  /// part of program identity.
+  int64_t support = 0;
+  /// Dependent values observed under this condition during synthesis (the
+  /// epsilon-tolerated variation, including the assignment). The rectify
+  /// policy leaves a deviation alone when training already witnessed it —
+  /// repairing the DGP's own legitimate variation would manufacture errors.
+  /// Advisory metadata; not part of program identity.
+  std::vector<ValueId> tolerated_values;
+
+  bool operator==(const Branch& other) const {
+    return condition == other.condition && target == other.target &&
+           assignment == other.assignment;
+  }
+};
+
+/// GIVEN determinants ON dependent HAVING branches. Every branch targets
+/// `dependent` and conditions exactly on `determinants`.
+struct Statement {
+  std::vector<AttrIndex> determinants;
+  AttrIndex dependent = 0;
+  std::vector<Branch> branches;
+
+  bool operator==(const Statement& other) const {
+    return determinants == other.determinants &&
+           dependent == other.dependent && branches == other.branches;
+  }
+};
+
+/// A whole integrity-constraint program.
+struct Program {
+  std::vector<Statement> statements;
+
+  bool empty() const { return statements.empty(); }
+  int64_t NumBranches() const {
+    int64_t n = 0;
+    for (const auto& s : statements) n += static_cast<int64_t>(s.branches.size());
+    return n;
+  }
+
+  bool operator==(const Program& other) const {
+    return statements == other.statements;
+  }
+};
+
+/// Structural validation against a schema: indexes in range, codes in domain,
+/// branch conditions consistent with the statement header, no duplicate
+/// attribute in a conjunction.
+Status ValidateProgram(const Program& program, const Schema& schema);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_AST_H_

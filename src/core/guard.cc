@@ -1,0 +1,151 @@
+#include "core/guard.h"
+
+#include <algorithm>
+
+namespace guardrail {
+namespace core {
+
+const char* ErrorPolicyName(ErrorPolicy policy) {
+  switch (policy) {
+    case ErrorPolicy::kRaise:
+      return "raise";
+    case ErrorPolicy::kIgnore:
+      return "ignore";
+    case ErrorPolicy::kCoerce:
+      return "coerce";
+    case ErrorPolicy::kRectify:
+      return "rectify";
+  }
+  return "unknown";
+}
+
+void Guard::RectifyViolation(const Violation& violation, Row* row) const {
+  const Statement& stmt =
+      program_->statements[static_cast<size_t>(violation.statement_index)];
+  const Branch& fired =
+      stmt.branches[static_cast<size_t>(violation.branch_index)];
+
+  // Deviations the training data itself exhibited under this condition are
+  // the epsilon-tolerated variation of the DGP, not errors; leave them.
+  if (std::binary_search(fired.tolerated_values.begin(),
+                         fired.tolerated_values.end(), violation.actual)) {
+    return;
+  }
+
+  // Hypothesis A — the dependent cell is the error: repair it to the fired
+  // branch's assignment. Plausibility = the support of the observed
+  // determinant combination.
+  int64_t best_score = fired.support;
+  AttrIndex repair_attr = fired.target;
+  ValueId repair_value = fired.assignment;
+
+  // Hypotheses B_d — determinant d is the error: some sibling branch that
+  // differs from the fired one in exactly the d-th equality assigns exactly
+  // the observed dependent value. Plausibility = that branch's support.
+  // Ties favor A (the paper's plain dependent repair).
+  for (const Branch& sibling : stmt.branches) {
+    if (sibling.assignment != violation.actual) continue;
+    if (sibling.condition.equalities.size() !=
+        fired.condition.equalities.size()) {
+      continue;
+    }
+    int differing = -1;
+    bool comparable = true;
+    for (size_t i = 0; i < sibling.condition.equalities.size(); ++i) {
+      const auto& [attr_s, value_s] = sibling.condition.equalities[i];
+      const auto& [attr_f, value_f] = fired.condition.equalities[i];
+      if (attr_s != attr_f) {
+        comparable = false;
+        break;
+      }
+      if (value_s != value_f) {
+        if (differing >= 0) {
+          comparable = false;  // More than one corrupted determinant.
+          break;
+        }
+        differing = static_cast<int>(i);
+      }
+    }
+    if (!comparable || differing < 0) continue;
+    if (sibling.support > best_score) {
+      best_score = sibling.support;
+      repair_attr = sibling.condition.equalities[static_cast<size_t>(differing)].first;
+      repair_value =
+          sibling.condition.equalities[static_cast<size_t>(differing)].second;
+    }
+  }
+  (*row)[static_cast<size_t>(repair_attr)] = repair_value;
+}
+
+Result<Row> Guard::ProcessRow(const Row& row, ErrorPolicy policy) const {
+  std::vector<Violation> violations = interpreter_.Check(row);
+  if (violations.empty()) return row;
+  switch (policy) {
+    case ErrorPolicy::kRaise:
+      return Status::ConstraintViolation(
+          "row violates " + std::to_string(violations.size()) +
+          " integrity constraint(s)");
+    case ErrorPolicy::kIgnore:
+      return row;
+    case ErrorPolicy::kCoerce: {
+      Row out = row;
+      for (const auto& v : violations) {
+        out[static_cast<size_t>(v.attribute)] = kNullValue;
+      }
+      return out;
+    }
+    case ErrorPolicy::kRectify: {
+      Row out = row;
+      for (const auto& v : violations) RectifyViolation(v, &out);
+      return out;
+    }
+  }
+  return row;
+}
+
+GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
+  GuardOutcome outcome;
+  outcome.flagged.assign(static_cast<size_t>(table->num_rows()), false);
+  for (RowIndex r = 0; r < table->num_rows(); ++r) {
+    Row row = table->GetRow(r);
+    std::vector<Violation> violations = interpreter_.Check(row);
+    ++outcome.rows_checked;
+    if (violations.empty()) continue;
+    ++outcome.rows_flagged;
+    outcome.flagged[static_cast<size_t>(r)] = true;
+    switch (policy) {
+      case ErrorPolicy::kRaise:
+        return outcome;
+      case ErrorPolicy::kIgnore:
+        break;
+      case ErrorPolicy::kCoerce:
+        for (const auto& v : violations) {
+          table->Set(r, v.attribute, kNullValue);
+          ++outcome.cells_repaired;
+        }
+        break;
+      case ErrorPolicy::kRectify: {
+        for (const auto& v : violations) RectifyViolation(v, &row);
+        for (AttrIndex c = 0; c < table->num_columns(); ++c) {
+          if (table->Get(r, c) != row[static_cast<size_t>(c)]) {
+            table->Set(r, c, row[static_cast<size_t>(c)]);
+            ++outcome.cells_repaired;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<bool> Guard::DetectViolations(const Table& table) const {
+  std::vector<bool> flags(static_cast<size_t>(table.num_rows()), false);
+  for (RowIndex r = 0; r < table.num_rows(); ++r) {
+    flags[static_cast<size_t>(r)] = !interpreter_.Satisfies(table.GetRow(r));
+  }
+  return flags;
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,72 @@
+#ifndef GUARDRAIL_CORE_GUARD_H_
+#define GUARDRAIL_CORE_GUARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ast.h"
+#include "core/interpreter.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// Error-handling schemes (paper Sec. 7 / Example 1.2), mirroring pandas
+/// semantics plus the novel `rectify`:
+///   kRaise   — fail on the first violating row.
+///   kIgnore  — record violations, leave data untouched.
+///   kCoerce  — replace each violating dependent value with NULL.
+///   kRectify — repair the row to the most likely correct value entailed by
+///              the program: either overwrite the dependent with the fired
+///              branch's assignment, or — when the observed dependent value
+///              is better explained by a corrupted *determinant* (an
+///              alternative branch of the same statement with higher
+///              training support assigns exactly the observed value) —
+///              repair that determinant instead (MAP repair).
+enum class ErrorPolicy { kRaise, kIgnore, kCoerce, kRectify };
+
+const char* ErrorPolicyName(ErrorPolicy policy);
+
+/// Result of guarding a batch of rows.
+struct GuardOutcome {
+  int64_t rows_checked = 0;
+  int64_t rows_flagged = 0;
+  int64_t cells_repaired = 0;
+  /// Per-row violation flag, aligned with the input table.
+  std::vector<bool> flagged;
+};
+
+/// Runtime guard: vets rows against a synthesized constraint program before
+/// they reach downstream consumers (the ML model in Fig. 1).
+class Guard {
+ public:
+  explicit Guard(const Program* program)
+      : program_(program), interpreter_(program) {}
+
+  /// Applies the policy to one row. kRaise returns ConstraintViolation on a
+  /// violating row; the other policies return the (possibly repaired) row.
+  Result<Row> ProcessRow(const Row& row, ErrorPolicy policy) const;
+
+  /// Applies the policy to a whole table. With kCoerce / kRectify the table
+  /// is modified in place. With kRaise processing stops at the first
+  /// violation (the outcome still reports it).
+  GuardOutcome ProcessTable(Table* table, ErrorPolicy policy) const;
+
+  /// Pure detection: per-row violation flags (Eqn. 1), no mutation.
+  std::vector<bool> DetectViolations(const Table& table) const;
+
+  const Interpreter& interpreter() const { return interpreter_; }
+
+ private:
+  /// Applies the MAP repair for one violation to `row` (see kRectify).
+  void RectifyViolation(const Violation& violation, Row* row) const;
+
+  const Program* program_;
+  Interpreter interpreter_;
+};
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_GUARD_H_

@@ -1,0 +1,62 @@
+#include "core/interpreter.h"
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace core {
+
+int32_t Interpreter::MatchBranch(const Statement& stmt, const Row& row) {
+  for (size_t i = 0; i < stmt.branches.size(); ++i) {
+    if (stmt.branches[i].condition.Matches(row)) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+Row Interpreter::Execute(const Row& row) const {
+  Row out = row;
+  for (const auto& stmt : program_->statements) {
+    int32_t b = MatchBranch(stmt, row);
+    if (b < 0) continue;
+    const Branch& branch = stmt.branches[static_cast<size_t>(b)];
+    out[static_cast<size_t>(branch.target)] = branch.assignment;
+  }
+  return out;
+}
+
+bool Interpreter::Satisfies(const Row& row) const {
+  for (const auto& stmt : program_->statements) {
+    int32_t b = MatchBranch(stmt, row);
+    if (b < 0) continue;
+    const Branch& branch = stmt.branches[static_cast<size_t>(b)];
+    if (row[static_cast<size_t>(branch.target)] != branch.assignment) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Violation> Interpreter::Check(const Row& row) const {
+  std::vector<Violation> out;
+  for (size_t s = 0; s < program_->statements.size(); ++s) {
+    const Statement& stmt = program_->statements[s];
+    int32_t b = MatchBranch(stmt, row);
+    if (b < 0) continue;
+    const Branch& branch = stmt.branches[static_cast<size_t>(b)];
+    ValueId actual = row[static_cast<size_t>(branch.target)];
+    if (actual != branch.assignment) {
+      Violation v;
+      v.statement_index = static_cast<int32_t>(s);
+      v.branch_index = b;
+      v.attribute = branch.target;
+      v.expected = branch.assignment;
+      v.actual = actual;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace guardrail

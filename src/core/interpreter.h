@@ -1,0 +1,53 @@
+#ifndef GUARDRAIL_CORE_INTERPRETER_H_
+#define GUARDRAIL_CORE_INTERPRETER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ast.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// A detected constraint violation: executing the program assigned
+/// `expected` to `attribute`, but the row carries `actual` (Eqn. 1).
+struct Violation {
+  int32_t statement_index = 0;
+  int32_t branch_index = 0;
+  AttrIndex attribute = 0;
+  ValueId expected = kNullValue;
+  ValueId actual = kNullValue;
+};
+
+/// Denotational semantics of the DSL (paper Fig. 2): [[p]]_t executes each
+/// statement in order; within a statement the first branch whose condition
+/// matches fires and assigns the dependent attribute.
+class Interpreter {
+ public:
+  explicit Interpreter(const Program* program) : program_(program) {}
+
+  /// [[p]]_t — returns the updated state t'. The input row is evaluated
+  /// against the *original* state for condition matching of each statement
+  /// (statements describe the DGP per-attribute; determinant values are the
+  /// observed ones), while assignments accumulate into the output.
+  Row Execute(const Row& row) const;
+
+  /// The error-detection assertion of Eqn. 1: true iff [[p]]_t == t.
+  bool Satisfies(const Row& row) const;
+
+  /// All violations of `row`, one per statement whose fired branch
+  /// disagrees with the observed dependent value.
+  std::vector<Violation> Check(const Row& row) const;
+
+  /// Index of the first branch of `stmt` matching `row`, or -1.
+  static int32_t MatchBranch(const Statement& stmt, const Row& row);
+
+ private:
+  const Program* program_;
+};
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_INTERPRETER_H_

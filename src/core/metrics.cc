@@ -1,0 +1,92 @@
+#include "core/metrics.h"
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+// Evaluates a condition against table storage without materializing rows.
+bool ConditionMatchesAt(const Condition& condition, const Table& data,
+                        RowIndex row) {
+  for (const auto& [attr, value] : condition.equalities) {
+    if (data.Get(row, attr) != value) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BranchStats ComputeBranchStats(const Branch& branch, const Table& data) {
+  BranchStats stats;
+  for (RowIndex r = 0; r < data.num_rows(); ++r) {
+    if (!ConditionMatchesAt(branch.condition, data, r)) continue;
+    ++stats.support;
+    if (data.Get(r, branch.target) != branch.assignment) ++stats.loss;
+  }
+  return stats;
+}
+
+int64_t BranchLoss(const Branch& branch, const Table& data) {
+  return ComputeBranchStats(branch, data).loss;
+}
+
+double BranchCoverage(const Branch& branch, const Table& data) {
+  if (data.num_rows() == 0) return 0.0;
+  return static_cast<double>(ComputeBranchStats(branch, data).support) /
+         static_cast<double>(data.num_rows());
+}
+
+double StatementCoverage(const Statement& stmt, const Table& data) {
+  double cov = 0.0;
+  for (const auto& branch : stmt.branches) {
+    cov += BranchCoverage(branch, data);
+  }
+  return cov;
+}
+
+double ProgramCoverage(const Program& program, const Table& data) {
+  if (program.statements.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& stmt : program.statements) {
+    total += StatementCoverage(stmt, data);
+  }
+  return total / static_cast<double>(program.statements.size());
+}
+
+int64_t StatementLoss(const Statement& stmt, const Table& data) {
+  int64_t loss = 0;
+  for (const auto& branch : stmt.branches) loss += BranchLoss(branch, data);
+  return loss;
+}
+
+int64_t ProgramLoss(const Program& program, const Table& data) {
+  int64_t loss = 0;
+  for (const auto& stmt : program.statements) loss += StatementLoss(stmt, data);
+  return loss;
+}
+
+bool IsBranchEpsilonValid(const Branch& branch, const Table& data,
+                          double epsilon) {
+  BranchStats stats = ComputeBranchStats(branch, data);
+  return static_cast<double>(stats.loss) <=
+         static_cast<double>(stats.support) * epsilon;
+}
+
+bool IsStatementEpsilonValid(const Statement& stmt, const Table& data,
+                             double epsilon) {
+  for (const auto& branch : stmt.branches) {
+    if (!IsBranchEpsilonValid(branch, data, epsilon)) return false;
+  }
+  return true;
+}
+
+bool IsProgramEpsilonValid(const Program& program, const Table& data,
+                           double epsilon) {
+  for (const auto& stmt : program.statements) {
+    if (!IsStatementEpsilonValid(stmt, data, epsilon)) return false;
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,53 @@
+#ifndef GUARDRAIL_CORE_METRICS_H_
+#define GUARDRAIL_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "core/ast.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// Support and loss of a branch on a dataset (paper Eqn. 2): support is
+/// |D^b|, the rows matching the branch condition; loss counts matching rows
+/// whose dependent value disagrees with the branch assignment.
+struct BranchStats {
+  int64_t support = 0;
+  int64_t loss = 0;
+};
+
+BranchStats ComputeBranchStats(const Branch& branch, const Table& data);
+
+/// L(b, D) of Eqn. 2.
+int64_t BranchLoss(const Branch& branch, const Table& data);
+
+/// cov(b, D) = |D^b| / |D| (Eqn. 5).
+double BranchCoverage(const Branch& branch, const Table& data);
+
+/// cov(s, D) = sum of branch coverages (Eqn. 6). With disjoint equality
+/// conditions this equals |D^s| / |D|.
+double StatementCoverage(const Statement& stmt, const Table& data);
+
+/// Program coverage: average statement coverage (Sec. 2.2). Empty programs
+/// have coverage 0.
+double ProgramCoverage(const Program& program, const Table& data);
+
+/// Total loss of a statement / program: sum of branch losses.
+int64_t StatementLoss(const Statement& stmt, const Table& data);
+int64_t ProgramLoss(const Program& program, const Table& data);
+
+/// Branch-level epsilon-validity (Eqn. 3): L(b, D) <= |D^b| * epsilon.
+bool IsBranchEpsilonValid(const Branch& branch, const Table& data,
+                          double epsilon);
+
+/// Statement / program epsilon-validity (Eqns. 3-4): every branch valid.
+bool IsStatementEpsilonValid(const Statement& stmt, const Table& data,
+                             double epsilon);
+bool IsProgramEpsilonValid(const Program& program, const Table& data,
+                           double epsilon);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_METRICS_H_

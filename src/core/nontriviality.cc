@@ -1,0 +1,66 @@
+#include "core/nontriviality.h"
+
+#include <algorithm>
+
+namespace guardrail {
+namespace core {
+
+NonTrivialityChecker::NonTrivialityChecker(const Table* data,
+                                           pgm::GSquareTest::Options options)
+    : data_(data),
+      encoded_(pgm::EncodeIdentity(*data)),
+      test_(&encoded_, options) {}
+
+bool NonTrivialityChecker::DependentGiven(
+    AttrIndex x, AttrIndex y, const std::vector<int32_t>& z) const {
+  pgm::CiResult result = test_.Test(x, y, z);
+  return result.reliable && !result.independent;
+}
+
+bool NonTrivialityChecker::IsLocallyNonTrivial(
+    const StatementSketch& sketch) const {
+  for (AttrIndex det : sketch.determinants) {
+    if (DependentGiven(sketch.dependent, det, {})) return true;
+  }
+  return false;
+}
+
+bool NonTrivialityChecker::IsGloballyNonTrivial(
+    const ProgramSketch& program, const StatementSketch& sketch) const {
+  if (!IsLocallyNonTrivial(sketch)) return false;
+  for (const auto& other : program.statements) {
+    if (other == sketch) continue;
+    // Conditioning on the other statement's determinants must not make this
+    // statement's dependence vanish (Def. 4.2 / Example 4.1). Skip overlap:
+    // conditioning on the tested pair itself is meaningless.
+    std::vector<int32_t> z;
+    for (AttrIndex a : other.determinants) {
+      if (a != sketch.dependent &&
+          std::find(sketch.determinants.begin(), sketch.determinants.end(),
+                    a) == sketch.determinants.end()) {
+        z.push_back(a);
+      }
+    }
+    if (z.empty()) continue;
+    bool survives = false;
+    for (AttrIndex det : sketch.determinants) {
+      if (DependentGiven(sketch.dependent, det, z)) {
+        survives = true;
+        break;
+      }
+    }
+    if (!survives) return false;
+  }
+  return true;
+}
+
+bool NonTrivialityChecker::IsGloballyNonTrivial(
+    const ProgramSketch& program) const {
+  for (const auto& sketch : program.statements) {
+    if (!IsGloballyNonTrivial(program, sketch)) return false;
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,44 @@
+#ifndef GUARDRAIL_CORE_NONTRIVIALITY_H_
+#define GUARDRAIL_CORE_NONTRIVIALITY_H_
+
+#include "core/sketch.h"
+#include "pgm/ci_test.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// Empirical checks of the sketch-quality criteria of paper Sec. 4.1,
+/// implemented with the same G-squared machinery that drives PC.
+class NonTrivialityChecker {
+ public:
+  NonTrivialityChecker(const Table* data, pgm::GSquareTest::Options options);
+
+  /// Local non-triviality (Def. 4.1): the dependent attribute is marginally
+  /// dependent on its determinant set. Tested pairwise: dependent vs. each
+  /// determinant; any detected dependence qualifies.
+  bool IsLocallyNonTrivial(const StatementSketch& sketch) const;
+
+  /// Global non-triviality (Def. 4.2), approximated empirically: for every
+  /// other statement sketch s', the dependence of this sketch survives
+  /// conditioning on s''s determinant set (no vanishing correlation,
+  /// cf. Example 4.1).
+  bool IsGloballyNonTrivial(const ProgramSketch& program,
+                            const StatementSketch& sketch) const;
+
+  /// Whole-program GNT: every member statement passes.
+  bool IsGloballyNonTrivial(const ProgramSketch& program) const;
+
+ private:
+  bool DependentGiven(AttrIndex x, AttrIndex y,
+                      const std::vector<int32_t>& z) const;
+
+  const Table* data_;
+  pgm::EncodedData encoded_;
+  pgm::GSquareTest test_;
+};
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_NONTRIVIALITY_H_

@@ -1,0 +1,122 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+// True when every branch of `stmt` conditions on the full determinant set —
+// conditions are then mutually exclusive and branch order is irrelevant.
+bool BranchesAreDisjoint(const Statement& stmt) {
+  for (const auto& branch : stmt.branches) {
+    if (branch.condition.equalities.size() != stmt.determinants.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+NormalizeStats NormalizeProgram(Program* program) {
+  NormalizeStats stats;
+
+  // Merge statements with identical headers, preserving first-seen order of
+  // headers and branch order within.
+  std::map<std::pair<std::vector<AttrIndex>, AttrIndex>, size_t> header_index;
+  std::vector<Statement> merged;
+  for (auto& stmt : program->statements) {
+    auto key = std::make_pair(stmt.determinants, stmt.dependent);
+    auto it = header_index.find(key);
+    if (it == header_index.end()) {
+      header_index.emplace(std::move(key), merged.size());
+      merged.push_back(std::move(stmt));
+    } else {
+      Statement& target = merged[it->second];
+      for (auto& branch : stmt.branches) {
+        target.branches.push_back(std::move(branch));
+      }
+      ++stats.statements_merged;
+    }
+  }
+
+  // Remove branches dead under first-match-wins (duplicate conditions).
+  for (auto& stmt : merged) {
+    std::set<std::vector<std::pair<AttrIndex, ValueId>>> seen;
+    std::vector<Branch> kept;
+    for (auto& branch : stmt.branches) {
+      if (!seen.insert(branch.condition.equalities).second) {
+        // Identical condition as an earlier branch: unreachable.
+        bool identical_effect = false;
+        for (const auto& prior : kept) {
+          if (prior.condition == branch.condition) {
+            identical_effect = prior.assignment == branch.assignment;
+            break;
+          }
+        }
+        if (identical_effect) {
+          ++stats.duplicate_branches_removed;
+        } else {
+          ++stats.dead_branches_removed;
+        }
+        continue;
+      }
+      kept.push_back(std::move(branch));
+    }
+    stmt.branches = std::move(kept);
+  }
+
+  // Deterministic branch order where semantics permit.
+  for (auto& stmt : merged) {
+    if (BranchesAreDisjoint(stmt)) {
+      std::sort(stmt.branches.begin(), stmt.branches.end(),
+                [](const Branch& a, const Branch& b) {
+                  if (a.condition.equalities != b.condition.equalities) {
+                    return a.condition.equalities < b.condition.equalities;
+                  }
+                  return a.assignment < b.assignment;
+                });
+    }
+  }
+
+  // Drop empty statements; order the rest canonically.
+  std::vector<Statement> kept;
+  for (auto& stmt : merged) {
+    if (stmt.branches.empty()) {
+      ++stats.empty_statements_removed;
+    } else {
+      kept.push_back(std::move(stmt));
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Statement& a, const Statement& b) {
+              if (a.dependent != b.dependent) return a.dependent < b.dependent;
+              return a.determinants < b.determinants;
+            });
+  program->statements = std::move(kept);
+  return stats;
+}
+
+std::string ProgramSummary(const Program& program, const Schema& schema) {
+  std::set<AttrIndex> covered;
+  for (const auto& stmt : program.statements) covered.insert(stmt.dependent);
+  std::string out = std::to_string(program.statements.size()) +
+                    " statement(s), " + std::to_string(program.NumBranches()) +
+                    " branch(es), constraining {";
+  bool first = true;
+  for (AttrIndex a : covered) {
+    if (!first) out += ", ";
+    out += schema.attribute(a).name();
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace core
+}  // namespace guardrail

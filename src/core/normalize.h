@@ -1,0 +1,46 @@
+#ifndef GUARDRAIL_CORE_NORMALIZE_H_
+#define GUARDRAIL_CORE_NORMALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/ast.h"
+#include "table/schema.h"
+
+namespace guardrail {
+namespace core {
+
+/// What NormalizeProgram changed.
+struct NormalizeStats {
+  int64_t duplicate_branches_removed = 0;
+  int64_t dead_branches_removed = 0;
+  int64_t statements_merged = 0;
+  int64_t empty_statements_removed = 0;
+
+  bool Changed() const {
+    return duplicate_branches_removed + dead_branches_removed +
+               statements_merged + empty_statements_removed >
+           0;
+  }
+};
+
+/// Puts a program into canonical form without changing its semantics:
+///  - statements with the same (GIVEN, ON) header are merged (branch lists
+///    concatenated in order; first-match-wins semantics preserved),
+///  - branches whose condition is identical to an earlier branch of the
+///    same statement are dead under first-match-wins and are removed,
+///  - branches that both condition on the full determinant set (mutually
+///    exclusive equalities) are sorted for deterministic output,
+///  - empty statements are dropped, and statements are ordered by
+///    (dependent, determinants).
+/// Canonical form makes program equality, diffing, and golden-file tests
+/// meaningful.
+NormalizeStats NormalizeProgram(Program* program);
+
+/// Human-readable one-line summary: "#stmts / #branches / attrs covered".
+std::string ProgramSummary(const Program& program, const Schema& schema);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_NORMALIZE_H_

@@ -1,0 +1,253 @@
+#include "core/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+enum class TokenType {
+  kKeyword,     // GIVEN ON HAVING IF THEN AND
+  kIdentifier,  // attribute names, bare literals
+  kString,      // 'quoted literal'
+  kComma,
+  kEquals,
+  kArrow,  // <-
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-';
+}
+
+bool IsKeyword(const std::string& upper) {
+  return upper == "GIVEN" || upper == "ON" || upper == "HAVING" ||
+         upper == "IF" || upper == "THEN" || upper == "AND";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == ',') {
+      tok.type = TokenType::kComma;
+      ++i;
+    } else if (c == '=') {
+      tok.type = TokenType::kEquals;
+      ++i;
+    } else if (c == ';') {
+      tok.type = TokenType::kSemicolon;
+      ++i;
+    } else if (c == '<' && i + 1 < text.size() && text[i + 1] == '-') {
+      tok.type = TokenType::kArrow;
+      i += 2;
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          value += text[i + 1];
+          i += 2;
+        } else if (text[i] == '\'') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          value += text[i];
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+    } else if (IsIdentChar(c)) {
+      std::string word;
+      while (i < text.size() && IsIdentChar(text[i])) {
+        word += text[i];
+        ++i;
+      }
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", text.size()});
+  return tokens;
+}
+
+class ProgramParser {
+ public:
+  ProgramParser(std::vector<Token> tokens, Schema* schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Result<Program> Parse() {
+    Program program;
+    while (!AtEnd()) {
+      GUARDRAIL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      program.statements.push_back(std::move(stmt));
+    }
+    GUARDRAIL_RETURN_NOT_OK(ValidateProgram(program, *schema_));
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::ParseError("expected " + kw + " at offset " +
+                                std::to_string(Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const std::string& what) {
+    if (Peek().type != type) {
+      return Status::ParseError("expected " + what + " at offset " +
+                                std::to_string(Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<AttrIndex> ParseAttribute() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected attribute name at offset " +
+                                std::to_string(Peek().offset));
+    }
+    Token tok = Advance();
+    AttrIndex attr = schema_->FindAttribute(tok.text);
+    if (attr < 0) {
+      return Status::NotFound("unknown attribute '" + tok.text + "'");
+    }
+    return attr;
+  }
+
+  Result<ValueId> ParseLiteral(AttrIndex attr) {
+    if (Peek().type != TokenType::kString &&
+        Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected literal at offset " +
+                                std::to_string(Peek().offset));
+    }
+    Token tok = Advance();
+    // Unseen values extend the domain; a constraint may reference a value
+    // not present in the current sample.
+    return schema_->attribute(attr).GetOrInsert(tok.text);
+  }
+
+  Result<Branch> ParseBranch(AttrIndex expected_target) {
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("IF"));
+    Branch branch;
+    while (true) {
+      GUARDRAIL_ASSIGN_OR_RETURN(AttrIndex attr, ParseAttribute());
+      GUARDRAIL_RETURN_NOT_OK(Expect(TokenType::kEquals, "'='"));
+      GUARDRAIL_ASSIGN_OR_RETURN(ValueId value, ParseLiteral(attr));
+      branch.condition.equalities.emplace_back(attr, value);
+      if (PeekKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    std::sort(branch.condition.equalities.begin(),
+              branch.condition.equalities.end());
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("THEN"));
+    GUARDRAIL_ASSIGN_OR_RETURN(AttrIndex target, ParseAttribute());
+    if (target != expected_target) {
+      return Status::ParseError(
+          "branch assigns '" + schema_->attribute(target).name() +
+          "' but the statement's ON attribute is '" +
+          schema_->attribute(expected_target).name() + "'");
+    }
+    branch.target = target;
+    GUARDRAIL_RETURN_NOT_OK(Expect(TokenType::kArrow, "'<-'"));
+    GUARDRAIL_ASSIGN_OR_RETURN(branch.assignment, ParseLiteral(target));
+    GUARDRAIL_RETURN_NOT_OK(Expect(TokenType::kSemicolon, "';'"));
+    return branch;
+  }
+
+  Result<Statement> ParseStatement() {
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("GIVEN"));
+    Statement stmt;
+    while (true) {
+      GUARDRAIL_ASSIGN_OR_RETURN(AttrIndex attr, ParseAttribute());
+      stmt.determinants.push_back(attr);
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    std::sort(stmt.determinants.begin(), stmt.determinants.end());
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("ON"));
+    GUARDRAIL_ASSIGN_OR_RETURN(stmt.dependent, ParseAttribute());
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("HAVING"));
+    // One or more branches, each starting with IF.
+    while (PeekKeyword("IF")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(Branch branch, ParseBranch(stmt.dependent));
+      stmt.branches.push_back(std::move(branch));
+    }
+    if (stmt.branches.empty()) {
+      return Status::ParseError("statement without branches at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Schema* schema_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text, Schema* schema) {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  ProgramParser parser(std::move(tokens), schema);
+  return parser.Parse();
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,27 @@
+#ifndef GUARDRAIL_CORE_PARSER_H_
+#define GUARDRAIL_CORE_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "core/ast.h"
+#include "table/schema.h"
+
+namespace guardrail {
+namespace core {
+
+/// Parses the DSL surface syntax (see printer.h) into a resolved Program.
+///
+/// Attribute names must exist in `schema`. Literal values are resolved to
+/// dictionary codes, extending the attribute domain when the value has not
+/// been seen (a constraint may lawfully mention a value absent from the
+/// current sample). Keywords (GIVEN/ON/HAVING/IF/THEN/AND) are
+/// case-insensitive; attribute names are bare identifiers
+/// ([A-Za-z_][A-Za-z0-9_.-]*) and literals are single-quoted strings, bare
+/// numbers, or true/false.
+Result<Program> ParseProgram(std::string_view text, Schema* schema);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_PARSER_H_

@@ -1,0 +1,61 @@
+#include "core/printer.h"
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+// Single-quoted literal with backslash escapes for quote and backslash.
+std::string QuoteLiteral(const std::string& value) {
+  std::string out = "'";
+  for (char c : value) {
+    if (c == '\'' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string ValueText(const Schema& schema, AttrIndex attr, ValueId value) {
+  return QuoteLiteral(schema.attribute(attr).label(value));
+}
+
+}  // namespace
+
+std::string ToDsl(const Branch& branch, const Schema& schema) {
+  std::string out = "IF ";
+  for (size_t i = 0; i < branch.condition.equalities.size(); ++i) {
+    const auto& [attr, value] = branch.condition.equalities[i];
+    if (i > 0) out += " AND ";
+    out += schema.attribute(attr).name() + " = " +
+           ValueText(schema, attr, value);
+  }
+  if (branch.condition.equalities.empty()) out += "TRUE";
+  out += " THEN " + schema.attribute(branch.target).name() + " <- " +
+         ValueText(schema, branch.target, branch.assignment) + ";";
+  return out;
+}
+
+std::string ToDsl(const Statement& stmt, const Schema& schema) {
+  std::string out = "GIVEN ";
+  for (size_t i = 0; i < stmt.determinants.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(stmt.determinants[i]).name();
+  }
+  out += " ON " + schema.attribute(stmt.dependent).name() + " HAVING\n";
+  for (const auto& branch : stmt.branches) {
+    out += "  " + ToDsl(branch, schema) + "\n";
+  }
+  return out;
+}
+
+std::string ToDsl(const Program& program, const Schema& schema) {
+  std::string out;
+  for (const auto& stmt : program.statements) {
+    out += ToDsl(stmt, schema);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace guardrail

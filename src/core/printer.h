@@ -1,0 +1,26 @@
+#ifndef GUARDRAIL_CORE_PRINTER_H_
+#define GUARDRAIL_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/ast.h"
+#include "table/schema.h"
+
+namespace guardrail {
+namespace core {
+
+/// Renders a program in the paper's surface syntax, e.g.
+///
+///   GIVEN rel ON marital_status HAVING
+///     IF rel = 'Husband' THEN marital_status <- 'Married-civ-spouse';
+///     IF rel = 'Wife' THEN marital_status <- 'Married-civ-spouse';
+///
+/// The output round-trips through ParseProgram (parser.h).
+std::string ToDsl(const Program& program, const Schema& schema);
+std::string ToDsl(const Statement& stmt, const Schema& schema);
+std::string ToDsl(const Branch& branch, const Schema& schema);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_PRINTER_H_

@@ -1,0 +1,74 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace guardrail {
+namespace core {
+
+namespace {
+constexpr char kHeader[] = "# guardrail-program v1";
+}  // namespace
+
+std::string SerializeProgram(const Program& program, const Schema& schema,
+                             const std::string& comment) {
+  std::string out = kHeader;
+  out += "\n";
+  if (!comment.empty()) {
+    for (const std::string& line : StrSplit(comment, '\n')) {
+      out += "# " + line + "\n";
+    }
+  }
+  out += ToDsl(program, schema);
+  return out;
+}
+
+Result<Program> DeserializeProgram(const std::string& text, Schema* schema) {
+  std::string body;
+  bool header_seen = false;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    std::string_view trimmed = StrTrim(line);
+    if (StrStartsWith(trimmed, "#")) {
+      if (StrStartsWith(trimmed, "# guardrail-program")) {
+        if (trimmed != std::string_view(kHeader)) {
+          return Status::InvalidArgument(
+              "unsupported guardrail-program version: " +
+              std::string(trimmed));
+        }
+        header_seen = true;
+      }
+      continue;
+    }
+    body += line;
+    body += "\n";
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument(
+        "missing '# guardrail-program v1' header");
+  }
+  return ParseProgram(body, schema);
+}
+
+Status SaveProgramToFile(const std::string& path, const Program& program,
+                         const Schema& schema, const std::string& comment) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << SerializeProgram(program, schema, comment);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Program> LoadProgramFromFile(const std::string& path, Schema* schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DeserializeProgram(ss.str(), schema);
+}
+
+}  // namespace core
+}  // namespace guardrail

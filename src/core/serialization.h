@@ -1,0 +1,42 @@
+#ifndef GUARDRAIL_CORE_SERIALIZATION_H_
+#define GUARDRAIL_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/ast.h"
+#include "table/schema.h"
+
+namespace guardrail {
+namespace core {
+
+/// Constraint programs persist as the DSL's surface syntax plus a small
+/// header — reviewable, diffable artifacts:
+///
+///   # guardrail-program v1
+///   # <free-form comment lines>
+///   GIVEN zip ON city HAVING
+///     IF zip = '94704' THEN city <- 'Berkeley';
+///
+/// Lines starting with '#' are comments. LoadProgram resolves attribute
+/// names against `schema` (extending value domains for unseen literals,
+/// like the parser).
+
+/// Serializes `program` with the version header and an optional comment.
+std::string SerializeProgram(const Program& program, const Schema& schema,
+                             const std::string& comment = "");
+
+/// Parses text produced by SerializeProgram (or hand-written DSL with the
+/// header). Rejects unknown format versions.
+Result<Program> DeserializeProgram(const std::string& text, Schema* schema);
+
+/// File convenience wrappers.
+Status SaveProgramToFile(const std::string& path, const Program& program,
+                         const Schema& schema,
+                         const std::string& comment = "");
+Result<Program> LoadProgramFromFile(const std::string& path, Schema* schema);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_SERIALIZATION_H_

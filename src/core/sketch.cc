@@ -1,0 +1,41 @@
+#include "core/sketch.h"
+
+#include <algorithm>
+
+namespace guardrail {
+namespace core {
+
+ProgramSketch SketchFromDag(const pgm::Dag& dag) {
+  ProgramSketch sketch;
+  for (int32_t node = 0; node < dag.num_nodes(); ++node) {
+    const auto& parents = dag.parents(node);
+    if (parents.empty()) continue;
+    StatementSketch s;
+    s.dependent = node;
+    s.determinants.assign(parents.begin(), parents.end());
+    std::sort(s.determinants.begin(), s.determinants.end());
+    sketch.statements.push_back(std::move(s));
+  }
+  return sketch;
+}
+
+std::string ToString(const StatementSketch& sketch, const Schema& schema) {
+  std::string out = "GIVEN ";
+  for (size_t i = 0; i < sketch.determinants.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(sketch.determinants[i]).name();
+  }
+  out += " ON " + schema.attribute(sketch.dependent).name() + " HAVING []";
+  return out;
+}
+
+std::string ToString(const ProgramSketch& sketch, const Schema& schema) {
+  std::string out;
+  for (const auto& s : sketch.statements) {
+    out += ToString(s, schema) + "\n";
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,140 @@
+#include "core/sketch_filler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+/// Per-condition accumulator: the dependent-value histogram of the rows
+/// matching one determinant combination.
+struct ConditionGroup {
+  std::vector<ValueId> determinant_values;  // Aligned with the determinants.
+  std::unordered_map<ValueId, int64_t> dependent_histogram;
+  int64_t support = 0;
+};
+
+}  // namespace
+
+std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
+                                             const Table& data,
+                                             const FillOptions& options) {
+  GUARDRAIL_CHECK(!sketch.determinants.empty());
+  // One pass over the data groups rows by their determinant combination —
+  // this materializes exactly the warranted conditions comb(det) of
+  // Alg. 1 line 11 (the Cartesian product restricted to observed support).
+  std::unordered_map<uint64_t, ConditionGroup> groups;
+  std::vector<uint64_t> radices;
+  radices.reserve(sketch.determinants.size());
+  bool overflow = false;
+  uint64_t space = 1;
+  for (AttrIndex a : sketch.determinants) {
+    uint64_t card = static_cast<uint64_t>(
+        std::max(1, data.schema().attribute(a).domain_size()));
+    radices.push_back(card);
+    if (space > (1ULL << 62) / card) overflow = true;
+    space *= card;
+  }
+
+  std::vector<ValueId> combo(sketch.determinants.size());
+  for (RowIndex r = 0; r < data.num_rows(); ++r) {
+    bool has_null = false;
+    uint64_t key = overflow ? 1469598103934665603ULL : 0;
+    for (size_t i = 0; i < sketch.determinants.size(); ++i) {
+      ValueId v = data.Get(r, sketch.determinants[i]);
+      if (v == kNullValue) {
+        has_null = true;
+        break;
+      }
+      combo[i] = v;
+      if (overflow) {
+        key = (key ^ static_cast<uint64_t>(v + 1)) * 1099511628211ULL;
+      } else {
+        key = key * radices[i] + static_cast<uint64_t>(v);
+      }
+    }
+    if (has_null) continue;
+    ValueId dep = data.Get(r, sketch.dependent);
+    if (dep == kNullValue) continue;
+    ConditionGroup& group = groups[key];
+    if (group.support == 0) group.determinant_values = combo;
+    ++group.dependent_histogram[dep];
+    ++group.support;
+  }
+
+  // Order groups by descending support so the cap keeps the highest-impact
+  // conditions (ties by determinant values for determinism).
+  std::vector<const ConditionGroup*> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [key, group] : groups) ordered.push_back(&group);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ConditionGroup* a, const ConditionGroup* b) {
+              if (a->support != b->support) return a->support > b->support;
+              return a->determinant_values < b->determinant_values;
+            });
+  if (static_cast<int64_t>(ordered.size()) >
+      options.max_conditions_per_statement) {
+    ordered.resize(static_cast<size_t>(options.max_conditions_per_statement));
+  }
+
+  Statement stmt;
+  stmt.determinants = sketch.determinants;
+  stmt.dependent = sketch.dependent;
+  for (const ConditionGroup* group : ordered) {
+    if (group->support < options.min_branch_support) continue;
+    // arg-min-loss literal == the mode of the dependent histogram
+    // (Alg. 1 line 14). Ties broken toward the smaller code for determinism.
+    ValueId best_value = kNullValue;
+    int64_t best_count = -1;
+    for (const auto& [value, count] : group->dependent_histogram) {
+      if (count > best_count ||
+          (count == best_count && value < best_value)) {
+        best_value = value;
+        best_count = count;
+      }
+    }
+    int64_t loss = group->support - best_count;
+    // Epsilon-validity check (Alg. 1 line 15).
+    if (static_cast<double>(loss) >
+        static_cast<double>(group->support) * options.epsilon) {
+      continue;
+    }
+    Branch branch;
+    branch.target = sketch.dependent;
+    branch.assignment = best_value;
+    branch.support = group->support;
+    for (const auto& [value, count] : group->dependent_histogram) {
+      branch.tolerated_values.push_back(value);
+    }
+    std::sort(branch.tolerated_values.begin(), branch.tolerated_values.end());
+    for (size_t i = 0; i < sketch.determinants.size(); ++i) {
+      branch.condition.equalities.emplace_back(sketch.determinants[i],
+                                               group->determinant_values[i]);
+    }
+    std::sort(branch.condition.equalities.begin(),
+              branch.condition.equalities.end());
+    stmt.branches.push_back(std::move(branch));
+  }
+
+  if (stmt.branches.empty()) return std::nullopt;
+  return stmt;
+}
+
+Program FillProgramSketch(const ProgramSketch& sketch, const Table& data,
+                          const FillOptions& options) {
+  Program program;
+  for (const auto& stmt_sketch : sketch.statements) {
+    std::optional<Statement> stmt =
+        FillStatementSketch(stmt_sketch, data, options);
+    if (stmt.has_value()) program.statements.push_back(std::move(*stmt));
+  }
+  return program;
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,45 @@
+#ifndef GUARDRAIL_CORE_SKETCH_FILLER_H_
+#define GUARDRAIL_CORE_SKETCH_FILLER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/ast.h"
+#include "core/sketch.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// Knobs for Alg. 1 (Fill program sketch).
+struct FillOptions {
+  /// Branch tolerance: keep a branch when loss <= support * epsilon
+  /// (Eqn. 3).
+  double epsilon = 0.02;
+  /// Branches must be witnessed by at least this many rows; guards against
+  /// single-row "constraints" that are vacuously epsilon-valid.
+  int64_t min_branch_support = 5;
+  /// Cap on warranted conditions per statement (the observed combinations of
+  /// determinant values); statements with more distinct combinations are
+  /// truncated to the most frequent ones.
+  int64_t max_conditions_per_statement = 4096;
+};
+
+/// Fills a single statement sketch (Alg. 1, FillStmtSketch): enumerates the
+/// warranted conditions comb(det) — the observed determinant-value
+/// combinations — picks the arg-min-loss assignment for each hole, and keeps
+/// epsilon-valid branches. Returns nullopt when no branch qualifies
+/// (Alg. 1's bottom).
+std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
+                                             const Table& data,
+                                             const FillOptions& options);
+
+/// Fills a whole program sketch (Alg. 1): statements that fill to bottom are
+/// dropped.
+Program FillProgramSketch(const ProgramSketch& sketch, const Table& data,
+                          const FillOptions& options);
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_SKETCH_FILLER_H_

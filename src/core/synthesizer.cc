@@ -1,0 +1,168 @@
+#include "core/synthesizer.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/metrics.h"
+#include "core/nontriviality.h"
+#include "pgm/encoded_data.h"
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+/// Statement-level cache (Sec. 7): DAGs in one MEC share most parent sets,
+/// so FillStmtSketch results are memoized on (determinants, dependent).
+class StatementCache {
+ public:
+  const std::optional<Statement>& GetOrFill(const StatementSketch& sketch,
+                                            const Table& data,
+                                            const FillOptions& options) {
+    auto it = cache_.find(sketch);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    auto [pos, inserted] =
+        cache_.emplace(sketch, FillStatementSketch(sketch, data, options));
+    (void)inserted;
+    return pos->second;
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  std::map<StatementSketch, std::optional<Statement>> cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace
+
+SynthesisReport Synthesizer::SynthesizeFromMec(const pgm::Pdag& cpdag,
+                                               const Table& data) const {
+  SynthesisReport report;
+  report.cpdag = cpdag;
+
+  StopWatch total_watch;
+  StopWatch watch;
+  pgm::MecEnumerator::Options enum_options;
+  enum_options.max_dags = options_.max_dags;
+  // Finite-sample PC can orient conflicting colliders into a directed
+  // cycle; repair before enumerating.
+  pgm::Pdag working = cpdag;
+  pgm::RepairCpdagCycles(&working);
+  pgm::MecEnumerator enumerator(enum_options);
+  std::vector<pgm::Dag> dags = enumerator.Enumerate(working);
+  if (dags.empty()) {
+    // Finite-sample PC output occasionally admits no consistent extension
+    // (conflicting colliders). Relax the v-structure validation so Alg. 2's
+    // coverage selection can still arbitrate between acyclic orientations.
+    enum_options.strict_v_structures = false;
+    pgm::MecEnumerator relaxed(enum_options);
+    dags = relaxed.Enumerate(working);
+  }
+  if (dags.empty()) {
+    // Last resort: one greedy acyclic orientation.
+    dags.push_back(pgm::BestEffortExtension(working));
+  }
+  report.enumeration_seconds = watch.ElapsedSeconds();
+  report.num_dags_enumerated = static_cast<int64_t>(dags.size());
+
+  // Alg. 2: fill the sketch of each member DAG; keep max coverage.
+  watch.Restart();
+  StatementCache cache;
+  Program best_program;
+  ProgramSketch best_sketch;
+  double best_coverage = -1.0;
+  for (const pgm::Dag& dag : dags) {
+    ProgramSketch sketch = SketchFromDag(dag);
+    Program program;
+    for (const auto& stmt_sketch : sketch.statements) {
+      const std::optional<Statement>& stmt =
+          cache.GetOrFill(stmt_sketch, data, options_.fill);
+      if (stmt.has_value()) program.statements.push_back(*stmt);
+    }
+    double coverage = ProgramCoverage(program, data);
+    if (coverage > best_coverage) {
+      best_coverage = coverage;
+      best_program = std::move(program);
+      best_sketch = std::move(sketch);
+    }
+  }
+  report.fill_seconds = watch.ElapsedSeconds();
+  report.cache_hits = cache.hits();
+  report.cache_misses = cache.misses();
+  report.program = std::move(best_program);
+  report.chosen_sketch = std::move(best_sketch);
+  report.coverage = best_coverage < 0.0 ? 0.0 : best_coverage;
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
+SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng) const {
+  StopWatch total_watch;
+  StopWatch watch;
+  pgm::EncodedData encoded;
+  if (options_.use_auxiliary_sampler) {
+    encoded = pgm::SampleAuxiliaryDistribution(data, options_.aux, rng);
+  } else {
+    encoded = pgm::EncodeIdentity(data);
+  }
+  double sampling_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  pgm::Pdag cpdag;
+  int64_t num_ci_tests = 0;
+  if (options_.structure_method == StructureMethod::kHillClimbing) {
+    pgm::HillClimbingLearner learner(options_.hill_climbing);
+    pgm::HillClimbingLearner::LearnResult learned = learner.Learn(encoded);
+    cpdag = pgm::Pdag::FromDag(learned.dag);
+  } else {
+    pgm::PcAlgorithm pc(options_.pc);
+    pgm::PcResult pc_result = pc.Run(encoded);
+    cpdag = std::move(pc_result.cpdag);
+    num_ci_tests = pc_result.num_ci_tests;
+  }
+  double structure_seconds = watch.ElapsedSeconds();
+
+  SynthesisReport report = SynthesizeFromMec(cpdag, data);
+  report.sampling_seconds = sampling_seconds;
+  report.structure_seconds = structure_seconds;
+  report.num_ci_tests = num_ci_tests;
+
+  if (options_.enforce_gnt && !report.chosen_sketch.empty()) {
+    NonTrivialityChecker checker(&data, options_.gnt_ci);
+    ProgramSketch kept_sketch;
+    Program kept_program;
+    for (size_t i = 0; i < report.chosen_sketch.statements.size(); ++i) {
+      const StatementSketch& sketch = report.chosen_sketch.statements[i];
+      if (checker.IsGloballyNonTrivial(report.chosen_sketch, sketch)) {
+        kept_sketch.statements.push_back(sketch);
+        // The filled program may have dropped some sketch statements
+        // (bottom); match by header.
+        for (const auto& stmt : report.program.statements) {
+          if (stmt.determinants == sketch.determinants &&
+              stmt.dependent == sketch.dependent) {
+            kept_program.statements.push_back(stmt);
+            break;
+          }
+        }
+      } else {
+        ++report.gnt_statements_dropped;
+      }
+    }
+    report.chosen_sketch = std::move(kept_sketch);
+    report.program = std::move(kept_program);
+    report.coverage = ProgramCoverage(report.program, data);
+  }
+
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,102 @@
+#ifndef GUARDRAIL_CORE_SYNTHESIZER_H_
+#define GUARDRAIL_CORE_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/rng.h"
+#include "core/ast.h"
+#include "core/sketch.h"
+#include "core/sketch_filler.h"
+#include "pgm/auxiliary_sampler.h"
+#include "pgm/mec_enumerator.h"
+#include "pgm/hill_climbing.h"
+#include "pgm/pc_algorithm.h"
+#include "pgm/ci_test.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// Which structure learner produces the sketch-level graph.
+enum class StructureMethod {
+  /// Constraint-based PC (the paper's pipeline).
+  kPc,
+  /// Score-based greedy hill climbing under BIC; an ablation alternative.
+  /// The learned DAG is converted to its CPDAG so the MEC machinery of
+  /// Alg. 2 applies unchanged.
+  kHillClimbing,
+};
+
+/// End-to-end synthesis configuration (paper Secs. 3-4, 7).
+struct SynthesisOptions {
+  FillOptions fill;
+  StructureMethod structure_method = StructureMethod::kPc;
+  /// Learn the PGM on the auxiliary (binary indicator) sample instead of the
+  /// raw data (Sec. 4.6); the Table 8 ablation flips this off.
+  bool use_auxiliary_sampler = true;
+  pgm::AuxiliarySamplerOptions aux;
+  pgm::PcAlgorithm::Options pc;
+  pgm::HillClimbingLearner::Options hill_climbing;
+  /// Maximal enumeration of DAGs within the MEC (Alg. 2's bound).
+  int64_t max_dags = 500;
+  /// Post-filter the winning sketch with the empirical GNT check
+  /// (Def. 4.2). Theorem 4.1 guarantees MEC-derived sketches are GNT under
+  /// faithfulness; with finite samples the guarantee can slip, and this
+  /// drops statements whose correlation vanishes when conditioning on the
+  /// others' determinants (Example 4.1's redundancy).
+  bool enforce_gnt = false;
+  /// CI-test configuration for the GNT check (raw-data tests).
+  pgm::GSquareTest::Options gnt_ci;
+};
+
+/// Everything the pipeline produced, for experiments and diagnostics.
+struct SynthesisReport {
+  Program program;
+  ProgramSketch chosen_sketch;
+  pgm::Pdag cpdag;
+  int64_t num_dags_enumerated = 0;
+  int64_t num_ci_tests = 0;
+  double coverage = 0.0;
+
+  // Wall-clock breakdown (seconds).
+  double sampling_seconds = 0.0;
+  double structure_seconds = 0.0;
+  double enumeration_seconds = 0.0;
+  double fill_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  // Statement-level cache effectiveness (Sec. 7 "Synthesis Optimizations").
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  // Statements removed by the optional GNT post-filter.
+  int64_t gnt_statements_dropped = 0;
+};
+
+/// The Guardrail synthesizer: auxiliary sampling -> PC -> MEC enumeration ->
+/// sketch filling -> coverage-maximizing selection (Alg. 2).
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesisOptions options) : options_(options) {}
+
+  /// Synthesizes the integrity-constraint program from `data`. `rng` drives
+  /// the auxiliary sampler's pairing shuffle only; with
+  /// use_auxiliary_sampler == false the pipeline is fully deterministic.
+  SynthesisReport Synthesize(const Table& data, Rng* rng) const;
+
+  /// Alg. 2 in isolation: given a CPDAG, enumerate member DAGs, fill each
+  /// induced sketch against `data` with a shared statement cache, and return
+  /// the concrete program with maximum coverage.
+  SynthesisReport SynthesizeFromMec(const pgm::Pdag& cpdag,
+                                    const Table& data) const;
+
+ private:
+  SynthesisOptions options_;
+};
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_SYNTHESIZER_H_

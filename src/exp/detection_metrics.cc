@@ -1,0 +1,34 @@
+#include "exp/detection_metrics.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace guardrail {
+namespace exp {
+
+ConfusionCounts CountConfusion(const std::vector<bool>& predicted,
+                               const std::vector<bool>& truth) {
+  GUARDRAIL_CHECK_EQ(predicted.size(), truth.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] && truth[i]) ++c.tp;
+    else if (predicted[i] && !truth[i]) ++c.fp;
+    else if (!predicted[i] && truth[i]) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+double F1(const ConfusionCounts& c) { return F1Score(c.tp, c.fp, c.fn); }
+
+double Mcc(const ConfusionCounts& c) {
+  return MatthewsCorrelation(c.tp, c.fp, c.tn, c.fn);
+}
+
+bool IsMccDefined(const ConfusionCounts& c) {
+  return (c.tp + c.fp) > 0 && (c.tp + c.fn) > 0 && (c.tn + c.fp) > 0 &&
+         (c.tn + c.fn) > 0;
+}
+
+}  // namespace exp
+}  // namespace guardrail

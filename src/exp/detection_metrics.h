@@ -1,0 +1,33 @@
+#ifndef GUARDRAIL_EXP_DETECTION_METRICS_H_
+#define GUARDRAIL_EXP_DETECTION_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace guardrail {
+namespace exp {
+
+/// Binary confusion counts for row-level error detection.
+struct ConfusionCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+};
+
+/// Compares predicted flags against ground truth (same length).
+ConfusionCounts CountConfusion(const std::vector<bool>& predicted,
+                               const std::vector<bool>& truth);
+
+/// F1 = 2 TP / (2 TP + FP + FN); 0 when undefined.
+double F1(const ConfusionCounts& c);
+
+/// Matthews correlation coefficient; 0 when undefined (the paper prints NaN
+/// for degenerate detectors — IsMccDefined distinguishes the two).
+double Mcc(const ConfusionCounts& c);
+bool IsMccDefined(const ConfusionCounts& c);
+
+}  // namespace exp
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_EXP_DETECTION_METRICS_H_

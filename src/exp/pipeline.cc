@@ -1,0 +1,74 @@
+#include "exp/pipeline.h"
+
+#include <utility>
+
+#include "ml/automl.h"
+
+namespace guardrail {
+namespace exp {
+
+Result<std::unique_ptr<PreparedDataset>> PrepareDataset(
+    int id, const ExperimentConfig& config) {
+  auto prepared = std::make_unique<PreparedDataset>();
+  prepared->bundle = DatasetRepository::Build(id, config.row_limit);
+
+  Rng rng(config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL));
+  auto [train, test] = prepared->bundle.clean.Split(config.train_fraction, &rng);
+  prepared->train = std::move(train);
+  prepared->test_clean = std::move(test);
+
+  // Constraints from the error-free split.
+  core::Synthesizer synthesizer(config.synthesis);
+  Rng synth_rng = rng.Fork();
+  prepared->synthesis = synthesizer.Synthesize(prepared->train, &synth_rng);
+
+  // Model trained on clean data (the paper buys the model; errors live in
+  // the serving data, not the training data).
+  if (config.train_model) {
+    ml::AutoMlTrainer trainer;
+    GUARDRAIL_ASSIGN_OR_RETURN(
+        prepared->model,
+        trainer.Train(prepared->train, prepared->bundle.label_column));
+  }
+
+  // Errors injected into the serving split; the label column is protected so
+  // mis-predictions trace back to corrupted *inputs*.
+  ErrorInjectionOptions injection = config.injection;
+  injection.protected_columns.push_back(prepared->bundle.label_column);
+  if (config.restrict_errors_to_constrained) {
+    std::vector<bool> constrained(
+        static_cast<size_t>(prepared->test_clean.num_columns()), false);
+    for (const auto& stmt : prepared->synthesis.program.statements) {
+      constrained[static_cast<size_t>(stmt.dependent)] = true;
+    }
+    for (AttrIndex c = 0; c < prepared->test_clean.num_columns(); ++c) {
+      if (!constrained[static_cast<size_t>(c)]) {
+        injection.protected_columns.push_back(c);
+      }
+    }
+  }
+  Rng inject_rng = rng.Fork();
+  ErrorInjectionResult injected =
+      InjectErrors(prepared->test_clean, injection, &inject_rng);
+  prepared->test_dirty = std::move(injected.dirty);
+  prepared->errors = std::move(injected.errors);
+  prepared->row_has_error = std::move(injected.row_has_error);
+  return prepared;
+}
+
+std::vector<bool> ComputeMispredictions(const ml::Model& model,
+                                        const Table& clean,
+                                        const Table& dirty,
+                                        AttrIndex label_column) {
+  (void)label_column;
+  std::vector<bool> flags(static_cast<size_t>(clean.num_rows()), false);
+  for (RowIndex r = 0; r < clean.num_rows(); ++r) {
+    ValueId on_clean = model.Predict(clean.GetRow(r));
+    ValueId on_dirty = model.Predict(dirty.GetRow(r));
+    flags[static_cast<size_t>(r)] = on_clean != on_dirty;
+  }
+  return flags;
+}
+
+}  // namespace exp
+}  // namespace guardrail

@@ -1,0 +1,65 @@
+#ifndef GUARDRAIL_EXP_PIPELINE_H_
+#define GUARDRAIL_EXP_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/guard.h"
+#include "core/synthesizer.h"
+#include "ml/model.h"
+#include "table/dataset_repository.h"
+#include "table/error_injector.h"
+
+namespace guardrail {
+namespace exp {
+
+/// Shared experiment configuration. Defaults follow the paper's setup:
+/// constraints discovered on an error-free split, detection evaluated on an
+/// error-injected split (Sec. 8.1), 1% error rate with a 30-error floor/cap
+/// for small data.
+struct ExperimentConfig {
+  /// 0 = use each dataset's full Table-2 row count.
+  int64_t row_limit = 0;
+  double train_fraction = 0.6;
+  core::SynthesisOptions synthesis;
+  ErrorInjectionOptions injection;
+  uint64_t seed = 0xE9A1ULL;
+  /// Train the ML model (needed by Tables 1, 5, 6 and Fig. 6; RQ1 skips it).
+  bool train_model = true;
+  /// RQ2 setup (paper Sec. 8.2): "we focus on errors that are caused by the
+  /// integrity constraints to isolate the impact of undetectable errors" —
+  /// inject errors only into columns the synthesized program constrains
+  /// (statement dependents).
+  bool restrict_errors_to_constrained = false;
+};
+
+/// A dataset prepared end-to-end: synthesized constraints on the clean train
+/// split, a trained model, and an error-injected test split with ground
+/// truth.
+struct PreparedDataset {
+  DatasetBundle bundle;
+  Table train;
+  Table test_clean;
+  Table test_dirty;
+  std::vector<InjectedError> errors;
+  std::vector<bool> row_has_error;
+  core::SynthesisReport synthesis;
+  std::unique_ptr<ml::Model> model;  // Null when train_model is false.
+};
+
+/// Runs the shared pipeline for dataset `id`.
+Result<std::unique_ptr<PreparedDataset>> PrepareDataset(
+    int id, const ExperimentConfig& config);
+
+/// Per-row mis-prediction flags: model prediction on the dirty row differs
+/// from its prediction on the clean row (errors changed the model's output).
+std::vector<bool> ComputeMispredictions(const ml::Model& model,
+                                        const Table& clean,
+                                        const Table& dirty,
+                                        AttrIndex label_column);
+
+}  // namespace exp
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_EXP_PIPELINE_H_

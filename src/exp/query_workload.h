@@ -1,0 +1,42 @@
+#ifndef GUARDRAIL_EXP_QUERY_WORKLOAD_H_
+#define GUARDRAIL_EXP_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/executor.h"
+#include "table/dataset_repository.h"
+
+namespace guardrail {
+namespace exp {
+
+/// One ML-integrated SQL query of the evaluation workload.
+struct WorkloadQuery {
+  int dataset_id = 0;
+  int query_index = 0;  // 0..3 within the dataset.
+  std::string sql;
+};
+
+/// Generates the paper's 48-query workload shape: four ML-integrated queries
+/// per dataset with varied structure (filtered aggregate over a CASE WHEN on
+/// the prediction; group-by counts of predicted positives; prediction
+/// histogram; attribute rate among a predicted class). Attribute and value
+/// choices are deterministic per dataset. `table_name` and `model_name` must
+/// match the executor registrations; queries assume the model predicts the
+/// dataset's label column.
+std::vector<WorkloadQuery> GenerateWorkload(const DatasetBundle& bundle,
+                                            const std::string& table_name,
+                                            const std::string& model_name);
+
+/// Normalized L1 distance between two query results (paper Sec. 8.2):
+/// |dirty - clean|_1 over matching group keys, divided by |clean|_1. Rows
+/// are aligned on their non-numeric leading cells; missing groups count with
+/// full weight. The norm is smoothed by +1 and the result capped at 1.0
+/// (see the implementation note); returns 0 when both sides are empty.
+double RelativeQueryError(const sql::QueryResult& clean,
+                          const sql::QueryResult& dirty);
+
+}  // namespace exp
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_EXP_QUERY_WORKLOAD_H_

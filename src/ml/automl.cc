@@ -1,0 +1,142 @@
+#include "ml/automl.h"
+
+#include <algorithm>
+
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+
+namespace guardrail {
+namespace ml {
+
+namespace {
+
+class MajorityModel : public Model {
+ public:
+  MajorityModel(AttrIndex label_column, ValueId majority,
+                std::vector<double> probs)
+      : label_column_(label_column),
+        majority_(majority),
+        probs_(std::move(probs)) {}
+
+  ValueId Predict(const Row&) const override { return majority_; }
+  std::vector<double> PredictProbabilities(const Row&) const override {
+    return probs_;
+  }
+  std::string name() const override { return "majority"; }
+  AttrIndex label_column() const override { return label_column_; }
+
+ private:
+  AttrIndex label_column_;
+  ValueId majority_;
+  std::vector<double> probs_;
+};
+
+class EnsembleModel : public Model {
+ public:
+  EnsembleModel(AttrIndex label_column,
+                std::vector<std::unique_ptr<Model>> members,
+                std::vector<double> weights)
+      : label_column_(label_column),
+        members_(std::move(members)),
+        weights_(std::move(weights)) {}
+
+  ValueId Predict(const Row& row) const override {
+    std::vector<double> probs = PredictProbabilities(row);
+    return static_cast<ValueId>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+
+  std::vector<double> PredictProbabilities(const Row& row) const override {
+    std::vector<double> total;
+    for (size_t m = 0; m < members_.size(); ++m) {
+      std::vector<double> p = members_[m]->PredictProbabilities(row);
+      if (total.empty()) total.assign(p.size(), 0.0);
+      for (size_t i = 0; i < p.size(); ++i) total[i] += weights_[m] * p[i];
+    }
+    double sum = 0.0;
+    for (double t : total) sum += t;
+    if (sum > 0.0) {
+      for (double& t : total) t /= sum;
+    }
+    return total;
+  }
+
+  std::string name() const override { return "automl_ensemble"; }
+  AttrIndex label_column() const override { return label_column_; }
+
+ private:
+  AttrIndex label_column_;
+  std::vector<std::unique_ptr<Model>> members_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Model>> MajorityTrainer::Train(
+    const Table& train, AttrIndex label_column) const {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  int32_t num_labels = train.schema().attribute(label_column).domain_size();
+  std::vector<int64_t> counts(static_cast<size_t>(std::max(1, num_labels)), 0);
+  for (ValueId y : train.column(label_column)) {
+    if (y != kNullValue) ++counts[static_cast<size_t>(y)];
+  }
+  ValueId majority = 0;
+  int64_t total = 0;
+  for (size_t y = 0; y < counts.size(); ++y) {
+    total += counts[y];
+    if (counts[y] > counts[static_cast<size_t>(majority)]) {
+      majority = static_cast<ValueId>(y);
+    }
+  }
+  std::vector<double> probs(counts.size(), 0.0);
+  for (size_t y = 0; y < counts.size(); ++y) {
+    probs[y] = total > 0 ? static_cast<double>(counts[y]) /
+                               static_cast<double>(total)
+                         : 1.0 / static_cast<double>(counts.size());
+  }
+  return std::unique_ptr<Model>(
+      new MajorityModel(label_column, majority, std::move(probs)));
+}
+
+Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
+    const Table& train, AttrIndex label_column) const {
+  if (train.num_rows() < 10) {
+    return Status::InvalidArgument("too little data for AutoML");
+  }
+  Rng rng(options_.seed);
+  auto [fit_split, val_split] =
+      train.Split(1.0 - options_.validation_fraction, &rng);
+  if (val_split.num_rows() == 0 || fit_split.num_rows() == 0) {
+    return Status::InvalidArgument("degenerate validation split");
+  }
+
+  std::vector<std::unique_ptr<Trainer>> trainers;
+  trainers.emplace_back(new NaiveBayesTrainer());
+  trainers.emplace_back(new DecisionTreeTrainer());
+  trainers.emplace_back(new LogisticRegressionTrainer());
+  trainers.emplace_back(new MajorityTrainer());
+
+  std::vector<std::unique_ptr<Model>> members;
+  std::vector<double> weights;
+  for (const auto& trainer : trainers) {
+    Result<std::unique_ptr<Model>> model =
+        trainer->Train(fit_split, label_column);
+    if (!model.ok()) continue;
+    double accuracy = (*model)->Accuracy(val_split);
+    // Weight models by validation accuracy; drop clearly broken ones.
+    if (accuracy <= 0.0) continue;
+    members.push_back(std::move(*model));
+    weights.push_back(accuracy * accuracy);  // Emphasize the better models.
+  }
+  if (members.empty()) {
+    return Status::Internal("no ensemble member trained successfully");
+  }
+  return std::unique_ptr<Model>(new EnsembleModel(
+      label_column, std::move(members), std::move(weights)));
+}
+
+}  // namespace ml
+}  // namespace guardrail

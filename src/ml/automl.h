@@ -1,0 +1,46 @@
+#ifndef GUARDRAIL_ML_AUTOML_H_
+#define GUARDRAIL_ML_AUTOML_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace guardrail {
+namespace ml {
+
+/// Majority-class trainer: the trivial floor every other model must beat.
+class MajorityTrainer : public Trainer {
+ public:
+  Result<std::unique_ptr<Model>> Train(const Table& train,
+                                       AttrIndex label_column) const override;
+  std::string name() const override { return "majority"; }
+};
+
+/// Minimal AutoML standing in for autogluon (paper Sec. 7): trains several
+/// model families (naive Bayes, decision tree, majority), holds out a
+/// validation split, and serves a probability-averaged ensemble of the
+/// models weighted by validation accuracy.
+class AutoMlTrainer : public Trainer {
+ public:
+  struct Options {
+    double validation_fraction = 0.2;
+    uint64_t seed = 0x4D4C5EEDULL;
+  };
+
+  AutoMlTrainer() : options_() {}
+  explicit AutoMlTrainer(Options options) : options_(options) {}
+
+  Result<std::unique_ptr<Model>> Train(const Table& train,
+                                       AttrIndex label_column) const override;
+  std::string name() const override { return "automl_ensemble"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace ml
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ML_AUTOML_H_

@@ -1,0 +1,33 @@
+#ifndef GUARDRAIL_ML_DECISION_TREE_H_
+#define GUARDRAIL_ML_DECISION_TREE_H_
+
+#include "ml/model.h"
+
+namespace guardrail {
+namespace ml {
+
+/// Multiway categorical decision tree (ID3-style) with Gini impurity and
+/// depth / leaf-size regularization.
+class DecisionTreeTrainer : public Trainer {
+ public:
+  struct Options {
+    int32_t max_depth = 8;
+    int64_t min_samples_split = 8;
+    int64_t min_samples_leaf = 2;
+  };
+
+  DecisionTreeTrainer() : options_() {}
+  explicit DecisionTreeTrainer(Options options) : options_(options) {}
+
+  Result<std::unique_ptr<Model>> Train(const Table& train,
+                                       AttrIndex label_column) const override;
+  std::string name() const override { return "decision_tree"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace ml
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ML_DECISION_TREE_H_

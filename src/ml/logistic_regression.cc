@@ -1,0 +1,173 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace guardrail {
+namespace ml {
+
+namespace {
+
+/// Sparse one-hot layout: feature index = offset[attr] + value code; one
+/// active feature per attribute (plus a bias term at index 0).
+struct FeatureLayout {
+  std::vector<int32_t> offsets;  // Per attribute; -1 for the label column.
+  int32_t num_features = 1;      // Slot 0 is the bias.
+};
+
+/// Invokes fn(feature_index) for the bias plus one one-hot feature per
+/// non-label attribute of `row`.
+template <typename Fn>
+void ForEachActiveFeature(const FeatureLayout& layout, const Row& row,
+                          const Fn& fn) {
+  fn(0);  // Bias.
+  for (size_t a = 0; a < layout.offsets.size(); ++a) {
+    int32_t offset = layout.offsets[a];
+    if (offset < 0) continue;
+    ValueId v = row[a];
+    if (v == kNullValue) continue;
+    int32_t next = a + 1 < layout.offsets.size() && layout.offsets[a + 1] >= 0
+                       ? layout.offsets[a + 1]
+                       : layout.num_features;
+    int32_t span = next - offset;
+    if (span <= 0) continue;
+    // Out-of-vocabulary codes hash-bucket into the attribute's span
+    // (see naive_bayes.cc for rationale).
+    if (v >= span) v = v % span;
+    fn(offset + v);
+  }
+}
+
+class LogisticRegressionModel : public Model {
+ public:
+  LogisticRegressionModel(AttrIndex label_column, int32_t num_labels,
+                          FeatureLayout layout, std::vector<double> weights)
+      : label_column_(label_column),
+        num_labels_(num_labels),
+        layout_(std::move(layout)),
+        weights_(std::move(weights)) {}
+
+  ValueId Predict(const Row& row) const override {
+    std::vector<double> probs = PredictProbabilities(row);
+    return static_cast<ValueId>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+
+  std::vector<double> PredictProbabilities(const Row& row) const override {
+    std::vector<double> logits(static_cast<size_t>(num_labels_), 0.0);
+    ForEachActiveFeature(layout_, row, [&](int32_t feature) {
+      for (int32_t y = 0; y < num_labels_; ++y) {
+        logits[static_cast<size_t>(y)] += WeightAt(y, feature);
+      }
+    });
+    double mx = *std::max_element(logits.begin(), logits.end());
+    double total = 0.0;
+    std::vector<double> probs(logits.size());
+    for (size_t y = 0; y < logits.size(); ++y) {
+      probs[y] = std::exp(logits[y] - mx);
+      total += probs[y];
+    }
+    for (double& p : probs) p /= total;
+    return probs;
+  }
+
+  std::string name() const override { return "logistic_regression"; }
+  AttrIndex label_column() const override { return label_column_; }
+
+  double WeightAt(int32_t label, int32_t feature) const {
+    return weights_[static_cast<size_t>(label) *
+                        static_cast<size_t>(layout_.num_features) +
+                    static_cast<size_t>(feature)];
+  }
+
+ private:
+  AttrIndex label_column_;
+  int32_t num_labels_;
+  FeatureLayout layout_;
+  std::vector<double> weights_;  // [label][feature], row-major.
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Model>> LogisticRegressionTrainer::Train(
+    const Table& train, AttrIndex label_column) const {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  const int32_t num_labels =
+      train.schema().attribute(label_column).domain_size();
+  if (num_labels < 2) {
+    return Status::InvalidArgument("label domain must have >= 2 values");
+  }
+
+  FeatureLayout layout;
+  layout.offsets.assign(static_cast<size_t>(train.num_columns()), -1);
+  for (AttrIndex a = 0; a < train.num_columns(); ++a) {
+    if (a == label_column) continue;
+    layout.offsets[static_cast<size_t>(a)] = layout.num_features;
+    layout.num_features += train.schema().attribute(a).domain_size();
+  }
+
+  std::vector<double> weights(
+      static_cast<size_t>(num_labels) * static_cast<size_t>(layout.num_features),
+      0.0);
+
+  // SGD over shuffled epochs.
+  Rng rng(options_.seed);
+  std::vector<RowIndex> order(static_cast<size_t>(train.num_rows()));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto weight_ref = [&](int32_t label, int32_t feature) -> double& {
+    return weights[static_cast<size_t>(label) *
+                       static_cast<size_t>(layout.num_features) +
+                   static_cast<size_t>(feature)];
+  };
+
+  std::vector<int32_t> active;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate /
+                (1.0 + 0.3 * static_cast<double>(epoch));
+    for (RowIndex r : order) {
+      ValueId y = train.Get(r, label_column);
+      if (y == kNullValue) continue;
+      Row row = train.GetRow(r);
+
+      // Forward pass on current weights.
+      active.clear();
+      ForEachActiveFeature(layout, row,
+                           [&](int32_t feature) { active.push_back(feature); });
+      std::vector<double> logits(static_cast<size_t>(num_labels), 0.0);
+      for (int32_t feature : active) {
+        for (int32_t label = 0; label < num_labels; ++label) {
+          logits[static_cast<size_t>(label)] += weight_ref(label, feature);
+        }
+      }
+      double mx = *std::max_element(logits.begin(), logits.end());
+      double total = 0.0;
+      for (double& l : logits) {
+        l = std::exp(l - mx);
+        total += l;
+      }
+      // Gradient step: (p - 1[y]) per active feature, plus L2 shrinkage.
+      for (int32_t label = 0; label < num_labels; ++label) {
+        double p = logits[static_cast<size_t>(label)] / total;
+        double grad = p - (label == y ? 1.0 : 0.0);
+        for (int32_t feature : active) {
+          double& w = weight_ref(label, feature);
+          w -= lr * (grad + options_.l2 * w);
+        }
+      }
+    }
+  }
+
+  return std::unique_ptr<Model>(new LogisticRegressionModel(
+      label_column, num_labels, std::move(layout), std::move(weights)));
+}
+
+}  // namespace ml
+}  // namespace guardrail

@@ -1,0 +1,35 @@
+#ifndef GUARDRAIL_ML_LOGISTIC_REGRESSION_H_
+#define GUARDRAIL_ML_LOGISTIC_REGRESSION_H_
+
+#include "ml/model.h"
+
+namespace guardrail {
+namespace ml {
+
+/// Multinomial (softmax) logistic regression over one-hot-encoded
+/// categorical features, trained with mini-batch SGD and L2 regularization.
+/// Rounds out the AutoML ensemble with a linear model family.
+class LogisticRegressionTrainer : public Trainer {
+ public:
+  struct Options {
+    int32_t epochs = 30;
+    double learning_rate = 0.5;
+    double l2 = 1e-4;
+    uint64_t seed = 0x10615ULL;
+  };
+
+  LogisticRegressionTrainer() : options_() {}
+  explicit LogisticRegressionTrainer(Options options) : options_(options) {}
+
+  Result<std::unique_ptr<Model>> Train(const Table& train,
+                                       AttrIndex label_column) const override;
+  std::string name() const override { return "logistic_regression"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace ml
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,17 @@
+#include "ml/model.h"
+
+namespace guardrail {
+namespace ml {
+
+double Model::Accuracy(const Table& table) const {
+  if (table.num_rows() == 0) return 0.0;
+  int64_t correct = 0;
+  for (RowIndex r = 0; r < table.num_rows(); ++r) {
+    Row row = table.GetRow(r);
+    if (Predict(row) == row[static_cast<size_t>(label_column())]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace ml
+}  // namespace guardrail

@@ -1,0 +1,49 @@
+#ifndef GUARDRAIL_ML_MODEL_H_
+#define GUARDRAIL_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace ml {
+
+/// A trained categorical classifier over Table rows. Stands in for the
+/// third-party / AutoML models of the paper's ML-integrated queries: opaque
+/// predictors whose mis-predictions correlate with input data errors.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Predicts the label code for a row (schema order of the training table;
+  /// the label column's value is ignored).
+  virtual ValueId Predict(const Row& row) const = 0;
+
+  /// Class scores for a row (indexed by label code); used by ensembles.
+  virtual std::vector<double> PredictProbabilities(const Row& row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Column the model predicts.
+  virtual AttrIndex label_column() const = 0;
+
+  /// Convenience: batch accuracy against the labels stored in `table`.
+  double Accuracy(const Table& table) const;
+};
+
+/// Trainer interface: fits a model on `train` predicting `label_column`.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+  virtual Result<std::unique_ptr<Model>> Train(const Table& train,
+                                               AttrIndex label_column) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ml
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ML_MODEL_H_

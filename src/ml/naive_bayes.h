@@ -1,0 +1,30 @@
+#ifndef GUARDRAIL_ML_NAIVE_BAYES_H_
+#define GUARDRAIL_ML_NAIVE_BAYES_H_
+
+#include "ml/model.h"
+
+namespace guardrail {
+namespace ml {
+
+/// Categorical naive Bayes with Laplace smoothing.
+class NaiveBayesTrainer : public Trainer {
+ public:
+  struct Options {
+    double smoothing = 1.0;
+  };
+
+  NaiveBayesTrainer() : options_() {}
+  explicit NaiveBayesTrainer(Options options) : options_(options) {}
+
+  Result<std::unique_ptr<Model>> Train(const Table& train,
+                                       AttrIndex label_column) const override;
+  std::string name() const override { return "naive_bayes"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace ml
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ML_NAIVE_BAYES_H_

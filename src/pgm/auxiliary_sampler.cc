@@ -1,0 +1,53 @@
+#include "pgm/auxiliary_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace pgm {
+
+EncodedData SampleAuxiliaryDistribution(const Table& table,
+                                        const AuxiliarySamplerOptions& options,
+                                        Rng* rng) {
+  const int64_t n = table.num_rows();
+  const int32_t num_attrs = table.num_columns();
+
+  EncodedData out;
+  out.cardinalities.assign(static_cast<size_t>(num_attrs), 2);
+  out.columns.assign(static_cast<size_t>(num_attrs), {});
+  if (n < 2) {
+    out.num_rows = 0;
+    return out;
+  }
+
+  std::vector<RowIndex> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (options.shuffle) rng->Shuffle(&order);
+
+  int32_t shifts = std::min<int64_t>(options.num_shifts, n - 1);
+  int64_t total = static_cast<int64_t>(shifts) * n;
+  if (options.max_pairs > 0) total = std::min(total, options.max_pairs);
+
+  for (auto& col : out.columns) col.reserve(static_cast<size_t>(total));
+
+  int64_t produced = 0;
+  for (int32_t s = 1; s <= shifts && produced < total; ++s) {
+    for (int64_t i = 0; i < n && produced < total; ++i) {
+      RowIndex r1 = order[static_cast<size_t>(i)];
+      RowIndex r2 = order[static_cast<size_t>((i + s) % n)];
+      for (AttrIndex a = 0; a < num_attrs; ++a) {
+        ValueId v1 = table.Get(r1, a);
+        ValueId v2 = table.Get(r2, a);
+        out.columns[static_cast<size_t>(a)].push_back(v1 == v2 ? 1 : 0);
+      }
+      ++produced;
+    }
+  }
+  out.num_rows = produced;
+  return out;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

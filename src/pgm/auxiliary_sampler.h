@@ -1,0 +1,39 @@
+#ifndef GUARDRAIL_PGM_AUXILIARY_SAMPLER_H_
+#define GUARDRAIL_PGM_AUXILIARY_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "pgm/encoded_data.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Samples the auxiliary distribution of paper Def. 4.5: for a pair of rows
+/// (t1, t2), the k-th binary indicator is 1 iff t1(a_k) == t2(a_k). By
+/// Prop. 5 the conditional-independence structure of the indicators matches
+/// the raw attributes, so the PGM can be learned on this binary, sparsity-
+/// friendly view instead of the raw (possibly high-cardinality) data.
+struct AuxiliarySamplerOptions {
+  /// Number of circular shifts; each shift contributes one indicator row per
+  /// data row (the "circular shift trick" of Sec. 7 — pairing row i with row
+  /// (i + shift) mod n needs no random pair materialization and touches each
+  /// row exactly twice per shift).
+  int32_t num_shifts = 5;
+  /// Cap on total indicator rows (0 = unlimited).
+  int64_t max_pairs = 200000;
+  /// Rows are shuffled once before shifting so that adjacent-row artifacts
+  /// of the generation order cannot leak into the pairing.
+  bool shuffle = true;
+};
+
+/// Builds the binary indicator sample from `table`.
+EncodedData SampleAuxiliaryDistribution(const Table& table,
+                                        const AuxiliarySamplerOptions& options,
+                                        Rng* rng);
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_AUXILIARY_SAMPLER_H_

@@ -1,0 +1,43 @@
+#ifndef GUARDRAIL_PGM_BIC_SCORE_H_
+#define GUARDRAIL_PGM_BIC_SCORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pgm/dag.h"
+#include "pgm/encoded_data.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Decomposable BIC score for categorical Bayesian networks:
+///   score(G) = sum_v [ loglik(v | Pa(v)) - 0.5 * log(n) * params(v) ]
+/// where params(v) = (|v| - 1) * prod |Pa(v)| and loglik uses maximum-
+/// likelihood CPD estimates. Family scores are memoized on
+/// (variable, parent set), so hill climbing re-scores only touched
+/// families.
+class BicScorer {
+ public:
+  explicit BicScorer(const EncodedData* data);
+
+  /// Score of one family: variable v with parent set `parents` (sorted).
+  double FamilyScore(int32_t v, const std::vector<int32_t>& parents) const;
+
+  /// Total network score.
+  double Score(const Dag& dag) const;
+
+  int64_t cache_hits() const { return hits_; }
+  int64_t cache_misses() const { return misses_; }
+
+ private:
+  const EncodedData* data_;
+  mutable std::map<std::pair<int32_t, std::vector<int32_t>>, double> cache_;
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_BIC_SCORE_H_

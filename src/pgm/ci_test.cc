@@ -1,0 +1,132 @@
+#include "pgm/ci_test.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace guardrail {
+namespace pgm {
+
+GSquareTest::GSquareTest(const EncodedData* data, Options options)
+    : data_(data), options_(options) {
+  GUARDRAIL_CHECK(data != nullptr);
+}
+
+CiResult GSquareTest::Test(int32_t x, int32_t y,
+                           const std::vector<int32_t>& z) const {
+  ++num_tests_;
+  const int64_t n = data_->num_rows;
+  const int32_t kx = data_->cardinalities[static_cast<size_t>(x)];
+  const int32_t ky = data_->cardinalities[static_cast<size_t>(y)];
+
+  CiResult result;
+
+  // Power heuristic on the *full* degrees of freedom: with too few samples
+  // per cell the test has no power to reject, so report "independent, not
+  // reliable" (the PC convention for untestable pairs).
+  double full_dof = static_cast<double>(kx - 1) * static_cast<double>(ky - 1);
+  for (int32_t zi : z) {
+    full_dof *= static_cast<double>(
+        data_->cardinalities[static_cast<size_t>(zi)]);
+    if (full_dof > 1e15) break;  // Saturate; certainly unreliable.
+  }
+  if (full_dof <= 0.0 ||
+      static_cast<double>(n) < options_.min_samples_per_dof * full_dof) {
+    result.independent = true;
+    result.reliable = false;
+    return result;
+  }
+
+  const auto& cx = data_->columns[static_cast<size_t>(x)];
+  const auto& cy = data_->columns[static_cast<size_t>(y)];
+
+  // Stratify rows by the conditioning-set key; each stratum keeps a dense
+  // kx-by-ky contingency table.
+  struct Stratum {
+    std::vector<int64_t> counts;  // kx * ky
+    int64_t total = 0;
+  };
+  std::unordered_map<uint64_t, Stratum> strata;
+  strata.reserve(64);
+
+  for (int64_t r = 0; r < n; ++r) {
+    ValueId vx = cx[static_cast<size_t>(r)];
+    ValueId vy = cy[static_cast<size_t>(r)];
+    if (vx == kNullValue || vy == kNullValue) continue;
+    uint64_t key = 0;
+    bool null_in_z = false;
+    for (int32_t zi : z) {
+      ValueId vz = data_->columns[static_cast<size_t>(zi)][static_cast<size_t>(r)];
+      if (vz == kNullValue) {
+        null_in_z = true;
+        break;
+      }
+      key = key * static_cast<uint64_t>(
+                      data_->cardinalities[static_cast<size_t>(zi)]) +
+            static_cast<uint64_t>(vz);
+    }
+    if (null_in_z) continue;
+    Stratum& s = strata[key];
+    if (s.counts.empty()) {
+      s.counts.assign(static_cast<size_t>(kx) * static_cast<size_t>(ky), 0);
+    }
+    ++s.counts[static_cast<size_t>(vx) * static_cast<size_t>(ky) +
+               static_cast<size_t>(vy)];
+    ++s.total;
+  }
+
+  double g2 = 0.0;
+  double dof = 0.0;
+  std::vector<int64_t> row_margin(static_cast<size_t>(kx));
+  std::vector<int64_t> col_margin(static_cast<size_t>(ky));
+  for (const auto& [key, s] : strata) {
+    (void)key;
+    if (s.total < 2) continue;
+    std::fill(row_margin.begin(), row_margin.end(), 0);
+    std::fill(col_margin.begin(), col_margin.end(), 0);
+    for (int32_t i = 0; i < kx; ++i) {
+      for (int32_t j = 0; j < ky; ++j) {
+        int64_t c = s.counts[static_cast<size_t>(i) * ky + j];
+        row_margin[static_cast<size_t>(i)] += c;
+        col_margin[static_cast<size_t>(j)] += c;
+      }
+    }
+    int32_t nonzero_rows = 0, nonzero_cols = 0;
+    for (int64_t m : row_margin) nonzero_rows += m > 0 ? 1 : 0;
+    for (int64_t m : col_margin) nonzero_cols += m > 0 ? 1 : 0;
+    if (nonzero_rows < 2 || nonzero_cols < 2) continue;
+
+    for (int32_t i = 0; i < kx; ++i) {
+      if (row_margin[static_cast<size_t>(i)] == 0) continue;
+      for (int32_t j = 0; j < ky; ++j) {
+        int64_t obs = s.counts[static_cast<size_t>(i) * ky + j];
+        if (obs == 0) continue;
+        double expected = static_cast<double>(row_margin[static_cast<size_t>(i)]) *
+                          static_cast<double>(col_margin[static_cast<size_t>(j)]) /
+                          static_cast<double>(s.total);
+        g2 += 2.0 * static_cast<double>(obs) *
+              std::log(static_cast<double>(obs) / expected);
+      }
+    }
+    dof += static_cast<double>(nonzero_rows - 1) *
+           static_cast<double>(nonzero_cols - 1);
+  }
+
+  result.statistic = g2;
+  result.dof = dof;
+  if (dof <= 0.0) {
+    result.independent = true;
+    result.reliable = false;
+    result.p_value = 1.0;
+    return result;
+  }
+  result.p_value = ChiSquareSurvival(g2, dof);
+  result.independent = result.p_value >= options_.alpha;
+  result.reliable = true;
+  return result;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

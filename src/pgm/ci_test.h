@@ -1,0 +1,55 @@
+#ifndef GUARDRAIL_PGM_CI_TEST_H_
+#define GUARDRAIL_PGM_CI_TEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pgm/encoded_data.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Outcome of one conditional-independence test.
+struct CiResult {
+  /// True when the test could not reject independence (or lacked the power
+  /// to test at all — see `reliable`).
+  bool independent = true;
+  double p_value = 1.0;
+  double statistic = 0.0;
+  double dof = 0.0;
+  /// False when the heuristic sample-size requirement failed; the caller
+  /// (PC) then treats the pair as independent, which on sparse
+  /// high-cardinality raw data collapses the learned structure — exactly the
+  /// failure mode the auxiliary sampler exists to fix (paper Table 8).
+  bool reliable = true;
+};
+
+/// G-squared (likelihood-ratio) conditional-independence test on categorical
+/// data, the standard test driving the PC algorithm.
+class GSquareTest {
+ public:
+  struct Options {
+    /// Significance level; p < alpha rejects independence.
+    double alpha = 0.01;
+    /// Power heuristic: require at least this many samples per degree of
+    /// freedom (bnlearn-style); otherwise the test is unreliable.
+    double min_samples_per_dof = 5.0;
+  };
+
+  GSquareTest(const EncodedData* data, Options options);
+
+  /// Tests x independent-of y given the conditioning set z.
+  CiResult Test(int32_t x, int32_t y, const std::vector<int32_t>& z) const;
+
+  int64_t num_tests_run() const { return num_tests_; }
+
+ private:
+  const EncodedData* data_;
+  Options options_;
+  mutable int64_t num_tests_ = 0;
+};
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_CI_TEST_H_

@@ -1,0 +1,89 @@
+#include "pgm/d_separation.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace pgm {
+
+namespace {
+
+// Ancestors of the conditioning set (inclusive), for collider activation.
+std::vector<bool> AncestorsOf(const Dag& dag, const std::vector<int32_t>& z) {
+  std::vector<bool> is_ancestor(static_cast<size_t>(dag.num_nodes()), false);
+  std::vector<int32_t> stack(z.begin(), z.end());
+  for (int32_t v : z) is_ancestor[static_cast<size_t>(v)] = true;
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    for (int32_t p : dag.parents(v)) {
+      if (!is_ancestor[static_cast<size_t>(p)]) {
+        is_ancestor[static_cast<size_t>(p)] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return is_ancestor;
+}
+
+}  // namespace
+
+bool IsDSeparated(const Dag& dag, int32_t x, int32_t y,
+                  const std::vector<int32_t>& z) {
+  GUARDRAIL_CHECK_NE(x, y);
+  std::vector<bool> in_z(static_cast<size_t>(dag.num_nodes()), false);
+  for (int32_t v : z) {
+    GUARDRAIL_CHECK_NE(v, x);
+    GUARDRAIL_CHECK_NE(v, y);
+    in_z[static_cast<size_t>(v)] = true;
+  }
+  std::vector<bool> anc_z = AncestorsOf(dag, z);
+
+  // Reachability over (node, direction) states; direction records how the
+  // trail entered the node: true = along an incoming edge (from a parent),
+  // false = along an outgoing edge (from a child).
+  std::set<std::pair<int32_t, bool>> visited;
+  std::vector<std::pair<int32_t, bool>> frontier;
+  // Leaving x in both directions.
+  frontier.emplace_back(x, true);
+  frontier.emplace_back(x, false);
+
+  while (!frontier.empty()) {
+    auto [node, entered_via_parent] = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert({node, entered_via_parent}).second) continue;
+    if (node == y && node != x) return false;  // Active trail reached y.
+
+    bool conditioned = in_z[static_cast<size_t>(node)];
+    if (node == x) {
+      // Start node: move freely to parents and children.
+      for (int32_t p : dag.parents(node)) frontier.emplace_back(p, false);
+      for (int32_t c : dag.children(node)) frontier.emplace_back(c, true);
+      continue;
+    }
+    if (entered_via_parent) {
+      // Arrived head-on (-> node). Chain/fork continuation requires node
+      // unobserved; collider continuation (back up to parents) requires
+      // node (or a descendant) observed.
+      if (!conditioned) {
+        for (int32_t c : dag.children(node)) frontier.emplace_back(c, true);
+      }
+      if (anc_z[static_cast<size_t>(node)]) {
+        for (int32_t p : dag.parents(node)) frontier.emplace_back(p, false);
+      }
+    } else {
+      // Arrived tail-on (<- node). Continue through node only if it is
+      // unobserved: down to its other children and up to its parents.
+      if (!conditioned) {
+        for (int32_t p : dag.parents(node)) frontier.emplace_back(p, false);
+        for (int32_t c : dag.children(node)) frontier.emplace_back(c, true);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

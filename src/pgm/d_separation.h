@@ -1,0 +1,27 @@
+#ifndef GUARDRAIL_PGM_D_SEPARATION_H_
+#define GUARDRAIL_PGM_D_SEPARATION_H_
+
+#include <vector>
+
+#include "pgm/dag.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// True when x and y are d-separated by the conditioning set z in `dag`
+/// (every path between them is blocked; Def. .1 of the paper's appendix).
+/// Implemented with the standard reachability ("Bayes ball") algorithm.
+///
+/// d-separation is the graphical side of the faithfulness / Markov bridge
+/// the synthesis theory rests on: under faithfulness, d-separation in the
+/// DGP's DAG coincides with conditional independence in the data — which is
+/// exactly what the G-squared tests estimate and what the LNT/GNT criteria
+/// (Defs. 4.1-4.2) consume. Used by tests to validate PC's output against
+/// ground-truth SEM graphs.
+bool IsDSeparated(const Dag& dag, int32_t x, int32_t y,
+                  const std::vector<int32_t>& z);
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_D_SEPARATION_H_

@@ -1,0 +1,109 @@
+#include "pgm/dag.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace pgm {
+
+Dag::Dag(int32_t num_nodes) : num_nodes_(num_nodes) {
+  GUARDRAIL_CHECK_GE(num_nodes, 0);
+  parents_.resize(static_cast<size_t>(num_nodes));
+  children_.resize(static_cast<size_t>(num_nodes));
+  edge_.assign(static_cast<size_t>(num_nodes),
+               std::vector<bool>(static_cast<size_t>(num_nodes), false));
+}
+
+void Dag::AddEdge(int32_t from, int32_t to) {
+  GUARDRAIL_CHECK_GE(from, 0);
+  GUARDRAIL_CHECK_LT(from, num_nodes_);
+  GUARDRAIL_CHECK_GE(to, 0);
+  GUARDRAIL_CHECK_LT(to, num_nodes_);
+  GUARDRAIL_CHECK_NE(from, to);
+  if (edge_[static_cast<size_t>(from)][static_cast<size_t>(to)]) return;
+  edge_[static_cast<size_t>(from)][static_cast<size_t>(to)] = true;
+  children_[static_cast<size_t>(from)].push_back(to);
+  parents_[static_cast<size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+bool Dag::HasEdge(int32_t from, int32_t to) const {
+  if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_) {
+    return false;
+  }
+  return edge_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+}
+
+bool Dag::IsAcyclic() const {
+  return static_cast<int32_t>(TopologicalOrder().size()) == num_nodes_;
+}
+
+std::vector<int32_t> Dag::TopologicalOrder() const {
+  std::vector<int32_t> indegree(static_cast<size_t>(num_nodes_), 0);
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    indegree[static_cast<size_t>(v)] =
+        static_cast<int32_t>(parents_[static_cast<size_t>(v)].size());
+  }
+  std::vector<int32_t> frontier;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    if (indegree[static_cast<size_t>(v)] == 0) frontier.push_back(v);
+  }
+  std::vector<int32_t> order;
+  order.reserve(static_cast<size_t>(num_nodes_));
+  while (!frontier.empty()) {
+    int32_t v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (int32_t c : children_[static_cast<size_t>(v)]) {
+      if (--indegree[static_cast<size_t>(c)] == 0) frontier.push_back(c);
+    }
+  }
+  // Cyclic graphs yield a shorter order; callers check the length.
+  return order;
+}
+
+std::vector<std::array<int32_t, 3>> Dag::VStructures() const {
+  std::vector<std::array<int32_t, 3>> out;
+  for (int32_t w = 0; w < num_nodes_; ++w) {
+    const auto& pa = parents_[static_cast<size_t>(w)];
+    for (size_t i = 0; i < pa.size(); ++i) {
+      for (size_t j = i + 1; j < pa.size(); ++j) {
+        int32_t u = pa[i], v = pa[j];
+        if (!IsAdjacent(u, v)) {
+          out.push_back({std::min(u, v), w, std::max(u, v)});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Dag::IsMarkovEquivalent(const Dag& other) const {
+  if (num_nodes_ != other.num_nodes_) return false;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = u + 1; v < num_nodes_; ++v) {
+      if (IsAdjacent(u, v) != other.IsAdjacent(u, v)) return false;
+    }
+  }
+  return VStructures() == other.VStructures();
+}
+
+bool Dag::operator==(const Dag& other) const {
+  return num_nodes_ == other.num_nodes_ && edge_ == other.edge_;
+}
+
+std::string Dag::ToString() const {
+  std::string out;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v : children_[static_cast<size_t>(u)]) {
+      out += std::to_string(u) + " -> " + std::to_string(v) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

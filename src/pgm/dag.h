@@ -1,0 +1,70 @@
+#ifndef GUARDRAIL_PGM_DAG_H_
+#define GUARDRAIL_PGM_DAG_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace guardrail {
+namespace pgm {
+
+/// A directed acyclic graph over `num_nodes` labeled vertices (attribute
+/// indexes). Stores both parent and child lists for O(deg) traversal.
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(int32_t num_nodes);
+
+  int32_t num_nodes() const { return num_nodes_; }
+
+  /// Adds edge from -> to. Duplicate edges are ignored; self-loops are
+  /// programming errors.
+  void AddEdge(int32_t from, int32_t to);
+
+  bool HasEdge(int32_t from, int32_t to) const;
+
+  const std::vector<int32_t>& parents(int32_t node) const {
+    return parents_[static_cast<size_t>(node)];
+  }
+  const std::vector<int32_t>& children(int32_t node) const {
+    return children_[static_cast<size_t>(node)];
+  }
+
+  int64_t num_edges() const { return num_edges_; }
+
+  /// True when the directed graph has no cycle.
+  bool IsAcyclic() const;
+
+  /// Topological order (parents before children); requires acyclicity.
+  std::vector<int32_t> TopologicalOrder() const;
+
+  /// True if u and v are connected by an edge in either direction.
+  bool IsAdjacent(int32_t u, int32_t v) const {
+    return HasEdge(u, v) || HasEdge(v, u);
+  }
+
+  /// V-structures u -> w <- v with u, v non-adjacent, as sorted triples
+  /// (min(u,v), w, max(u,v)); used for Markov-equivalence checks.
+  std::vector<std::array<int32_t, 3>> VStructures() const;
+
+  /// Two DAGs are Markov equivalent iff same skeleton and same v-structures.
+  bool IsMarkovEquivalent(const Dag& other) const;
+
+  bool operator==(const Dag& other) const;
+
+  /// Multi-line debug form "0 -> 1\n0 -> 2\n...".
+  std::string ToString() const;
+
+ private:
+  int32_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<std::vector<int32_t>> parents_;
+  std::vector<std::vector<int32_t>> children_;
+  std::vector<std::vector<bool>> edge_;  // edge_[from][to]
+};
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_DAG_H_

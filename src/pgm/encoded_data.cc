@@ -1,0 +1,19 @@
+#include "pgm/encoded_data.h"
+
+namespace guardrail {
+namespace pgm {
+
+EncodedData EncodeIdentity(const Table& table) {
+  EncodedData data;
+  data.num_rows = table.num_rows();
+  data.columns.reserve(static_cast<size_t>(table.num_columns()));
+  data.cardinalities.reserve(static_cast<size_t>(table.num_columns()));
+  for (AttrIndex c = 0; c < table.num_columns(); ++c) {
+    data.columns.push_back(table.column(c));
+    data.cardinalities.push_back(table.schema().attribute(c).domain_size());
+  }
+  return data;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

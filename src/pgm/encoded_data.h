@@ -1,0 +1,31 @@
+#ifndef GUARDRAIL_PGM_ENCODED_DATA_H_
+#define GUARDRAIL_PGM_ENCODED_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Column-major integer-coded sample matrix handed to the structure-learning
+/// stack. Decouples CI tests from Table so the auxiliary (binary) sample and
+/// the raw (identity) sample share one code path.
+struct EncodedData {
+  std::vector<std::vector<ValueId>> columns;
+  std::vector<int32_t> cardinalities;
+  int64_t num_rows = 0;
+
+  int32_t num_variables() const {
+    return static_cast<int32_t>(columns.size());
+  }
+};
+
+/// Identity encoding: the raw table codes.
+EncodedData EncodeIdentity(const Table& table);
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_ENCODED_DATA_H_

@@ -1,0 +1,193 @@
+#include "pgm/hill_climbing.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace pgm {
+
+namespace {
+
+// Mutable adjacency working copy (parent sets), cheaper to edit than Dag.
+struct WorkingGraph {
+  std::vector<std::set<int32_t>> parents;
+
+  explicit WorkingGraph(int32_t n) : parents(static_cast<size_t>(n)) {}
+
+  bool HasEdge(int32_t from, int32_t to) const {
+    return parents[static_cast<size_t>(to)].count(from) > 0;
+  }
+
+  // True when adding from -> to closes a directed cycle (to reaches from).
+  bool WouldCreateCycle(int32_t from, int32_t to) const {
+    std::vector<int32_t> stack{from};
+    std::set<int32_t> seen{from};
+    while (!stack.empty()) {
+      int32_t v = stack.back();
+      stack.pop_back();
+      if (v == to) return true;
+      for (int32_t p : parents[static_cast<size_t>(v)]) {
+        if (seen.insert(p).second) stack.push_back(p);
+      }
+    }
+    return false;
+  }
+
+  Dag ToDag() const {
+    Dag dag(static_cast<int32_t>(parents.size()));
+    for (size_t v = 0; v < parents.size(); ++v) {
+      for (int32_t p : parents[v]) {
+        dag.AddEdge(p, static_cast<int32_t>(v));
+      }
+    }
+    return dag;
+  }
+};
+
+std::vector<int32_t> SortedParents(const WorkingGraph& g, int32_t v) {
+  return std::vector<int32_t>(g.parents[static_cast<size_t>(v)].begin(),
+                              g.parents[static_cast<size_t>(v)].end());
+}
+
+}  // namespace
+
+HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
+    const EncodedData& data) const {
+  const int32_t n = data.num_variables();
+  BicScorer scorer(&data);
+  WorkingGraph graph(n);
+
+  // Per-node family scores (the decomposable pieces of BIC).
+  std::vector<double> family(static_cast<size_t>(n));
+  for (int32_t v = 0; v < n; ++v) {
+    family[static_cast<size_t>(v)] = scorer.FamilyScore(v, {});
+  }
+
+  LearnResult result{Dag(n), 0.0, 0, 0};
+
+  // One candidate move: the score delta and how to apply it.
+  struct Move {
+    enum class Kind { kAdd, kDelete, kReverse } kind = Kind::kAdd;
+    int32_t from = 0, to = 0;
+    double delta = 0.0;
+    double new_to_family = 0.0;
+    double new_from_family = 0.0;  // Only for reverse.
+  };
+
+  for (int32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    Move best;
+    best.delta = options_.min_delta;
+    bool found = false;
+
+    auto consider = [&](Move move) {
+      ++result.moves_evaluated;
+      if (move.delta > best.delta) {
+        best = move;
+        found = true;
+      }
+    };
+
+    for (int32_t from = 0; from < n; ++from) {
+      for (int32_t to = 0; to < n; ++to) {
+        if (from == to) continue;
+        if (!graph.HasEdge(from, to)) {
+          // Add from -> to.
+          if (static_cast<int32_t>(
+                  graph.parents[static_cast<size_t>(to)].size()) >=
+              options_.max_parents) {
+            continue;
+          }
+          if (graph.HasEdge(to, from) || graph.WouldCreateCycle(from, to)) {
+            continue;
+          }
+          std::vector<int32_t> parents = SortedParents(graph, to);
+          parents.insert(
+              std::upper_bound(parents.begin(), parents.end(), from), from);
+          Move move;
+          move.kind = Move::Kind::kAdd;
+          move.from = from;
+          move.to = to;
+          move.new_to_family = scorer.FamilyScore(to, parents);
+          move.delta = move.new_to_family - family[static_cast<size_t>(to)];
+          consider(move);
+        } else {
+          // Delete from -> to.
+          {
+            std::vector<int32_t> parents = SortedParents(graph, to);
+            parents.erase(
+                std::find(parents.begin(), parents.end(), from));
+            Move move;
+            move.kind = Move::Kind::kDelete;
+            move.from = from;
+            move.to = to;
+            move.new_to_family = scorer.FamilyScore(to, parents);
+            move.delta = move.new_to_family - family[static_cast<size_t>(to)];
+            consider(move);
+          }
+          // Reverse from -> to into to -> from.
+          if (static_cast<int32_t>(
+                  graph.parents[static_cast<size_t>(from)].size()) <
+              options_.max_parents) {
+            // Check acyclicity of the reversal: remove, then test to->from.
+            graph.parents[static_cast<size_t>(to)].erase(from);
+            bool cyclic = graph.WouldCreateCycle(to, from);
+            graph.parents[static_cast<size_t>(to)].insert(from);
+            if (!cyclic) {
+              std::vector<int32_t> to_parents = SortedParents(graph, to);
+              to_parents.erase(
+                  std::find(to_parents.begin(), to_parents.end(), from));
+              std::vector<int32_t> from_parents = SortedParents(graph, from);
+              from_parents.insert(
+                  std::upper_bound(from_parents.begin(), from_parents.end(),
+                                   to),
+                  to);
+              Move move;
+              move.kind = Move::Kind::kReverse;
+              move.from = from;
+              move.to = to;
+              move.new_to_family = scorer.FamilyScore(to, to_parents);
+              move.new_from_family = scorer.FamilyScore(from, from_parents);
+              move.delta =
+                  (move.new_to_family - family[static_cast<size_t>(to)]) +
+                  (move.new_from_family - family[static_cast<size_t>(from)]);
+              consider(move);
+            }
+          }
+        }
+      }
+    }
+
+    if (!found) break;
+    switch (best.kind) {
+      case Move::Kind::kAdd:
+        graph.parents[static_cast<size_t>(best.to)].insert(best.from);
+        family[static_cast<size_t>(best.to)] = best.new_to_family;
+        break;
+      case Move::Kind::kDelete:
+        graph.parents[static_cast<size_t>(best.to)].erase(best.from);
+        family[static_cast<size_t>(best.to)] = best.new_to_family;
+        break;
+      case Move::Kind::kReverse:
+        graph.parents[static_cast<size_t>(best.to)].erase(best.from);
+        graph.parents[static_cast<size_t>(best.from)].insert(best.to);
+        family[static_cast<size_t>(best.to)] = best.new_to_family;
+        family[static_cast<size_t>(best.from)] = best.new_from_family;
+        break;
+    }
+    result.iterations = iter + 1;
+  }
+
+  result.dag = graph.ToDag();
+  GUARDRAIL_CHECK(result.dag.IsAcyclic());
+  result.score = 0.0;
+  for (int32_t v = 0; v < n; ++v) {
+    result.score += family[static_cast<size_t>(v)];
+  }
+  return result;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

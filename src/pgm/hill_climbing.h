@@ -1,0 +1,46 @@
+#ifndef GUARDRAIL_PGM_HILL_CLIMBING_H_
+#define GUARDRAIL_PGM_HILL_CLIMBING_H_
+
+#include <cstdint>
+
+#include "pgm/bic_score.h"
+#include "pgm/dag.h"
+#include "pgm/encoded_data.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Score-based structure learning: greedy hill climbing over DAGs with
+/// add / delete / reverse edge moves under the decomposable BIC score.
+/// An alternative to the constraint-based PC algorithm for the sketch-
+/// learning stage; ablation-compared in bench/ablation_structure_learners.
+class HillClimbingLearner {
+ public:
+  struct Options {
+    /// In-degree cap (keeps CPDs estimable and sketches fillable).
+    int32_t max_parents = 3;
+    /// Upper bound on greedy improvement rounds.
+    int32_t max_iterations = 200;
+    /// Minimum score improvement to accept a move.
+    double min_delta = 1e-6;
+  };
+
+  struct LearnResult {
+    Dag dag;
+    double score = 0.0;
+    int32_t iterations = 0;
+    int64_t moves_evaluated = 0;
+  };
+
+  explicit HillClimbingLearner(Options options) : options_(options) {}
+
+  LearnResult Learn(const EncodedData& data) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_HILL_CLIMBING_H_

@@ -1,0 +1,227 @@
+#include "pgm/mec_enumerator.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "pgm/meek_rules.h"
+
+namespace guardrail {
+namespace pgm {
+
+namespace {
+
+using VStructureSet = std::vector<std::array<int32_t, 3>>;
+
+// Colliders already compelled in the CPDAG: u -> w <- v with u, v
+// non-adjacent. Every member DAG of the MEC has exactly this collider set.
+VStructureSet CpdagVStructures(const Pdag& g) {
+  VStructureSet out;
+  const int32_t n = g.num_nodes();
+  for (int32_t w = 0; w < n; ++w) {
+    std::vector<int32_t> parents = g.DirectedParents(w);
+    for (size_t i = 0; i < parents.size(); ++i) {
+      for (size_t j = i + 1; j < parents.size(); ++j) {
+        int32_t u = parents[i], v = parents[j];
+        if (!g.IsAdjacent(u, v)) {
+          out.push_back({std::min(u, v), w, std::max(u, v)});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string DagKey(const Dag& dag) {
+  std::string key;
+  key.reserve(static_cast<size_t>(dag.num_nodes()) *
+              static_cast<size_t>(dag.num_nodes()));
+  for (int32_t u = 0; u < dag.num_nodes(); ++u) {
+    for (int32_t v = 0; v < dag.num_nodes(); ++v) {
+      key += dag.HasEdge(u, v) ? '1' : '0';
+    }
+  }
+  return key;
+}
+
+struct EnumerationState {
+  const VStructureSet* reference;
+  bool strict = true;
+  int64_t max_dags;
+  std::vector<Dag>* out;
+  std::set<std::string>* seen;
+};
+
+void Recurse(Pdag graph, EnumerationState* state) {
+  if (static_cast<int64_t>(state->out->size()) >= state->max_dags) return;
+  ApplyMeekRules(&graph);
+  if (graph.HasDirectedCycle()) return;
+
+  auto undirected = graph.UndirectedEdges();
+  if (undirected.empty()) {
+    Result<Dag> dag = graph.ToDag();
+    if (!dag.ok()) return;
+    // A valid member keeps the compelled collider set intact: no collider
+    // may be destroyed, and no new unshielded collider may appear.
+    if (state->strict && dag->VStructures() != *state->reference) return;
+    std::string key = DagKey(*dag);
+    if (state->seen->insert(std::move(key)).second) {
+      state->out->push_back(std::move(*dag));
+    }
+    return;
+  }
+
+  auto [u, v] = undirected.front();
+  {
+    Pdag forward = graph;
+    forward.Orient(u, v);
+    Recurse(std::move(forward), state);
+  }
+  {
+    Pdag backward = graph;
+    backward.Orient(v, u);
+    Recurse(std::move(backward), state);
+  }
+}
+
+}  // namespace
+
+std::vector<Dag> MecEnumerator::Enumerate(const Pdag& cpdag) const {
+  std::vector<Dag> out;
+  std::set<std::string> seen;
+  VStructureSet reference = CpdagVStructures(cpdag);
+  EnumerationState state{&reference, options_.strict_v_structures,
+                         options_.max_dags, &out, &seen};
+  Recurse(cpdag, &state);
+  return out;
+}
+
+int64_t MecEnumerator::CountMembers(const Pdag& cpdag) const {
+  return static_cast<int64_t>(Enumerate(cpdag).size());
+}
+
+std::vector<Dag> BruteForceMecMembers(const Pdag& cpdag) {
+  auto undirected = cpdag.UndirectedEdges();
+  const size_t m = undirected.size();
+  GUARDRAIL_CHECK_LE(m, 20u) << "brute force is for small graphs only";
+  VStructureSet reference = CpdagVStructures(cpdag);
+
+  std::vector<Dag> out;
+  for (uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    Pdag g = cpdag;
+    for (size_t i = 0; i < m; ++i) {
+      auto [u, v] = undirected[i];
+      if (mask & (1ULL << i)) {
+        g.Orient(u, v);
+      } else {
+        g.Orient(v, u);
+      }
+    }
+    Result<Dag> dag = g.ToDag();
+    if (!dag.ok()) continue;
+    if (dag->VStructures() != reference) continue;
+    out.push_back(std::move(*dag));
+  }
+  return out;
+}
+
+int RepairCpdagCycles(Pdag* cpdag) {
+  const int32_t n = cpdag->num_nodes();
+  if (!cpdag->HasDirectedCycle()) return 0;
+  // Kosaraju SCC over the directed subgraph.
+  std::vector<int32_t> order;
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  // First pass: finish order.
+  for (int32_t start = 0; start < n; ++start) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    std::vector<std::pair<int32_t, int32_t>> stack{{start, 0}};
+    visited[static_cast<size_t>(start)] = true;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      bool descended = false;
+      for (int32_t v = next; v < n; ++v) {
+        if (v != node && cpdag->HasDirectedEdge(node, v) &&
+            !visited[static_cast<size_t>(v)]) {
+          next = v + 1;
+          visited[static_cast<size_t>(v)] = true;
+          stack.emplace_back(v, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        order.push_back(stack.back().first);
+        stack.pop_back();
+      }
+    }
+  }
+  // Second pass on the transpose, in reverse finish order.
+  std::vector<int32_t> component(static_cast<size_t>(n), -1);
+  int32_t num_components = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (component[static_cast<size_t>(*it)] >= 0) continue;
+    int32_t id = num_components++;
+    std::vector<int32_t> stack{*it};
+    component[static_cast<size_t>(*it)] = id;
+    while (!stack.empty()) {
+      int32_t u = stack.back();
+      stack.pop_back();
+      for (int32_t v = 0; v < n; ++v) {
+        if (v != u && cpdag->HasDirectedEdge(v, u) &&
+            component[static_cast<size_t>(v)] < 0) {
+          component[static_cast<size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  // Downgrade intra-SCC directed edges.
+  int downgraded = 0;
+  for (int32_t u = 0; u < n; ++u) {
+    for (int32_t v = 0; v < n; ++v) {
+      if (u != v && cpdag->HasDirectedEdge(u, v) &&
+          component[static_cast<size_t>(u)] ==
+              component[static_cast<size_t>(v)]) {
+        cpdag->AddUndirectedEdge(u, v);
+        ++downgraded;
+      }
+    }
+  }
+  return downgraded;
+}
+
+Dag BestEffortExtension(const Pdag& cpdag) {
+  Pdag g = cpdag;
+  // Break any directed cycle introduced by finite-sample orientation noise:
+  // drop the reverse arc of cycles by downgrading conflicting arcs. We only
+  // guard the greedy loop below; the directed part of a PC output is
+  // acyclic in all but pathological cases.
+  for (const auto& [u, v] : g.UndirectedEdges()) {
+    Pdag trial = g;
+    trial.Orient(u, v);
+    if (trial.HasDirectedCycle()) {
+      Pdag other = g;
+      other.Orient(v, u);
+      if (other.HasDirectedCycle()) {
+        // Both directions close a cycle; remove the edge entirely.
+        g.RemoveEdge(u, v);
+        continue;
+      }
+      g = std::move(other);
+    } else {
+      g = std::move(trial);
+    }
+  }
+  if (g.HasDirectedCycle()) {
+    // Pathological input: fall back to an empty graph rather than abort.
+    return Dag(cpdag.num_nodes());
+  }
+  Result<Dag> dag = g.ToDag();
+  if (!dag.ok()) return Dag(cpdag.num_nodes());
+  return std::move(*dag);
+}
+
+}  // namespace pgm
+}  // namespace guardrail

@@ -1,0 +1,72 @@
+#ifndef GUARDRAIL_PGM_MEC_ENUMERATOR_H_
+#define GUARDRAIL_PGM_MEC_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pgm/dag.h"
+#include "pgm/pdag.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Enumerates the DAG members of the Markov equivalence class represented by
+/// a CPDAG (paper Alg. 2 line 2 and the Table 7 "# DAGs (w/ MEC)" column;
+/// stands in for the Julia PDAG-enumeration library [36]).
+///
+/// Strategy: recursively pick an undirected edge, try both orientations,
+/// close each choice under Meek rules, and prune branches that develop a
+/// directed cycle. Leaves are validated to have the CPDAG's skeleton and
+/// v-structures and deduplicated, so the output is exactly the MEC even if a
+/// Meek closure is conservative.
+class MecEnumerator {
+ public:
+  struct Options {
+    /// Stop after this many DAGs (the paper bounds the enumeration too).
+    int64_t max_dags = 100000;
+    /// When true (the default), leaves must reproduce the CPDAG's collider
+    /// set exactly — the output is the precise MEC. When false, any acyclic
+    /// extension that respects the already-directed edges is emitted; used
+    /// as a recovery mode when finite-sample PC output is not a valid CPDAG
+    /// (the strict MEC is then empty) so that Alg. 2's coverage selection
+    /// can still arbitrate between orientations.
+    bool strict_v_structures = true;
+  };
+
+  MecEnumerator() : options_(Options()) {}
+  explicit MecEnumerator(Options options) : options_(options) {}
+
+  /// All consistent DAG extensions of `cpdag` (up to max_dags).
+  std::vector<Dag> Enumerate(const Pdag& cpdag) const;
+
+  /// Number of members only (same bound applies).
+  int64_t CountMembers(const Pdag& cpdag) const;
+
+ private:
+  Options options_;
+};
+
+/// Brute-force reference: enumerates every DAG on `num_nodes` vertices whose
+/// skeleton and v-structures match `cpdag`. Exponential; only for testing
+/// the enumerator on small graphs.
+std::vector<Dag> BruteForceMecMembers(const Pdag& cpdag);
+
+/// Repairs a finite-sample "CPDAG" whose compelled (directed) part contains
+/// directed cycles — possible when PC orients conflicting colliders. Every
+/// directed edge lying inside a strongly connected component of the directed
+/// subgraph is downgraded to undirected, making the compelled part acyclic
+/// while keeping all skeleton information. Returns the number of downgraded
+/// edges.
+int RepairCpdagCycles(Pdag* cpdag);
+
+/// Orients the remaining undirected edges of `cpdag` greedily, avoiding
+/// directed cycles but not enforcing v-structure preservation. Finite-sample
+/// PC output is occasionally not a valid CPDAG (no consistent extension
+/// exists); the synthesizer falls back to this so it always has at least one
+/// candidate DAG.
+Dag BestEffortExtension(const Pdag& cpdag);
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_MEC_ENUMERATOR_H_

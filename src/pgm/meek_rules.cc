@@ -1,0 +1,77 @@
+#include "pgm/meek_rules.h"
+
+namespace guardrail {
+namespace pgm {
+
+namespace {
+
+// Orients x - y into x -> y when one of Meek's antecedents holds. Returns
+// true if the edge was oriented.
+bool TryOrient(Pdag* g, int32_t x, int32_t y) {
+  const int32_t n = g->num_nodes();
+
+  // R1: z -> x, z and y non-adjacent  =>  x -> y.
+  for (int32_t z = 0; z < n; ++z) {
+    if (z == x || z == y) continue;
+    if (g->HasDirectedEdge(z, x) && !g->IsAdjacent(z, y)) {
+      g->Orient(x, y);
+      return true;
+    }
+  }
+  // R2: x -> z -> y  =>  x -> y.
+  for (int32_t z = 0; z < n; ++z) {
+    if (z == x || z == y) continue;
+    if (g->HasDirectedEdge(x, z) && g->HasDirectedEdge(z, y)) {
+      g->Orient(x, y);
+      return true;
+    }
+  }
+  // R3: x - z, x - w, z -> y, w -> y, z and w non-adjacent  =>  x -> y.
+  for (int32_t z = 0; z < n; ++z) {
+    if (z == x || z == y) continue;
+    if (!g->HasUndirectedEdge(x, z) || !g->HasDirectedEdge(z, y)) continue;
+    for (int32_t w = z + 1; w < n; ++w) {
+      if (w == x || w == y) continue;
+      if (g->HasUndirectedEdge(x, w) && g->HasDirectedEdge(w, y) &&
+          !g->IsAdjacent(z, w)) {
+        g->Orient(x, y);
+        return true;
+      }
+    }
+  }
+  // R4: chains x - z -> w and z -> w -> y with z and y non-adjacent and
+  // x adjacent to w  =>  x -> y.
+  for (int32_t z = 0; z < n; ++z) {
+    if (z == x || z == y) continue;
+    if (!g->HasUndirectedEdge(x, z)) continue;
+    for (int32_t w = 0; w < n; ++w) {
+      if (w == x || w == y || w == z) continue;
+      if (g->HasDirectedEdge(z, w) && g->HasDirectedEdge(w, y) &&
+          !g->IsAdjacent(z, y) && g->IsAdjacent(x, w)) {
+        g->Orient(x, y);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int ApplyMeekRules(Pdag* graph) {
+  int oriented = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [u, v] : graph->UndirectedEdges()) {
+      if (TryOrient(graph, u, v) || TryOrient(graph, v, u)) {
+        ++oriented;
+        changed = true;
+      }
+    }
+  }
+  return oriented;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

@@ -1,0 +1,25 @@
+#ifndef GUARDRAIL_PGM_MEEK_RULES_H_
+#define GUARDRAIL_PGM_MEEK_RULES_H_
+
+#include "pgm/pdag.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Applies Meek's orientation rules R1-R4 to `graph` until a fixed point.
+///
+///   R1: a -> b, b - c, a and c non-adjacent        => b -> c
+///   R2: a -> b -> c, a - c                         => a -> c
+///   R3: a - b, a - c, a - d, c -> b, d -> b,
+///       c and d non-adjacent                       => a -> b
+///   R4: a - b, a - c (or a adjacent to c),
+///       c -> d, d -> b, a - d? (standard form)     => a -> b
+///
+/// Returns the number of edges oriented. The rules never orient an edge both
+/// ways; they only refine undirected edges.
+int ApplyMeekRules(Pdag* graph);
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_MEEK_RULES_H_

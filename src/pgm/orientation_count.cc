@@ -1,0 +1,156 @@
+#include "pgm/orientation_count.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace guardrail {
+namespace pgm {
+
+namespace {
+
+// A small mutable simple graph in edge-list-over-adjacency-set form, with a
+// canonical string key for memoization.
+struct SimpleGraph {
+  int32_t n = 0;
+  // Upper-triangular adjacency, adj[u] holds v > u.
+  std::vector<std::vector<int32_t>> adj;
+
+  int64_t NumEdges() const {
+    int64_t m = 0;
+    for (const auto& row : adj) m += static_cast<int64_t>(row.size());
+    return m;
+  }
+
+  std::string Key() const {
+    std::string key = std::to_string(n) + ":";
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v : adj[static_cast<size_t>(u)]) {
+        key += std::to_string(u) + "," + std::to_string(v) + ";";
+      }
+    }
+    return key;
+  }
+};
+
+struct Counter {
+  std::unordered_map<std::string, double> memo;
+  int64_t work = 0;
+  int64_t max_work = 0;
+  bool exhausted = false;
+};
+
+// a(G) = a(G - e) + a(G / e); a(edgeless on n vertices) = 1.
+double Count(SimpleGraph g, Counter* counter) {
+  if (counter->exhausted) return 0.0;
+  if (++counter->work > counter->max_work) {
+    counter->exhausted = true;
+    return 0.0;
+  }
+  if (g.NumEdges() == 0) return 1.0;
+  std::string key = g.Key();
+  auto it = counter->memo.find(key);
+  if (it != counter->memo.end()) return it->second;
+
+  // Pick the first edge (u, v).
+  int32_t u = -1, v = -1;
+  for (int32_t i = 0; i < g.n && u < 0; ++i) {
+    if (!g.adj[static_cast<size_t>(i)].empty()) {
+      u = i;
+      v = g.adj[static_cast<size_t>(i)].front();
+    }
+  }
+
+  // Deletion: remove (u, v).
+  SimpleGraph deleted = g;
+  auto& du = deleted.adj[static_cast<size_t>(u)];
+  du.erase(std::find(du.begin(), du.end(), v));
+  double a_del = Count(std::move(deleted), counter);
+
+  // Contraction: merge v into u, relabel w > v to w - 1, dedupe edges.
+  SimpleGraph contracted;
+  contracted.n = g.n - 1;
+  contracted.adj.assign(static_cast<size_t>(contracted.n), {});
+  auto relabel = [&](int32_t w) {
+    if (w == v) return u;
+    return w > v ? w - 1 : w;
+  };
+  for (int32_t a = 0; a < g.n; ++a) {
+    for (int32_t b : g.adj[static_cast<size_t>(a)]) {
+      int32_t ra = relabel(a), rb = relabel(b);
+      if (ra == rb) continue;  // The contracted edge itself.
+      int32_t lo = std::min(ra, rb), hi = std::max(ra, rb);
+      auto& row = contracted.adj[static_cast<size_t>(lo)];
+      if (std::find(row.begin(), row.end(), hi) == row.end()) {
+        row.push_back(hi);
+      }
+    }
+  }
+  for (auto& row : contracted.adj) std::sort(row.begin(), row.end());
+  double a_con = Count(std::move(contracted), counter);
+
+  double total = a_del + a_con;
+  counter->memo.emplace(std::move(key), total);
+  return total;
+}
+
+}  // namespace
+
+double CountAcyclicOrientations(const Pdag& graph, int64_t max_work) {
+  const int32_t n = graph.num_nodes();
+  // Split into connected components of the skeleton; the total count is the
+  // product over components.
+  std::vector<int32_t> component(static_cast<size_t>(n), -1);
+  int32_t num_components = 0;
+  for (int32_t s = 0; s < n; ++s) {
+    if (component[static_cast<size_t>(s)] >= 0) continue;
+    int32_t id = num_components++;
+    std::vector<int32_t> stack{s};
+    component[static_cast<size_t>(s)] = id;
+    while (!stack.empty()) {
+      int32_t u = stack.back();
+      stack.pop_back();
+      for (int32_t v = 0; v < n; ++v) {
+        if (v != u && graph.IsAdjacent(u, v) &&
+            component[static_cast<size_t>(v)] < 0) {
+          component[static_cast<size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  double total = 1.0;
+  for (int32_t c = 0; c < num_components; ++c) {
+    // Gather and relabel the component's vertices.
+    std::vector<int32_t> verts;
+    for (int32_t v = 0; v < n; ++v) {
+      if (component[static_cast<size_t>(v)] == c) verts.push_back(v);
+    }
+    SimpleGraph g;
+    g.n = static_cast<int32_t>(verts.size());
+    g.adj.assign(static_cast<size_t>(g.n), {});
+    for (int32_t i = 0; i < g.n; ++i) {
+      for (int32_t j = i + 1; j < g.n; ++j) {
+        if (graph.IsAdjacent(verts[static_cast<size_t>(i)],
+                             verts[static_cast<size_t>(j)])) {
+          g.adj[static_cast<size_t>(i)].push_back(j);
+        }
+      }
+    }
+    Counter counter;
+    counter.max_work = max_work;
+    double count = Count(std::move(g), &counter);
+    if (counter.exhausted) return std::numeric_limits<double>::infinity();
+    total *= count;
+    if (total > 1e300) return std::numeric_limits<double>::infinity();
+  }
+  return total;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

@@ -1,0 +1,26 @@
+#ifndef GUARDRAIL_PGM_ORIENTATION_COUNT_H_
+#define GUARDRAIL_PGM_ORIENTATION_COUNT_H_
+
+#include <cstdint>
+
+#include "pgm/pdag.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Counts the acyclic orientations of the *skeleton* of `graph` — the size
+/// of the DAG search space when the MEC's orientation information is thrown
+/// away (the "# DAGs (w/o MEC)" column of paper Table 7).
+///
+/// Uses Stanley's theorem: the number of acyclic orientations of G equals
+/// |chi_G(-1)|, computed by the deletion-contraction recurrence
+/// a(G) = a(G - e) + a(G / e), per connected component, with memoization.
+/// Returns +infinity (as a double) when the count exceeds ~1e300 or when a
+/// component is too dense to finish within the work budget.
+double CountAcyclicOrientations(const Pdag& graph,
+                                int64_t max_work = 50'000'000);
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_ORIENTATION_COUNT_H_

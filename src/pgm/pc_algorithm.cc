@@ -1,0 +1,116 @@
+#include "pgm/pc_algorithm.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "pgm/meek_rules.h"
+
+namespace guardrail {
+namespace pgm {
+
+namespace {
+
+// Enumerates all size-k subsets of `pool`, invoking `fn(subset)`; stops early
+// when fn returns true (subset accepted). Returns whether fn accepted.
+bool ForEachSubset(const std::vector<int32_t>& pool, int32_t k,
+                   const std::function<bool(const std::vector<int32_t>&)>& fn) {
+  const int32_t n = static_cast<int32_t>(pool.size());
+  if (k > n) return false;
+  std::vector<int32_t> idx(static_cast<size_t>(k));
+  for (int32_t i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
+  std::vector<int32_t> subset(static_cast<size_t>(k));
+  while (true) {
+    for (int32_t i = 0; i < k; ++i) {
+      subset[static_cast<size_t>(i)] = pool[static_cast<size_t>(idx[static_cast<size_t>(i)])];
+    }
+    if (fn(subset)) return true;
+    // Advance the combination.
+    int32_t i = k - 1;
+    while (i >= 0 && idx[static_cast<size_t>(i)] == n - k + i) --i;
+    if (i < 0) return false;
+    ++idx[static_cast<size_t>(i)];
+    for (int32_t j = i + 1; j < k; ++j) {
+      idx[static_cast<size_t>(j)] = idx[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+PcResult PcAlgorithm::Run(const EncodedData& data) const {
+  const int32_t n = data.num_variables();
+  PcResult result;
+  result.cpdag = Pdag::CompleteUndirected(n);
+  GSquareTest test(&data, options_.ci_options);
+
+  Pdag& g = result.cpdag;
+
+  // ---- Phase 1: skeleton discovery (PC-stable). ----
+  for (int32_t level = 0; level <= options_.max_condition_size; ++level) {
+    // PC-stable: freeze the adjacency sets for this level so the outcome is
+    // independent of edge-processing order.
+    std::vector<std::vector<int32_t>> frozen_adj(static_cast<size_t>(n));
+    for (int32_t u = 0; u < n; ++u) frozen_adj[static_cast<size_t>(u)] = g.AdjacentNodes(u);
+
+    bool any_testable = false;
+    std::vector<std::pair<int32_t, int32_t>> to_remove;
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v : frozen_adj[static_cast<size_t>(u)]) {
+        if (!g.IsAdjacent(u, v)) continue;  // Removed earlier this level.
+        // Conditioning candidates: adj(u) \ {v}.
+        std::vector<int32_t> pool;
+        for (int32_t w : frozen_adj[static_cast<size_t>(u)]) {
+          if (w != v) pool.push_back(w);
+        }
+        if (static_cast<int32_t>(pool.size()) < level) continue;
+        any_testable = true;
+        bool removed = ForEachSubset(
+            pool, level, [&](const std::vector<int32_t>& subset) {
+              CiResult ci = test.Test(u, v, subset);
+              if (!ci.reliable) ++result.num_unreliable_tests;
+              if (ci.independent) {
+                auto key = std::minmax(u, v);
+                result.sepsets[{key.first, key.second}] = subset;
+                to_remove.emplace_back(u, v);
+                return true;
+              }
+              return false;
+            });
+        (void)removed;
+      }
+    }
+    for (const auto& [u, v] : to_remove) g.RemoveEdge(u, v);
+    if (!any_testable) break;
+  }
+
+  // ---- Phase 2: v-structure orientation. ----
+  // For every unshielded triple u - w - v (u, v non-adjacent), orient
+  // u -> w <- v when w is NOT in sepset(u, v).
+  for (int32_t w = 0; w < n; ++w) {
+    std::vector<int32_t> adj = g.AdjacentNodes(w);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      for (size_t j = i + 1; j < adj.size(); ++j) {
+        int32_t u = adj[i], v = adj[j];
+        if (g.IsAdjacent(u, v)) continue;
+        auto key = std::minmax(u, v);
+        auto it = result.sepsets.find({key.first, key.second});
+        if (it == result.sepsets.end()) continue;
+        const auto& sep = it->second;
+        if (std::find(sep.begin(), sep.end(), w) != sep.end()) continue;
+        // Orient into a collider, but never reverse an existing orientation.
+        if (g.HasUndirectedEdge(u, w)) g.Orient(u, w);
+        if (g.HasUndirectedEdge(v, w)) g.Orient(v, w);
+      }
+    }
+  }
+
+  // ---- Phase 3: Meek closure. ----
+  ApplyMeekRules(&g);
+
+  result.num_ci_tests = test.num_tests_run();
+  return result;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

@@ -1,0 +1,49 @@
+#ifndef GUARDRAIL_PGM_PC_ALGORITHM_H_
+#define GUARDRAIL_PGM_PC_ALGORITHM_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "pgm/ci_test.h"
+#include "pgm/pdag.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// Output of the PC algorithm: a CPDAG plus the recorded separating sets and
+/// bookkeeping counters.
+struct PcResult {
+  Pdag cpdag;
+  /// Separating set found for each removed pair (u < v).
+  std::map<std::pair<int32_t, int32_t>, std::vector<int32_t>> sepsets;
+  int64_t num_ci_tests = 0;
+  int64_t num_unreliable_tests = 0;
+};
+
+/// Constraint-based structure learning (the PC-stable variant): starts from
+/// the complete undirected graph, removes edges whose endpoints test
+/// conditionally independent for growing conditioning-set sizes, orients
+/// v-structures from sepsets, and closes under Meek rules. The result is the
+/// CPDAG representing the Markov equivalence class of the data's PGM
+/// (paper Sec. 4.4).
+class PcAlgorithm {
+ public:
+  struct Options {
+    GSquareTest::Options ci_options;
+    /// Maximum conditioning-set size.
+    int32_t max_condition_size = 3;
+  };
+
+  explicit PcAlgorithm(Options options) : options_(options) {}
+
+  PcResult Run(const EncodedData& data) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_PC_ALGORITHM_H_

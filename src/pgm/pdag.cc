@@ -1,0 +1,195 @@
+#include "pgm/pdag.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "pgm/meek_rules.h"
+
+namespace guardrail {
+namespace pgm {
+
+Pdag::Pdag(int32_t num_nodes) : num_nodes_(num_nodes) {
+  GUARDRAIL_CHECK_GE(num_nodes, 0);
+  matrix_.assign(static_cast<size_t>(num_nodes),
+                 std::vector<bool>(static_cast<size_t>(num_nodes), false));
+}
+
+Pdag Pdag::CompleteUndirected(int32_t num_nodes) {
+  Pdag g(num_nodes);
+  for (int32_t u = 0; u < num_nodes; ++u) {
+    for (int32_t v = u + 1; v < num_nodes; ++v) {
+      g.AddUndirectedEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Pdag Pdag::FromDag(const Dag& dag) {
+  // Start from the skeleton with v-structure arcs directed, then close under
+  // Meek rules; the remaining compelled directions define the CPDAG.
+  Pdag g(dag.num_nodes());
+  for (int32_t u = 0; u < dag.num_nodes(); ++u) {
+    for (int32_t v : dag.children(u)) {
+      if (!g.IsAdjacent(u, v)) g.AddUndirectedEdge(u, v);
+    }
+  }
+  for (const auto& vs : dag.VStructures()) {
+    int32_t a = vs[0], w = vs[1], b = vs[2];
+    if (g.HasUndirectedEdge(a, w)) g.Orient(a, w);
+    if (g.HasUndirectedEdge(b, w)) g.Orient(b, w);
+  }
+  ApplyMeekRules(&g);
+  return g;
+}
+
+void Pdag::AddUndirectedEdge(int32_t u, int32_t v) {
+  GUARDRAIL_CHECK_NE(u, v);
+  matrix_[static_cast<size_t>(u)][static_cast<size_t>(v)] = true;
+  matrix_[static_cast<size_t>(v)][static_cast<size_t>(u)] = true;
+}
+
+void Pdag::AddDirectedEdge(int32_t from, int32_t to) {
+  GUARDRAIL_CHECK_NE(from, to);
+  matrix_[static_cast<size_t>(from)][static_cast<size_t>(to)] = true;
+  matrix_[static_cast<size_t>(to)][static_cast<size_t>(from)] = false;
+}
+
+void Pdag::RemoveEdge(int32_t u, int32_t v) {
+  matrix_[static_cast<size_t>(u)][static_cast<size_t>(v)] = false;
+  matrix_[static_cast<size_t>(v)][static_cast<size_t>(u)] = false;
+}
+
+bool Pdag::HasDirectedEdge(int32_t from, int32_t to) const {
+  return Arc(from, to) && !Arc(to, from);
+}
+
+bool Pdag::HasUndirectedEdge(int32_t u, int32_t v) const {
+  return Arc(u, v) && Arc(v, u);
+}
+
+bool Pdag::IsAdjacent(int32_t u, int32_t v) const {
+  return Arc(u, v) || Arc(v, u);
+}
+
+void Pdag::Orient(int32_t from, int32_t to) {
+  GUARDRAIL_CHECK(HasUndirectedEdge(from, to))
+      << "Orient requires an undirected edge " << from << " -- " << to;
+  matrix_[static_cast<size_t>(to)][static_cast<size_t>(from)] = false;
+}
+
+std::vector<int32_t> Pdag::AdjacentNodes(int32_t node) const {
+  std::vector<int32_t> out;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    if (v != node && IsAdjacent(node, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int32_t> Pdag::DirectedParents(int32_t node) const {
+  std::vector<int32_t> out;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    if (v != node && HasDirectedEdge(v, node)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int32_t> Pdag::UndirectedNeighbors(int32_t node) const {
+  std::vector<int32_t> out;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    if (v != node && HasUndirectedEdge(node, v)) out.push_back(v);
+  }
+  return out;
+}
+
+int64_t Pdag::NumUndirectedEdges() const {
+  int64_t count = 0;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = u + 1; v < num_nodes_; ++v) {
+      if (HasUndirectedEdge(u, v)) ++count;
+    }
+  }
+  return count;
+}
+
+int64_t Pdag::NumDirectedEdges() const {
+  int64_t count = 0;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = 0; v < num_nodes_; ++v) {
+      if (u != v && HasDirectedEdge(u, v)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::pair<int32_t, int32_t>> Pdag::UndirectedEdges() const {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = u + 1; v < num_nodes_; ++v) {
+      if (HasUndirectedEdge(u, v)) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool Pdag::IsFullyDirected() const { return NumUndirectedEdges() == 0; }
+
+Result<Dag> Pdag::ToDag() const {
+  if (!IsFullyDirected()) {
+    return Status::InvalidArgument("Pdag still has undirected edges");
+  }
+  Dag dag(num_nodes_);
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = 0; v < num_nodes_; ++v) {
+      if (u != v && HasDirectedEdge(u, v)) dag.AddEdge(u, v);
+    }
+  }
+  if (!dag.IsAcyclic()) {
+    return Status::InvalidArgument("directed edges form a cycle");
+  }
+  return dag;
+}
+
+bool Pdag::HasDirectedCycle() const {
+  // Kahn peeling over the directed-edge subgraph.
+  std::vector<int32_t> indegree(static_cast<size_t>(num_nodes_), 0);
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = 0; v < num_nodes_; ++v) {
+      if (u != v && HasDirectedEdge(u, v)) ++indegree[static_cast<size_t>(v)];
+    }
+  }
+  std::vector<int32_t> frontier;
+  for (int32_t v = 0; v < num_nodes_; ++v) {
+    if (indegree[static_cast<size_t>(v)] == 0) frontier.push_back(v);
+  }
+  int32_t processed = 0;
+  while (!frontier.empty()) {
+    int32_t u = frontier.back();
+    frontier.pop_back();
+    ++processed;
+    for (int32_t v = 0; v < num_nodes_; ++v) {
+      if (u != v && HasDirectedEdge(u, v) &&
+          --indegree[static_cast<size_t>(v)] == 0) {
+        frontier.push_back(v);
+      }
+    }
+  }
+  return processed < num_nodes_;
+}
+
+std::string Pdag::ToString() const {
+  std::string out;
+  for (int32_t u = 0; u < num_nodes_; ++u) {
+    for (int32_t v = 0; v < num_nodes_; ++v) {
+      if (u < v && HasUndirectedEdge(u, v)) {
+        out += std::to_string(u) + " -- " + std::to_string(v) + "\n";
+      }
+      if (u != v && HasDirectedEdge(u, v)) {
+        out += std::to_string(u) + " -> " + std::to_string(v) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pgm
+}  // namespace guardrail

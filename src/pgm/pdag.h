@@ -1,0 +1,88 @@
+#ifndef GUARDRAIL_PGM_PDAG_H_
+#define GUARDRAIL_PGM_PDAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pgm/dag.h"
+
+namespace guardrail {
+namespace pgm {
+
+/// A partially directed acyclic graph: a mix of directed and undirected
+/// edges. The PC algorithm outputs a CPDAG (the canonical representative of a
+/// Markov equivalence class) in this form, and the MEC enumerator refines it
+/// into member DAGs.
+class Pdag {
+ public:
+  Pdag() = default;
+  explicit Pdag(int32_t num_nodes);
+
+  /// Builds the complete undirected graph (PC's starting point).
+  static Pdag CompleteUndirected(int32_t num_nodes);
+
+  /// Builds the CPDAG representation of `dag` — skeleton plus only the
+  /// compelled edge directions (v-structures closed under Meek rules).
+  static Pdag FromDag(const Dag& dag);
+
+  int32_t num_nodes() const { return num_nodes_; }
+
+  void AddUndirectedEdge(int32_t u, int32_t v);
+  void AddDirectedEdge(int32_t from, int32_t to);
+
+  /// Removes any edge (directed either way or undirected) between u and v.
+  void RemoveEdge(int32_t u, int32_t v);
+
+  bool HasDirectedEdge(int32_t from, int32_t to) const;
+  bool HasUndirectedEdge(int32_t u, int32_t v) const;
+  bool IsAdjacent(int32_t u, int32_t v) const;
+
+  /// Converts the undirected edge u - v into u -> v. The edge must currently
+  /// be undirected.
+  void Orient(int32_t from, int32_t to);
+
+  /// Neighbors connected by any edge type.
+  std::vector<int32_t> AdjacentNodes(int32_t node) const;
+  /// Nodes with a directed edge into `node`.
+  std::vector<int32_t> DirectedParents(int32_t node) const;
+  /// Nodes connected to `node` by an undirected edge.
+  std::vector<int32_t> UndirectedNeighbors(int32_t node) const;
+
+  int64_t NumUndirectedEdges() const;
+  int64_t NumDirectedEdges() const;
+
+  /// All undirected edges as (u, v) with u < v.
+  std::vector<std::pair<int32_t, int32_t>> UndirectedEdges() const;
+
+  /// True when no undirected edges remain.
+  bool IsFullyDirected() const;
+
+  /// Interprets the fully directed Pdag as a Dag. Fails when undirected
+  /// edges remain or the directed graph is cyclic.
+  Result<Dag> ToDag() const;
+
+  /// True when the subgraph of directed edges contains a cycle.
+  bool HasDirectedCycle() const;
+
+  bool operator==(const Pdag& other) const { return matrix_ == other.matrix_; }
+
+  /// "u -> v" / "u -- v" lines.
+  std::string ToString() const;
+
+ private:
+  // matrix_[u][v] == true means an arc u -> v exists; an undirected edge is
+  // stored as arcs both ways.
+  bool Arc(int32_t u, int32_t v) const {
+    return matrix_[static_cast<size_t>(u)][static_cast<size_t>(v)];
+  }
+
+  int32_t num_nodes_ = 0;
+  std::vector<std::vector<bool>> matrix_;
+};
+
+}  // namespace pgm
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_PGM_PDAG_H_

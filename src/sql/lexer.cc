@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace guardrail {
+namespace sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",   "ORDER",  "AS",
+      "CASE",   "WHEN",  "THEN",  "ELSE",  "END",  "AND",    "OR",
+      "NOT",    "TRUE",  "FALSE", "NULL",  "ASC",  "DESC",   "HAVING",
+      "LIMIT",  "DISTINCT"};
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> LexSql(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      std::string word;
+      while (i < text.size() && IsIdentChar(text[i])) word += text[i++];
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::string num;
+      bool seen_dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !seen_dot))) {
+        seen_dot = seen_dot || text[i] == '.';
+        num += text[i++];
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::move(num);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\'' && i + 1 < text.size() && text[i + 1] == '\'') {
+          value += '\'';
+          i += 2;
+        } else if (text[i] == '\'') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          value += text[i++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated SQL string at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+    } else {
+      // Multi-char operators first.
+      auto two = text.substr(i, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=" ||
+          two == "==") {
+        tok.type = TokenType::kOperator;
+        tok.text = two == "==" ? "=" : std::string(two);
+        if (tok.text == "<>") tok.text = "!=";
+        i += 2;
+      } else if (std::string("=<>+-*/(),.;").find(c) != std::string::npos) {
+        tok.type = TokenType::kOperator;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", text.size()});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace guardrail

@@ -1,0 +1,34 @@
+#ifndef GUARDRAIL_SQL_LEXER_H_
+#define GUARDRAIL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace guardrail {
+namespace sql {
+
+enum class TokenType {
+  kKeyword,     // SELECT FROM WHERE GROUP BY AS CASE WHEN THEN ELSE END ...
+  kIdentifier,  // table / column / function names
+  kNumber,
+  kString,      // 'single quoted'
+  kOperator,    // = != <> < <= > >= + - * / ( ) , . ; *
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // Keywords upper-cased; identifiers verbatim.
+  size_t offset = 0;
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively.
+Result<std::vector<Token>> LexSql(std::string_view text);
+
+}  // namespace sql
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SQL_LEXER_H_

@@ -1,0 +1,88 @@
+#include "sql/materialized_view.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace guardrail {
+namespace sql {
+
+Result<Table> MaterializeJoin(const Table& left, const std::string& left_key,
+                              const Table& right, const std::string& right_key,
+                              const JoinOptions& options) {
+  AttrIndex left_attr = left.schema().FindAttribute(left_key);
+  if (left_attr < 0) {
+    return Status::NotFound("left join key '" + left_key + "'");
+  }
+  AttrIndex right_attr = right.schema().FindAttribute(right_key);
+  if (right_attr < 0) {
+    return Status::NotFound("right join key '" + right_key + "'");
+  }
+
+  // Output schema: all left columns, then right columns except the key,
+  // prefixing names that collide with a left column.
+  std::unordered_set<std::string> left_names;
+  Schema schema;
+  for (AttrIndex c = 0; c < left.num_columns(); ++c) {
+    const std::string& name = left.schema().attribute(c).name();
+    left_names.insert(name);
+    GUARDRAIL_RETURN_NOT_OK(schema.AddAttribute(Attribute(name)));
+  }
+  std::vector<AttrIndex> right_columns;
+  for (AttrIndex c = 0; c < right.num_columns(); ++c) {
+    if (c == right_attr) continue;
+    std::string name = right.schema().attribute(c).name();
+    if (left_names.count(name) > 0) name = options.collision_prefix + name;
+    GUARDRAIL_RETURN_NOT_OK(schema.AddAttribute(Attribute(name)));
+    right_columns.push_back(c);
+  }
+
+  // Index the right side by key label (labels, not codes: the two tables
+  // may have different dictionaries).
+  std::unordered_map<std::string, RowIndex> right_index;
+  right_index.reserve(static_cast<size_t>(right.num_rows()) * 2);
+  for (RowIndex r = 0; r < right.num_rows(); ++r) {
+    ValueId v = right.Get(r, right_attr);
+    if (v == kNullValue) continue;  // NULL keys never match.
+    auto [it, inserted] =
+        right_index.emplace(right.schema().attribute(right_attr).label(v), r);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "duplicate right-side key '" + it->first +
+          "'; materialized views require a many-to-one join");
+    }
+  }
+
+  Table out(std::move(schema));
+  for (RowIndex r = 0; r < left.num_rows(); ++r) {
+    ValueId key = left.Get(r, left_attr);
+    auto match = key == kNullValue
+                     ? right_index.end()
+                     : right_index.find(
+                           left.schema().attribute(left_attr).label(key));
+    if (match == right_index.end() && !options.left_outer) continue;
+
+    Row row(static_cast<size_t>(out.num_columns()), kNullValue);
+    for (AttrIndex c = 0; c < left.num_columns(); ++c) {
+      ValueId v = left.Get(r, c);
+      if (v != kNullValue) {
+        row[static_cast<size_t>(c)] = out.mutable_schema().attribute(c).GetOrInsert(
+            left.schema().attribute(c).label(v));
+      }
+    }
+    if (match != right_index.end()) {
+      for (size_t i = 0; i < right_columns.size(); ++i) {
+        ValueId v = right.Get(match->second, right_columns[i]);
+        if (v == kNullValue) continue;
+        AttrIndex dst = left.num_columns() + static_cast<AttrIndex>(i);
+        row[static_cast<size_t>(dst)] =
+            out.mutable_schema().attribute(dst).GetOrInsert(
+                right.schema().attribute(right_columns[i]).label(v));
+      }
+    }
+    GUARDRAIL_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace guardrail

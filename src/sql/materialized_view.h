@@ -1,0 +1,38 @@
+#ifndef GUARDRAIL_SQL_MATERIALIZED_VIEW_H_
+#define GUARDRAIL_SQL_MATERIALIZED_VIEW_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace sql {
+
+/// The paper's executor has no native JOIN (Sec. 7): "one can use the
+/// materialized views to pre-compute the results and use our query executor
+/// over multiple tables." This helper builds those views: an equi-join of
+/// two tables materialized into a single Table that the Executor (and the
+/// Guard) then treat like any base relation.
+struct JoinOptions {
+  /// Inner join (drop unmatched left rows) vs. left outer join (keep them
+  /// with NULL right columns).
+  bool left_outer = false;
+  /// Prefix applied to right-side column names that collide with a left
+  /// column (the join key itself is emitted once, from the left side).
+  std::string collision_prefix = "right_";
+};
+
+/// Joins `left` and `right` on left.`left_key` == right.`right_key`
+/// (equality of value *labels*, so the tables need not share dictionaries).
+/// Right rows must be unique per key ("many-to-one", the lookup-table shape
+/// materialized views are used for here); duplicate right keys are an
+/// InvalidArgument.
+Result<Table> MaterializeJoin(const Table& left, const std::string& left_key,
+                              const Table& right, const std::string& right_key,
+                              const JoinOptions& options = JoinOptions());
+
+}  // namespace sql
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SQL_MATERIALIZED_VIEW_H_

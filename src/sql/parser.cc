@@ -1,0 +1,338 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace guardrail {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelectStatement() {
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    SelectStatement stmt;
+    while (true) {
+      GUARDRAIL_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+      if (!ConsumeOperator(",")) break;
+    }
+    GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected table name at offset " +
+                                std::to_string(Peek().offset));
+    }
+    stmt.table_name = Advance().text;
+    // Optional alias-style qualification "t.col" is handled at the lexer
+    // level by the '.' operator; we accept and ignore a bare alias here.
+    if (Peek().type == TokenType::kIdentifier) Advance();
+
+    if (ConsumeKeyword("WHERE")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (!ConsumeOperator(",")) break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      if (stmt.group_by.empty()) {
+        return Status::ParseError("HAVING requires GROUP BY");
+      }
+      GUARDRAIL_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderKey key;
+        GUARDRAIL_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          key.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+        if (!ConsumeOperator(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) {
+        return Status::ParseError("expected number after LIMIT");
+      }
+      double n = 0;
+      ParseDouble(Advance().text, &n);
+      stmt.limit = static_cast<int64_t>(n);
+    }
+    ConsumeOperator(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpr() {
+    GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Status::ParseError("expected " + kw + " at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  bool PeekOperator(const std::string& op) const {
+    return Peek().type == TokenType::kOperator && Peek().text == op;
+  }
+  bool ConsumeOperator(const std::string& op) {
+    if (!PeekOperator(op)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectOperator(const std::string& op) {
+    if (!ConsumeOperator(op)) {
+      return Status::ParseError("expected '" + op + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    GUARDRAIL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::ParseError("expected alias after AS");
+      }
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "NOT";
+      e->left = std::move(inner);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    static const char* kOps[] = {"=", "!=", "<=", ">=", "<", ">"};
+    for (const char* op : kOps) {
+      if (PeekOperator(op)) {
+        Advance();
+        GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (PeekOperator("+") || PeekOperator("-")) {
+      std::string op = Advance().text;
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (PeekOperator("*") || PeekOperator("/")) {
+      std::string op = Advance().text;
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeOperator("-")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      // Canonicalize unary minus of a numeric literal into a negative
+      // literal, so "-15" round-trips through the printer unchanged.
+      if (inner->kind == ExprKind::kLiteral && inner->literal.is_number()) {
+        inner->literal = SqlValue::Number(-inner->literal.number());
+        return inner;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = "-";
+      e->left = std::move(inner);
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kNumber) {
+      double n = 0;
+      ParseDouble(Advance().text, &n);
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = SqlValue::Number(n);
+      return e;
+    }
+    if (tok.type == TokenType::kString) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = SqlValue::String(Advance().text);
+      return e;
+    }
+    if (PeekKeyword("TRUE") || PeekKeyword("FALSE")) {
+      bool b = Advance().text == "TRUE";
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = SqlValue::Boolean(b);
+      return e;
+    }
+    if (PeekKeyword("NULL")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = SqlValue::MakeNull();
+      return e;
+    }
+    if (ConsumeKeyword("CASE")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCase;
+      while (ConsumeKeyword("WHEN")) {
+        GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        e->when_clauses.emplace_back(std::move(when), std::move(then));
+      }
+      if (e->when_clauses.empty()) {
+        return Status::ParseError("CASE without WHEN clauses");
+      }
+      if (ConsumeKeyword("ELSE")) {
+        GUARDRAIL_ASSIGN_OR_RETURN(e->else_clause, ParseExpr());
+      }
+      GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("END"));
+      return e;
+    }
+    if (ConsumeOperator("(")) {
+      GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      GUARDRAIL_RETURN_NOT_OK(ExpectOperator(")"));
+      return inner;
+    }
+    if (tok.type == TokenType::kIdentifier) {
+      std::string name = Advance().text;
+      // Qualified column "table.column": keep the column part.
+      if (ConsumeOperator(".")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::ParseError("expected column after '.'");
+        }
+        name = Advance().text;
+      }
+      if (ConsumeOperator("(")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->call_name = name;
+        std::transform(e->call_name.begin(), e->call_name.end(),
+                       e->call_name.begin(), ::toupper);
+        if (ConsumeOperator("*")) {
+          e->star = true;
+        } else if (!PeekOperator(")")) {
+          while (true) {
+            GUARDRAIL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+            if (!ConsumeOperator(",")) break;
+          }
+        }
+        GUARDRAIL_RETURN_NOT_OK(ExpectOperator(")"));
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kColumnRef;
+      e->column = std::move(name);
+      return e;
+    }
+    return Status::ParseError("unexpected token at offset " +
+                              std::to_string(tok.offset));
+  }
+
+  static ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = std::move(op);
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(std::string_view text) {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpr();
+}
+
+}  // namespace sql
+}  // namespace guardrail

@@ -1,0 +1,29 @@
+#ifndef GUARDRAIL_SQL_PARSER_H_
+#define GUARDRAIL_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace guardrail {
+namespace sql {
+
+/// Parses one SELECT statement:
+///
+///   SELECT item [, item]* FROM table
+///     [WHERE expr] [GROUP BY expr [, expr]*] [HAVING expr]
+///     [ORDER BY key [ASC|DESC] [, ...]] [LIMIT n] [;]
+///
+/// Expressions support literals, column references, arithmetic, comparisons,
+/// AND/OR/NOT, CASE WHEN, aggregate calls (COUNT/SUM/AVG/MIN/MAX, COUNT(*)),
+/// and the ML UDF ML_PREDICT('model_name').
+Result<SelectStatement> ParseSelect(std::string_view text);
+
+/// Parses a standalone expression (used by tests).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace sql
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SQL_PARSER_H_

@@ -1,0 +1,147 @@
+#include "sql/planner.h"
+
+namespace guardrail {
+namespace sql {
+
+namespace {
+
+bool IsAggregateName(const std::string& name) {
+  return name == "COUNT" || name == "SUM" || name == "AVG" ||
+         name == "MIN" || name == "MAX";
+}
+
+template <typename Fn>
+void VisitExpr(const Expr* expr, const Fn& fn) {
+  if (expr == nullptr) return;
+  fn(expr);
+  VisitExpr(expr->left.get(), fn);
+  VisitExpr(expr->right.get(), fn);
+  for (const auto& [when, then] : expr->when_clauses) {
+    VisitExpr(when.get(), fn);
+    VisitExpr(then.get(), fn);
+  }
+  VisitExpr(expr->else_clause.get(), fn);
+  for (const auto& arg : expr->args) VisitExpr(arg.get(), fn);
+}
+
+}  // namespace
+
+std::vector<const Expr*> SplitConjuncts(const Expr* expr) {
+  std::vector<const Expr*> out;
+  if (expr == nullptr) return out;
+  if (expr->kind == ExprKind::kBinary && expr->op == "AND") {
+    auto left = SplitConjuncts(expr->left.get());
+    auto right = SplitConjuncts(expr->right.get());
+    out.insert(out.end(), left.begin(), left.end());
+    out.insert(out.end(), right.begin(), right.end());
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+bool ContainsMlPredict(const Expr* expr) {
+  bool found = false;
+  VisitExpr(expr, [&](const Expr* e) {
+    if (e->kind == ExprKind::kCall && e->call_name == "ML_PREDICT") {
+      found = true;
+    }
+  });
+  return found;
+}
+
+bool ContainsAggregate(const Expr* expr) {
+  bool found = false;
+  VisitExpr(expr, [&](const Expr* e) {
+    if (e->kind == ExprKind::kCall && IsAggregateName(e->call_name)) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+void CollectAggregates(const Expr* expr, std::vector<const Expr*>* out) {
+  VisitExpr(expr, [&](const Expr* e) {
+    if (e->kind == ExprKind::kCall && IsAggregateName(e->call_name)) {
+      out->push_back(e);
+    }
+  });
+}
+
+FilterPlan PlanFilter(const Expr* where, bool enable_pushdown) {
+  FilterPlan plan;
+  for (const Expr* conjunct : SplitConjuncts(where)) {
+    if (enable_pushdown && !ContainsMlPredict(conjunct)) {
+      plan.base_conjuncts.push_back(conjunct);
+    } else {
+      plan.ml_conjuncts.push_back(conjunct);
+    }
+  }
+  return plan;
+}
+
+std::string ExplainPlan(const SelectStatement& stmt, bool enable_pushdown) {
+  std::string out = "Scan(" + stmt.table_name + ")\n";
+  FilterPlan plan = PlanFilter(stmt.where.get(), enable_pushdown);
+  auto join_exprs = [](const std::vector<const Expr*>& exprs) {
+    std::string text;
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (i > 0) text += " AND ";
+      text += exprs[i]->ToString();
+    }
+    return text;
+  };
+  if (!plan.base_conjuncts.empty()) {
+    out += "  Filter[pre-inference]: " + join_exprs(plan.base_conjuncts) + "\n";
+  }
+  if (!plan.ml_conjuncts.empty()) {
+    out += "  Filter[post-inference]: " + join_exprs(plan.ml_conjuncts) + "\n";
+  }
+  bool has_aggregates = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    has_aggregates = has_aggregates || ContainsAggregate(item.expr.get());
+  }
+  if (has_aggregates) {
+    out += "  Aggregate: group by [";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.group_by[i]->ToString();
+    }
+    out += "] computing [";
+    std::vector<const Expr*> aggs;
+    for (const auto& item : stmt.items) {
+      CollectAggregates(item.expr.get(), &aggs);
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += aggs[i]->ToString();
+    }
+    out += "]\n";
+    if (stmt.having != nullptr) {
+      out += "  Having: " + stmt.having->ToString() + "\n";
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    out += "  OrderBy: [";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.order_by[i].expr->ToString();
+      if (stmt.order_by[i].descending) out += " DESC";
+    }
+    out += "]\n";
+  }
+  if (stmt.limit >= 0) {
+    out += "  Limit: " + std::to_string(stmt.limit) + "\n";
+  }
+  out += "  Project: [";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.items[i].alias.empty() ? stmt.items[i].expr->ToString()
+                                       : stmt.items[i].alias;
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace sql
+}  // namespace guardrail

@@ -1,0 +1,52 @@
+#ifndef GUARDRAIL_SQL_PLANNER_H_
+#define GUARDRAIL_SQL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace guardrail {
+namespace sql {
+
+/// Splits an expression into its top-level AND conjuncts (returns pointers
+/// into the tree; no ownership transfer).
+std::vector<const Expr*> SplitConjuncts(const Expr* expr);
+
+/// True when the expression (transitively) calls ML_PREDICT.
+bool ContainsMlPredict(const Expr* expr);
+
+/// True when the expression contains an aggregate call
+/// (COUNT/SUM/AVG/MIN/MAX).
+bool ContainsAggregate(const Expr* expr);
+
+/// Collects aggregate call nodes in evaluation order.
+void CollectAggregates(const Expr* expr, std::vector<const Expr*>* out);
+
+/// Physical filter plan for a single-table scan: predicate pushdown
+/// (paper Sec. 7) evaluates the conjuncts that do not depend on model
+/// predictions *before* invoking the ML backend, so rows filtered out by
+/// cheap base predicates never pay guard or inference cost.
+struct FilterPlan {
+  std::vector<const Expr*> base_conjuncts;  // Evaluated pre-prediction.
+  std::vector<const Expr*> ml_conjuncts;    // Evaluated post-prediction.
+};
+
+/// Builds the pushdown plan from an optional WHERE expression. With
+/// `enable_pushdown` false every conjunct is treated as ML-dependent
+/// (the ablation baseline).
+FilterPlan PlanFilter(const Expr* where, bool enable_pushdown);
+
+/// Human-readable physical plan sketch for a statement:
+///
+///   Scan(t)
+///     Filter[pre-inference]: (a = 'x')
+///     Filter[post-inference]: (ML_PREDICT('m') = 'y')
+///     Aggregate: group by [a] computing [COUNT(*)]
+///     OrderBy/Limit: ...
+std::string ExplainPlan(const SelectStatement& stmt, bool enable_pushdown);
+
+}  // namespace sql
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SQL_PLANNER_H_

@@ -1,0 +1,52 @@
+#ifndef GUARDRAIL_TABLE_DATASET_REPOSITORY_H_
+#define GUARDRAIL_TABLE_DATASET_REPOSITORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/sem_generator.h"
+#include "table/table.h"
+
+namespace guardrail {
+
+/// Static description of one of the 12 evaluation datasets (paper Table 2).
+/// The real datasets (UCI / OpenML / Kaggle / bnlearn) are not available
+/// offline, so each is simulated by a ground-truth SEM with the same name,
+/// attribute count, and row count; see DESIGN.md "Substitutions".
+struct DatasetSpec {
+  int id = 0;
+  std::string name;
+  std::string category;
+  int32_t num_attributes = 0;
+  int64_t num_rows = 0;
+  int32_t min_cardinality = 2;
+  int32_t max_cardinality = 6;
+  uint64_t seed = 0;
+};
+
+/// A fully materialized dataset: the generating SEM, a clean sample, and the
+/// designated ML label column (always the last attribute, named "label").
+struct DatasetBundle {
+  DatasetSpec spec;
+  std::shared_ptr<const SemModel> sem;
+  Table clean;
+  AttrIndex label_column = 0;
+};
+
+/// Registry of the 12 evaluation datasets.
+class DatasetRepository {
+ public:
+  /// The 12 specs, ids 1..12, mirroring paper Table 2.
+  static const std::vector<DatasetSpec>& Specs();
+
+  static const DatasetSpec& Spec(int id);
+
+  /// Builds (generates + samples) dataset `id`. Deterministic per spec seed.
+  /// `row_limit` > 0 caps the sample size (used by fast unit tests).
+  static DatasetBundle Build(int id, int64_t row_limit = 0);
+};
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_DATASET_REPOSITORY_H_

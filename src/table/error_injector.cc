@@ -1,0 +1,69 @@
+#include "table/error_injector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace guardrail {
+
+ErrorInjectionResult InjectErrors(const Table& clean,
+                                  const ErrorInjectionOptions& options,
+                                  Rng* rng) {
+  ErrorInjectionResult result;
+  result.dirty = clean;
+  result.row_has_error.assign(static_cast<size_t>(clean.num_rows()), false);
+
+  std::unordered_set<AttrIndex> protected_cols(
+      options.protected_columns.begin(), options.protected_columns.end());
+  std::vector<AttrIndex> eligible_cols;
+  for (AttrIndex c = 0; c < clean.num_columns(); ++c) {
+    // Attributes with a single value cannot be corrupted to a different one.
+    if (protected_cols.count(c) == 0 &&
+        clean.schema().attribute(c).domain_size() > 1) {
+      eligible_cols.push_back(c);
+    }
+  }
+  if (eligible_cols.empty() || clean.num_rows() == 0) return result;
+
+  const int64_t total_cells =
+      clean.num_rows() * static_cast<int64_t>(eligible_cols.size());
+  int64_t target = static_cast<int64_t>(options.error_rate *
+                                        static_cast<double>(total_cells));
+  if (target < options.min_errors) {
+    // "slightly higher for datasets with fewer rows; capped at 30 errors".
+    target = std::min(options.cap_for_small_datasets, total_cells);
+  }
+  target = std::min(target, total_cells);
+
+  // Choose distinct cells via sampling without replacement over the flat
+  // (row, eligible-column) index space.
+  std::vector<size_t> cells = rng->SampleWithoutReplacement(
+      static_cast<size_t>(total_cells), static_cast<size_t>(target));
+
+  int64_t token_counter = 0;
+  for (size_t cell : cells) {
+    RowIndex row = static_cast<RowIndex>(cell / eligible_cols.size());
+    AttrIndex col = eligible_cols[cell % eligible_cols.size()];
+    ValueId original = clean.Get(row, col);
+    ValueId corrupted;
+    if (options.mode == CorruptionMode::kRandomString) {
+      // A fresh token outside the clean domain, unique per corruption.
+      corrupted = result.dirty.mutable_schema().attribute(col).GetOrInsert(
+          "corrupted_" + std::to_string(token_counter++) + "_" +
+          std::to_string(rng->NextUint64(1000000)));
+    } else {
+      int32_t domain = clean.schema().attribute(col).domain_size();
+      // Uniform over the other values of the domain.
+      corrupted = static_cast<ValueId>(
+          rng->NextUint64(static_cast<uint64_t>(domain - 1)));
+      if (corrupted >= original && original != kNullValue) ++corrupted;
+    }
+    result.dirty.Set(row, col, corrupted);
+    result.errors.push_back({row, col, original, corrupted});
+    result.row_has_error[static_cast<size_t>(row)] = true;
+  }
+  return result;
+}
+
+}  // namespace guardrail

@@ -1,0 +1,62 @@
+#ifndef GUARDRAIL_TABLE_ERROR_INJECTOR_H_
+#define GUARDRAIL_TABLE_ERROR_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace guardrail {
+
+/// One injected error: the cell that was corrupted and its original value.
+struct InjectedError {
+  RowIndex row = 0;
+  AttrIndex column = 0;
+  ValueId original_value = kNullValue;
+  ValueId corrupted_value = kNullValue;
+};
+
+/// How a selected cell is corrupted.
+enum class CorruptionMode {
+  /// Replace the value with a fresh out-of-domain token ("Berkeley" ->
+  /// "gibbon", paper Example 2.1): the corrupted value is a random string
+  /// that never occurs in clean data. The paper's random error injection.
+  kRandomString,
+  /// Replace the value with a *different valid* domain value — a harder,
+  /// plausible-swap regime kept for stress tests and ablations.
+  kDomainSwap,
+};
+
+/// Configuration matching the paper's setup (Sec. 8.1): a fixed cell error
+/// rate of 1%, raised for small datasets so that at least `min_errors` cells
+/// are corrupted, and capped at `max_errors_small` when raising.
+struct ErrorInjectionOptions {
+  CorruptionMode mode = CorruptionMode::kRandomString;
+  double error_rate = 0.01;
+  int64_t min_errors = 30;
+  /// The paper caps the raised count at 30 errors for small datasets.
+  int64_t cap_for_small_datasets = 30;
+  /// Columns that must not be corrupted (e.g., the ML label column, so that
+  /// mis-predictions are caused by input errors only). Empty = all columns.
+  std::vector<AttrIndex> protected_columns;
+};
+
+/// Result of an injection pass: the corrupted table plus ground truth.
+struct ErrorInjectionResult {
+  Table dirty;
+  std::vector<InjectedError> errors;
+  /// row -> true when any cell of the row was corrupted.
+  std::vector<bool> row_has_error;
+};
+
+/// Randomly corrupts cells of `clean` according to `options.mode`. The
+/// dirty table's schema grows by the injected out-of-domain tokens in
+/// kRandomString mode (labels "corrupted_<k>").
+ErrorInjectionResult InjectErrors(const Table& clean,
+                                  const ErrorInjectionOptions& options,
+                                  Rng* rng);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_ERROR_INJECTOR_H_

@@ -1,0 +1,80 @@
+#include "table/profile.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace guardrail {
+
+std::vector<AttrIndex> TableProfile::ConstantColumns() const {
+  std::vector<AttrIndex> out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].cardinality <= 1) out.push_back(static_cast<AttrIndex>(c));
+  }
+  return out;
+}
+
+std::vector<AttrIndex> TableProfile::KeyLikeColumns(double ratio) const {
+  std::vector<AttrIndex> out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    int64_t non_null = num_rows - columns[c].null_count;
+    if (non_null > 0 &&
+        static_cast<double>(columns[c].cardinality) >=
+            ratio * static_cast<double>(non_null)) {
+      out.push_back(static_cast<AttrIndex>(c));
+    }
+  }
+  return out;
+}
+
+TableProfile ProfileTable(const Table& table) {
+  TableProfile profile;
+  profile.num_rows = table.num_rows();
+  for (AttrIndex c = 0; c < table.num_columns(); ++c) {
+    const Attribute& attr = table.schema().attribute(c);
+    ColumnProfile column;
+    column.name = attr.name();
+    std::vector<int64_t> counts(static_cast<size_t>(attr.domain_size()), 0);
+    for (ValueId v : table.column(c)) {
+      if (v == kNullValue) {
+        ++column.null_count;
+      } else {
+        ++counts[static_cast<size_t>(v)];
+      }
+    }
+    int64_t non_null = profile.num_rows - column.null_count;
+    for (size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] == 0) continue;
+      ++column.cardinality;
+      if (counts[v] > column.mode_count) {
+        column.mode_count = counts[v];
+        column.mode = static_cast<ValueId>(v);
+      }
+      double p = static_cast<double>(counts[v]) /
+                 static_cast<double>(non_null);
+      column.entropy_bits -= p * std::log2(p);
+    }
+    column.mode_fraction =
+        non_null > 0 ? static_cast<double>(column.mode_count) /
+                           static_cast<double>(non_null)
+                     : 0.0;
+    profile.columns.push_back(std::move(column));
+  }
+  return profile;
+}
+
+std::string ToString(const TableProfile& profile) {
+  std::string out = "rows: " + std::to_string(profile.num_rows) + "\n";
+  char buf[160];
+  for (const auto& column : profile.columns) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s card=%-6d nulls=%-6lld entropy=%5.2fb mode=%.0f%%\n",
+                  column.name.c_str(), column.cardinality,
+                  static_cast<long long>(column.null_count),
+                  column.entropy_bits, 100.0 * column.mode_fraction);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace guardrail

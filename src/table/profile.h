@@ -1,0 +1,48 @@
+#ifndef GUARDRAIL_TABLE_PROFILE_H_
+#define GUARDRAIL_TABLE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace guardrail {
+
+/// Summary statistics of one categorical column.
+struct ColumnProfile {
+  std::string name;
+  int32_t cardinality = 0;     // Distinct non-null values observed.
+  int64_t null_count = 0;
+  ValueId mode = kNullValue;   // Most frequent value (kNullValue if empty).
+  int64_t mode_count = 0;
+  double entropy_bits = 0.0;   // Shannon entropy of the value distribution.
+  /// Fraction of rows carrying the mode; 1.0 marks a constant column.
+  double mode_fraction = 0.0;
+};
+
+/// Summary of a whole table; the raw material of data-profiling passes
+/// (cardinality screens for CORDS, constant-column detection for synthesis,
+/// entropy budgets for CI-test power heuristics).
+struct TableProfile {
+  int64_t num_rows = 0;
+  std::vector<ColumnProfile> columns;
+
+  /// Columns with at most one distinct value (no constraint can fire on or
+  /// from them).
+  std::vector<AttrIndex> ConstantColumns() const;
+
+  /// Columns whose distinct-count is at least `ratio` of the row count —
+  /// key-like attributes that trivially "determine" everything and should
+  /// be excluded from determinant sets.
+  std::vector<AttrIndex> KeyLikeColumns(double ratio = 0.9) const;
+};
+
+/// Computes the profile in a single pass per column.
+TableProfile ProfileTable(const Table& table);
+
+/// Fixed-width text rendering for logs and examples.
+std::string ToString(const TableProfile& profile);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_PROFILE_H_

@@ -1,0 +1,66 @@
+#include "table/schema.h"
+
+#include "common/logging.h"
+
+namespace guardrail {
+
+const std::string& Attribute::label(ValueId code) const {
+  GUARDRAIL_CHECK_GE(code, 0);
+  GUARDRAIL_CHECK_LT(code, domain_size());
+  return domain_[static_cast<size_t>(code)];
+}
+
+ValueId Attribute::Lookup(const std::string& label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? kNullValue : it->second;
+}
+
+ValueId Attribute::GetOrInsert(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  ValueId code = domain_size();
+  domain_.push_back(label);
+  index_.emplace(label, code);
+  return code;
+}
+
+Schema::Schema(std::vector<Attribute> attributes) {
+  for (auto& attr : attributes) {
+    GUARDRAIL_CHECK_OK(AddAttribute(std::move(attr)));
+  }
+}
+
+const Attribute& Schema::attribute(AttrIndex i) const {
+  GUARDRAIL_CHECK_GE(i, 0);
+  GUARDRAIL_CHECK_LT(i, num_attributes());
+  return attributes_[static_cast<size_t>(i)];
+}
+
+Attribute& Schema::attribute(AttrIndex i) {
+  GUARDRAIL_CHECK_GE(i, 0);
+  GUARDRAIL_CHECK_LT(i, num_attributes());
+  return attributes_[static_cast<size_t>(i)];
+}
+
+AttrIndex Schema::FindAttribute(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Status Schema::AddAttribute(Attribute attribute) {
+  if (by_name_.count(attribute.name()) > 0) {
+    return Status::AlreadyExists("attribute " + attribute.name());
+  }
+  by_name_.emplace(attribute.name(), num_attributes());
+  attributes_.push_back(std::move(attribute));
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const auto& attr : attributes_) names.push_back(attr.name());
+  return names;
+}
+
+}  // namespace guardrail

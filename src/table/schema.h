@@ -1,0 +1,69 @@
+#ifndef GUARDRAIL_TABLE_SCHEMA_H_
+#define GUARDRAIL_TABLE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace guardrail {
+
+/// A categorical attribute: a name plus an ordered domain of distinct value
+/// labels. Cell values are stored as dense indexes (ValueId) into the domain.
+class Attribute {
+ public:
+  explicit Attribute(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Number of distinct values (the attribute's cardinality).
+  int32_t domain_size() const { return static_cast<int32_t>(domain_.size()); }
+
+  /// Label for a code; `code` must be a valid index (not kNullValue).
+  const std::string& label(ValueId code) const;
+
+  /// Code for a label, or kNullValue if the label is not in the domain.
+  ValueId Lookup(const std::string& label) const;
+
+  /// Code for a label, inserting it into the domain if absent.
+  ValueId GetOrInsert(const std::string& label);
+
+  const std::vector<std::string>& domain() const { return domain_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> domain_;
+  std::unordered_map<std::string, ValueId> index_;
+};
+
+/// An ordered collection of attributes with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  int32_t num_attributes() const {
+    return static_cast<int32_t>(attributes_.size());
+  }
+
+  const Attribute& attribute(AttrIndex i) const;
+  Attribute& attribute(AttrIndex i);
+
+  /// Index of the attribute with this name, or -1 if absent.
+  AttrIndex FindAttribute(const std::string& name) const;
+
+  /// Appends a new attribute; the name must be unique.
+  Status AddAttribute(Attribute attribute);
+
+  std::vector<std::string> AttributeNames() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, AttrIndex> by_name_;
+};
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_SCHEMA_H_

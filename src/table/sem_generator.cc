@@ -1,0 +1,174 @@
+#include "table/sem_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace guardrail {
+
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SemModel::SemModel(std::vector<SemNode> nodes, uint64_t function_seed)
+    : nodes_(std::move(nodes)), function_seed_(function_seed) {
+  // Kahn topological sort; validates acyclicity.
+  const int32_t n = num_nodes();
+  std::vector<int32_t> indegree(static_cast<size_t>(n), 0);
+  std::vector<std::vector<AttrIndex>> children(static_cast<size_t>(n));
+  for (AttrIndex j = 0; j < n; ++j) {
+    for (AttrIndex p : nodes_[static_cast<size_t>(j)].parents) {
+      GUARDRAIL_CHECK_GE(p, 0);
+      GUARDRAIL_CHECK_LT(p, n);
+      GUARDRAIL_CHECK_NE(p, j);
+      children[static_cast<size_t>(p)].push_back(j);
+      ++indegree[static_cast<size_t>(j)];
+    }
+  }
+  std::vector<AttrIndex> frontier;
+  for (AttrIndex j = 0; j < n; ++j) {
+    if (indegree[static_cast<size_t>(j)] == 0) frontier.push_back(j);
+  }
+  while (!frontier.empty()) {
+    AttrIndex j = frontier.back();
+    frontier.pop_back();
+    topo_.push_back(j);
+    for (AttrIndex c : children[static_cast<size_t>(j)]) {
+      if (--indegree[static_cast<size_t>(c)] == 0) frontier.push_back(c);
+    }
+  }
+  GUARDRAIL_CHECK_EQ(static_cast<int32_t>(topo_.size()), n)
+      << "SEM graph has a cycle";
+}
+
+ValueId SemModel::StructuralFunction(
+    AttrIndex node, const std::vector<ValueId>& parent_values) const {
+  const SemNode& spec = nodes_[static_cast<size_t>(node)];
+  GUARDRAIL_CHECK_EQ(parent_values.size(), spec.parents.size());
+  // Balanced cyclic-linear function: value = (sum w_i * v_i + offset) mod k
+  // with per-node pseudo-random weights w_i in [1, k). Unlike a raw hash,
+  // this can never collapse to a constant function of a varying parent, so
+  // every structural edge carries a statistically visible signal.
+  const uint64_t k = static_cast<uint64_t>(spec.cardinality);
+  uint64_t h = Mix64(function_seed_ ^ (0x517CC1B727220A95ULL * (node + 1)));
+  uint64_t acc = h % k;  // Offset.
+  for (size_t i = 0; i < parent_values.size(); ++i) {
+    GUARDRAIL_CHECK_GE(parent_values[i], 0);
+    uint64_t w = k <= 1 ? 0 : 1 + Mix64(h ^ (0xA24BAED4963EE407ULL * (i + 1))) % (k - 1);
+    acc += w * static_cast<uint64_t>(parent_values[i]);
+  }
+  return static_cast<ValueId>(acc % k);
+}
+
+double SemModel::RootWeight(AttrIndex node, ValueId v) const {
+  // Zipf(s = 0.7) over a node-specific permutation of the domain.
+  const SemNode& spec = nodes_[static_cast<size_t>(node)];
+  uint64_t rank =
+      Mix64(function_seed_ ^ (node * 0x2545F4914F6CDD1DULL) ^ v) %
+          static_cast<uint64_t>(spec.cardinality) +
+      1;
+  return 1.0 / std::pow(static_cast<double>(rank), 0.7);
+}
+
+Table SemModel::Sample(int64_t num_rows, Rng* rng) const {
+  Schema schema;
+  for (const auto& node : nodes_) {
+    Attribute attr(node.name);
+    for (int32_t v = 0; v < node.cardinality; ++v) {
+      attr.GetOrInsert(node.name + "_v" + std::to_string(v));
+    }
+    GUARDRAIL_CHECK_OK(schema.AddAttribute(std::move(attr)));
+  }
+  Table table(std::move(schema));
+
+  // Precompute root marginals.
+  std::vector<std::vector<double>> root_weights(nodes_.size());
+  for (AttrIndex j = 0; j < num_nodes(); ++j) {
+    const SemNode& spec = nodes_[static_cast<size_t>(j)];
+    if (!spec.parents.empty()) continue;
+    auto& w = root_weights[static_cast<size_t>(j)];
+    w.resize(static_cast<size_t>(spec.cardinality));
+    for (ValueId v = 0; v < spec.cardinality; ++v) {
+      w[static_cast<size_t>(v)] = RootWeight(j, v);
+    }
+  }
+
+  Row row(nodes_.size(), kNullValue);
+  std::vector<ValueId> parent_values;
+  for (int64_t r = 0; r < num_rows; ++r) {
+    for (AttrIndex j : topo_) {
+      const SemNode& spec = nodes_[static_cast<size_t>(j)];
+      ValueId v;
+      if (spec.parents.empty()) {
+        v = static_cast<ValueId>(
+            rng->NextWeighted(root_weights[static_cast<size_t>(j)]));
+      } else if (spec.noise > 0.0 && rng->NextBernoulli(spec.noise)) {
+        // Exogenous takeover: uniform over the domain.
+        v = static_cast<ValueId>(
+            rng->NextUint64(static_cast<uint64_t>(spec.cardinality)));
+      } else {
+        parent_values.clear();
+        for (AttrIndex p : spec.parents) {
+          parent_values.push_back(row[static_cast<size_t>(p)]);
+        }
+        v = StructuralFunction(j, parent_values);
+      }
+      row[static_cast<size_t>(j)] = v;
+    }
+    GUARDRAIL_CHECK_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+std::vector<std::vector<AttrIndex>> SemModel::ParentSets() const {
+  std::vector<std::vector<AttrIndex>> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.parents);
+  return out;
+}
+
+bool SemModel::IsFunctionalNode(AttrIndex node, double epsilon) const {
+  const SemNode& spec = nodes_[static_cast<size_t>(node)];
+  return !spec.parents.empty() && spec.noise <= epsilon;
+}
+
+SemModel BuildRandomSem(const RandomSemOptions& options, Rng* rng) {
+  GUARDRAIL_CHECK_GE(options.num_nodes, 1);
+  GUARDRAIL_CHECK_GE(options.min_cardinality, 2);
+  GUARDRAIL_CHECK_GE(options.max_cardinality, options.min_cardinality);
+  std::vector<SemNode> nodes;
+  nodes.reserve(static_cast<size_t>(options.num_nodes));
+  for (AttrIndex j = 0; j < options.num_nodes; ++j) {
+    SemNode node;
+    node.name = "attr" + std::to_string(j);
+    node.cardinality = static_cast<int32_t>(
+        rng->NextInt(options.min_cardinality, options.max_cardinality));
+    bool is_root = (j == 0) || rng->NextBernoulli(options.root_fraction);
+    if (!is_root) {
+      int32_t lo = std::max<int32_t>(0, j - options.parent_window);
+      int32_t num_parents =
+          (j >= 2 && rng->NextBernoulli(options.two_parent_fraction)) ? 2 : 1;
+      num_parents = std::min(num_parents, j - lo);
+      std::vector<size_t> picks = rng->SampleWithoutReplacement(
+          static_cast<size_t>(j - lo), static_cast<size_t>(num_parents));
+      for (size_t p : picks) {
+        node.parents.push_back(lo + static_cast<AttrIndex>(p));
+      }
+      std::sort(node.parents.begin(), node.parents.end());
+      node.noise = rng->NextBernoulli(options.functional_fraction)
+                       ? options.functional_noise
+                       : options.stochastic_noise;
+    }
+    nodes.push_back(std::move(node));
+  }
+  return SemModel(std::move(nodes), rng->NextUint64());
+}
+
+}  // namespace guardrail

@@ -1,0 +1,98 @@
+#ifndef GUARDRAIL_TABLE_SEM_GENERATOR_H_
+#define GUARDRAIL_TABLE_SEM_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace guardrail {
+
+/// One endogenous variable of a structural equation model (Def. 4.3): a
+/// categorical attribute whose value is a deterministic function of its
+/// parents, except with probability `noise` where an exogenous variable takes
+/// over and the value is sampled uniformly. noise == 0 yields a pure
+/// functional dependency; large noise yields a "stochastic" attribute for
+/// which no epsilon-valid constraint should exist.
+struct SemNode {
+  std::string name;
+  int32_t cardinality = 2;
+  std::vector<AttrIndex> parents;  // Indexes into SemModel::nodes.
+  double noise = 0.0;
+};
+
+/// A complete structural equation model over categorical variables. The
+/// deterministic functions f_X are derived from `function_seed` via hashing,
+/// so the model is fully reproducible without storing the (potentially huge)
+/// combo -> value maps.
+class SemModel {
+ public:
+  SemModel(std::vector<SemNode> nodes, uint64_t function_seed);
+
+  const std::vector<SemNode>& nodes() const { return nodes_; }
+  int32_t num_nodes() const { return static_cast<int32_t>(nodes_.size()); }
+
+  /// Topological order of the node DAG (parents precede children).
+  const std::vector<AttrIndex>& topological_order() const { return topo_; }
+
+  /// The structural function f_X applied to concrete parent values: a
+  /// deterministic pseudo-random but fixed mapping into [0, cardinality).
+  ValueId StructuralFunction(AttrIndex node,
+                             const std::vector<ValueId>& parent_values) const;
+
+  /// Root-node marginal weight for value v (Zipf-like skew so the data has
+  /// realistic non-uniform marginals).
+  double RootWeight(AttrIndex node, ValueId v) const;
+
+  /// Samples `num_rows` rows by ancestral sampling and returns them as a
+  /// dictionary-encoded Table with value labels "<name>_v<k>".
+  Table Sample(int64_t num_rows, Rng* rng) const;
+
+  /// parents[j] for all j — the ground-truth DAG, for structure-recovery
+  /// validation and oracle baselines.
+  std::vector<std::vector<AttrIndex>> ParentSets() const;
+
+  /// True if `node` is (near-)deterministic given its parents, i.e., a
+  /// synthesizable integrity constraint exists for it.
+  bool IsFunctionalNode(AttrIndex node, double epsilon) const;
+
+ private:
+  std::vector<SemNode> nodes_;
+  uint64_t function_seed_;
+  std::vector<AttrIndex> topo_;
+};
+
+/// Knobs for random SEM construction; see DatasetRepository for the presets
+/// standing in for the paper's 12 datasets.
+struct RandomSemOptions {
+  int32_t num_nodes = 8;
+  int32_t min_cardinality = 2;
+  int32_t max_cardinality = 6;
+  /// Fraction of nodes that are roots (no parents).
+  double root_fraction = 0.35;
+  /// Probability that a non-root node has two parents instead of one.
+  double two_parent_fraction = 0.35;
+  /// Nodes pick parents among the `parent_window` preceding nodes in the
+  /// generation order, yielding chain-like local structure
+  /// (PostalCode -> City -> State -> Country).
+  int32_t parent_window = 4;
+  /// Fraction of non-root nodes that are functional (tiny noise); the rest
+  /// are stochastic. Functional nodes keep a whisper of exogenous noise by
+  /// default: exact determinism violates faithfulness (a deterministic copy
+  /// d-separates its source from everything), a documented pathology for
+  /// constraint-based structure learning. 1% noise keeps branches
+  /// epsilon-valid at the recommended epsilon while restoring faithfulness.
+  double functional_fraction = 0.65;
+  double functional_noise = 0.01;
+  double stochastic_noise = 0.35;
+};
+
+/// Builds a random SEM; `rng` drives the structure, node `function_seed`s are
+/// derived from it so sampling is reproducible.
+SemModel BuildRandomSem(const RandomSemOptions& options, Rng* rng);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_SEM_GENERATOR_H_

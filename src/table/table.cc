@@ -1,0 +1,120 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace guardrail {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.num_attributes()));
+}
+
+Row Table::GetRow(RowIndex row) const {
+  Row out(static_cast<size_t>(num_columns()));
+  for (AttrIndex c = 0; c < num_columns(); ++c) {
+    out[static_cast<size_t>(c)] = Get(row, c);
+  }
+  return out;
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (static_cast<int32_t>(row.size()) != num_columns()) {
+    return Status::InvalidArgument("row width mismatch");
+  }
+  for (AttrIndex c = 0; c < num_columns(); ++c) {
+    ValueId v = row[static_cast<size_t>(c)];
+    if (v != kNullValue &&
+        (v < 0 || v >= schema_.attribute(c).domain_size())) {
+      return Status::OutOfRange("value code out of domain for attribute " +
+                                schema_.attribute(c).name());
+    }
+    columns_[static_cast<size_t>(c)].push_back(v);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendRowLabels(const std::vector<std::string>& labels) {
+  GUARDRAIL_CHECK_EQ(static_cast<int32_t>(labels.size()), num_columns());
+  for (AttrIndex c = 0; c < num_columns(); ++c) {
+    ValueId v = schema_.attribute(c).GetOrInsert(labels[static_cast<size_t>(c)]);
+    columns_[static_cast<size_t>(c)].push_back(v);
+  }
+  ++num_rows_;
+}
+
+std::string Table::GetLabel(RowIndex row, AttrIndex col) const {
+  ValueId v = Get(row, col);
+  if (v == kNullValue) return "<null>";
+  return schema_.attribute(col).label(v);
+}
+
+Table Table::Select(const std::vector<RowIndex>& rows) const {
+  Table out(schema_);
+  for (auto& col : out.columns_) col.reserve(rows.size());
+  for (AttrIndex c = 0; c < num_columns(); ++c) {
+    auto& dst = out.columns_[static_cast<size_t>(c)];
+    const auto& src = columns_[static_cast<size_t>(c)];
+    for (RowIndex r : rows) {
+      GUARDRAIL_CHECK_GE(r, 0);
+      GUARDRAIL_CHECK_LT(r, num_rows_);
+      dst.push_back(src[static_cast<size_t>(r)]);
+    }
+  }
+  out.num_rows_ = static_cast<int64_t>(rows.size());
+  return out;
+}
+
+Table Table::Head(int64_t n) const {
+  n = std::min(n, num_rows_);
+  std::vector<RowIndex> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), 0);
+  return Select(rows);
+}
+
+std::pair<Table, Table> Table::Split(double train_fraction, Rng* rng) const {
+  GUARDRAIL_CHECK_GE(train_fraction, 0.0);
+  GUARDRAIL_CHECK_LE(train_fraction, 1.0);
+  std::vector<RowIndex> order(static_cast<size_t>(num_rows_));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  auto cut = static_cast<size_t>(train_fraction * static_cast<double>(num_rows_));
+  std::vector<RowIndex> train(order.begin(), order.begin() + cut);
+  std::vector<RowIndex> test(order.begin() + cut, order.end());
+  return {Select(train), Select(test)};
+}
+
+CsvDocument Table::ToCsv() const {
+  CsvDocument doc;
+  doc.header = schema_.AttributeNames();
+  doc.rows.reserve(static_cast<size_t>(num_rows_));
+  for (RowIndex r = 0; r < num_rows_; ++r) {
+    std::vector<std::string> record;
+    record.reserve(static_cast<size_t>(num_columns()));
+    for (AttrIndex c = 0; c < num_columns(); ++c) {
+      ValueId v = Get(r, c);
+      record.push_back(v == kNullValue ? "" : schema_.attribute(c).label(v));
+    }
+    doc.rows.push_back(std::move(record));
+  }
+  return doc;
+}
+
+Result<Table> Table::FromCsv(const CsvDocument& doc) {
+  Schema schema;
+  for (const auto& name : doc.header) {
+    GUARDRAIL_RETURN_NOT_OK(schema.AddAttribute(Attribute(name)));
+  }
+  Table table(std::move(schema));
+  for (const auto& record : doc.rows) {
+    if (record.size() != doc.header.size()) {
+      return Status::InvalidArgument("CSV record width mismatch");
+    }
+    table.AppendRowLabels(record);
+  }
+  return table;
+}
+
+}  // namespace guardrail

@@ -1,0 +1,78 @@
+#ifndef GUARDRAIL_TABLE_TABLE_H_
+#define GUARDRAIL_TABLE_TABLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace guardrail {
+
+/// A column-major, dictionary-encoded categorical relation. Cheap to copy
+/// column slices, O(1) cell access, and all synthesis-time statistics operate
+/// directly on the dense codes.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  int64_t num_rows() const { return num_rows_; }
+  int32_t num_columns() const { return schema_.num_attributes(); }
+
+  /// Cell access; `row` in [0, num_rows), `col` in [0, num_columns).
+  ValueId Get(RowIndex row, AttrIndex col) const {
+    return columns_[static_cast<size_t>(col)][static_cast<size_t>(row)];
+  }
+  void Set(RowIndex row, AttrIndex col, ValueId value) {
+    columns_[static_cast<size_t>(col)][static_cast<size_t>(row)] = value;
+  }
+
+  /// Whole-column access for vectorized statistics.
+  const std::vector<ValueId>& column(AttrIndex col) const {
+    return columns_[static_cast<size_t>(col)];
+  }
+
+  /// Materializes row `row`.
+  Row GetRow(RowIndex row) const;
+
+  /// Appends a row; must have one code per attribute and codes must be valid
+  /// for each attribute's domain (or kNullValue).
+  Status AppendRow(const Row& row);
+
+  /// Appends a row given human-readable labels, extending domains as needed.
+  void AppendRowLabels(const std::vector<std::string>& labels);
+
+  /// Human-readable label of a cell ("<null>" for kNullValue).
+  std::string GetLabel(RowIndex row, AttrIndex col) const;
+
+  /// Returns a new table containing the given rows, sharing the schema.
+  Table Select(const std::vector<RowIndex>& rows) const;
+
+  /// Returns a new table with the first `n` rows.
+  Table Head(int64_t n) const;
+
+  /// Splits rows into (train, test) with `train_fraction` going to train,
+  /// after a deterministic shuffle driven by `rng`.
+  std::pair<Table, Table> Split(double train_fraction, Rng* rng) const;
+
+  /// CSV conversion: every attribute becomes a string column.
+  CsvDocument ToCsv() const;
+  static Result<Table> FromCsv(const CsvDocument& doc);
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<ValueId>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_TABLE_H_

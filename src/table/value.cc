@@ -1,0 +1,23 @@
+#include "table/value.h"
+
+#include "common/string_util.h"
+
+namespace guardrail {
+
+std::string Literal::ToString() const {
+  if (is_string()) return string_value();
+  if (is_boolean()) return boolean_value() ? "true" : "false";
+  double n = number_value();
+  // Integral doubles print without a trailing ".0" so they unify with
+  // integer-looking strings in dictionary domains.
+  if (n == static_cast<int64_t>(n) && n >= -1e15 && n <= 1e15) {
+    return std::to_string(static_cast<int64_t>(n));
+  }
+  return FormatDouble(n, 12);
+}
+
+bool Literal::operator==(const Literal& other) const {
+  return ToString() == other.ToString();
+}
+
+}  // namespace guardrail

@@ -1,0 +1,57 @@
+#ifndef GUARDRAIL_TABLE_VALUE_H_
+#define GUARDRAIL_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace guardrail {
+
+/// Dictionary code of a categorical value within its attribute's domain.
+/// Codes are dense indexes into Attribute::domain(). kNullValue represents a
+/// missing value or a value coerced to NULL by the `coerce` error-handling
+/// scheme.
+using ValueId = int32_t;
+inline constexpr ValueId kNullValue = -1;
+
+/// Index types, kept distinct from raw size_t in signatures for readability.
+using AttrIndex = int32_t;
+using RowIndex = int64_t;
+
+/// A materialized row: one dictionary code per attribute, in schema order.
+/// This doubles as the "program state" sigma of the DSL semantics (Sec. 2.2).
+using Row = std::vector<ValueId>;
+
+/// A literal in the DSL surface syntax: String | Number | Boolean (Fig. 2).
+/// Inside the engine literals are resolved to dictionary codes; Literal is the
+/// human-facing representation used by the parser, printer, and examples.
+class Literal {
+ public:
+  Literal() : value_(std::string()) {}
+  explicit Literal(std::string s) : value_(std::move(s)) {}
+  explicit Literal(double n) : value_(n) {}
+  explicit Literal(bool b) : value_(b) {}
+
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_boolean() const { return std::holds_alternative<bool>(value_); }
+
+  const std::string& string_value() const { return std::get<std::string>(value_); }
+  double number_value() const { return std::get<double>(value_); }
+  bool boolean_value() const { return std::get<bool>(value_); }
+
+  /// Canonical text form: strings verbatim, numbers via shortest round-trip
+  /// formatting, booleans as "true"/"false". This is the form stored in
+  /// attribute domains, so Literal("1.5") and Literal(1.5) unify.
+  std::string ToString() const;
+
+  bool operator==(const Literal& other) const;
+
+ private:
+  std::variant<std::string, double, bool> value_;
+};
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_TABLE_VALUE_H_

@@ -1,0 +1,502 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/ctane.h"
+#include "baselines/fd_detector.h"
+#include "baselines/fdx.h"
+#include "baselines/optsmt.h"
+#include "baselines/partition.h"
+#include "baselines/tane.h"
+#include "core/metrics.h"
+#include "table/error_injector.h"
+#include "table/sem_generator.h"
+
+namespace guardrail {
+namespace baselines {
+namespace {
+
+Table MakeFdTable() {
+  // zip -> city (exact FD), city -> state (exact FD), plus a free column.
+  Schema schema({Attribute("zip"), Attribute("city"), Attribute("state"),
+                 Attribute("free")});
+  Table t(std::move(schema));
+  const char* rows[][4] = {
+      {"94704", "Berkeley", "CA", "x"}, {"94704", "Berkeley", "CA", "y"},
+      {"94607", "Oakland", "CA", "x"},  {"94607", "Oakland", "CA", "z"},
+      {"10001", "NewYork", "NY", "y"},  {"10001", "NewYork", "NY", "z"},
+      {"73301", "Austin", "TX", "x"},   {"73301", "Austin", "TX", "y"},
+  };
+  for (const auto& row : rows) {
+    t.AppendRowLabels({row[0], row[1], row[2], row[3]});
+  }
+  return t;
+}
+
+// --------------------------------------------------------------- partition --
+
+TEST(StrippedPartitionTest, SingleAttributeClasses) {
+  Table t = MakeFdTable();
+  StrippedPartition p = StrippedPartition::ForAttribute(t, 0);
+  EXPECT_EQ(p.NumClasses(), 4);        // 4 zip values, each twice.
+  EXPECT_EQ(p.NumRowsInClasses(), 8);  // No singletons stripped here.
+  EXPECT_EQ(p.Error(), 4);             // ||pi|| - |pi|.
+}
+
+TEST(StrippedPartitionTest, SingletonsStripped) {
+  Schema schema({Attribute("a")});
+  Table t(std::move(schema));
+  t.AppendRowLabels({"x"});
+  t.AppendRowLabels({"x"});
+  t.AppendRowLabels({"y"});  // Singleton.
+  StrippedPartition p = StrippedPartition::ForAttribute(t, 0);
+  EXPECT_EQ(p.NumClasses(), 1);
+  EXPECT_EQ(p.NumRowsInClasses(), 2);
+}
+
+TEST(StrippedPartitionTest, ProductRefines) {
+  Table t = MakeFdTable();
+  StrippedPartition city = StrippedPartition::ForAttribute(t, 1);
+  StrippedPartition free = StrippedPartition::ForAttribute(t, 3);
+  StrippedPartition product =
+      StrippedPartition::Product(city, free, t.num_rows());
+  // city x free splits every city pair (free differs within each).
+  EXPECT_EQ(product.NumClasses(), 0);
+}
+
+TEST(StrippedPartitionTest, ProductWithSelfIsIdentity) {
+  Table t = MakeFdTable();
+  StrippedPartition zip = StrippedPartition::ForAttribute(t, 0);
+  StrippedPartition product = StrippedPartition::Product(zip, zip, t.num_rows());
+  EXPECT_EQ(product.NumClasses(), zip.NumClasses());
+  EXPECT_EQ(product.NumRowsInClasses(), zip.NumRowsInClasses());
+}
+
+TEST(StrippedPartitionTest, ExactFdViaRefinement) {
+  Table t = MakeFdTable();
+  StrippedPartition zip = StrippedPartition::ForAttribute(t, 0);
+  StrippedPartition city = StrippedPartition::ForAttribute(t, 1);
+  StrippedPartition zip_city = StrippedPartition::Product(zip, city, t.num_rows());
+  EXPECT_TRUE(zip.RefinesExactly(zip_city));             // zip -> city holds.
+  EXPECT_DOUBLE_EQ(zip.FdG3Error(zip_city, t.num_rows()), 0.0);
+
+  StrippedPartition free = StrippedPartition::ForAttribute(t, 3);
+  StrippedPartition zip_free = StrippedPartition::Product(zip, free, t.num_rows());
+  EXPECT_FALSE(zip.RefinesExactly(zip_free));            // zip -> free fails.
+  EXPECT_GT(zip.FdG3Error(zip_free, t.num_rows()), 0.0);
+}
+
+TEST(StrippedPartitionTest, G3ErrorCountsMinimalRemovals) {
+  // One violating row out of 4 in the 94704 class.
+  Table t = MakeFdTable();
+  t.AppendRowLabels({"94704", "Albany", "CA", "x"});  // Violates zip->city.
+  StrippedPartition zip = StrippedPartition::ForAttribute(t, 0);
+  StrippedPartition city = StrippedPartition::ForAttribute(t, 1);
+  StrippedPartition zip_city = StrippedPartition::Product(zip, city, t.num_rows());
+  EXPECT_NEAR(zip.FdG3Error(zip_city, t.num_rows()), 1.0 / 9.0, 1e-12);
+}
+
+// -------------------------------------------------------------------- TANE --
+
+TEST(TaneTest, DiscoversExactFds) {
+  Table t = MakeFdTable();
+  Tane tane({});
+  auto fds = tane.Discover(t);
+  ASSERT_TRUE(fds.ok());
+  auto has_fd = [&](std::vector<AttrIndex> lhs, AttrIndex rhs) {
+    return std::find_if(fds->begin(), fds->end(), [&](const Fd& fd) {
+             return fd.lhs == lhs && fd.rhs == rhs;
+           }) != fds->end();
+  };
+  EXPECT_TRUE(has_fd({0}, 1));  // zip -> city.
+  EXPECT_TRUE(has_fd({0}, 2));  // zip -> state.
+  EXPECT_TRUE(has_fd({1}, 2));  // city -> state.
+  EXPECT_FALSE(has_fd({0}, 3));
+  EXPECT_FALSE(has_fd({3}, 0));
+}
+
+TEST(TaneTest, MinimalityPruning) {
+  Table t = MakeFdTable();
+  Tane tane({});
+  auto fds = tane.Discover(t);
+  ASSERT_TRUE(fds.ok());
+  // city -> state holds, so {zip, city} -> state must not be reported.
+  for (const auto& fd : *fds) {
+    if (fd.rhs == 2) {
+      EXPECT_LE(fd.lhs.size(), 1u) << FdToString(fd, t.schema());
+    }
+  }
+}
+
+TEST(TaneTest, ApproximateFdUnderG3Threshold) {
+  Table t = MakeFdTable();
+  t.AppendRowLabels({"94704", "Albany", "CA", "x"});  // 1 violation in 9.
+  Tane exact({});
+  auto exact_fds = exact.Discover(t);
+  ASSERT_TRUE(exact_fds.ok());
+  bool zip_city_exact =
+      std::any_of(exact_fds->begin(), exact_fds->end(), [](const Fd& fd) {
+        return fd.lhs == std::vector<AttrIndex>{0} && fd.rhs == 1;
+      });
+  EXPECT_FALSE(zip_city_exact);
+
+  Tane::Options opt;
+  opt.max_g3_error = 0.15;
+  Tane approx(opt);
+  auto approx_fds = approx.Discover(t);
+  ASSERT_TRUE(approx_fds.ok());
+  bool zip_city_approx =
+      std::any_of(approx_fds->begin(), approx_fds->end(), [](const Fd& fd) {
+        return fd.lhs == std::vector<AttrIndex>{0} && fd.rhs == 1;
+      });
+  EXPECT_TRUE(zip_city_approx);
+}
+
+TEST(TaneTest, RespectsMaxLhsSize) {
+  Table t = MakeFdTable();
+  Tane::Options opt;
+  opt.max_lhs_size = 1;
+  Tane tane(opt);
+  auto fds = tane.Discover(t);
+  ASSERT_TRUE(fds.ok());
+  for (const auto& fd : *fds) EXPECT_EQ(fd.lhs.size(), 1u);
+}
+
+TEST(TaneTest, FindsCompositeLhs) {
+  // c determined only by (a, b) jointly: c = a XOR b.
+  Schema schema({Attribute("a"), Attribute("b"), Attribute("c")});
+  Table t(std::move(schema));
+  for (int i = 0; i < 16; ++i) {
+    int a = i % 2, b = (i / 2) % 2;
+    t.AppendRowLabels({std::to_string(a), std::to_string(b),
+                       std::to_string(a ^ b)});
+  }
+  Tane tane({});
+  auto fds = tane.Discover(t);
+  ASSERT_TRUE(fds.ok());
+  bool joint = std::any_of(fds->begin(), fds->end(), [](const Fd& fd) {
+    return fd.lhs == std::vector<AttrIndex>{0, 1} && fd.rhs == 2;
+  });
+  bool single = std::any_of(fds->begin(), fds->end(), [](const Fd& fd) {
+    return fd.lhs.size() == 1 && fd.rhs == 2;
+  });
+  EXPECT_TRUE(joint);
+  EXPECT_FALSE(single);
+}
+
+TEST(TaneTest, SemDataRecoverFunctionalEdges) {
+  std::vector<SemNode> nodes(3);
+  nodes[0] = {"a", 5, {}, 0.0};
+  nodes[1] = {"b", 4, {0}, 0.0};
+  nodes[2] = {"c", 3, {1}, 0.0};
+  SemModel sem(std::move(nodes), 31);
+  Rng rng(32);
+  Table data = sem.Sample(1000, &rng);
+  Tane tane({});
+  auto fds = tane.Discover(data);
+  ASSERT_TRUE(fds.ok());
+  bool ab = std::any_of(fds->begin(), fds->end(), [](const Fd& fd) {
+    return fd.lhs == std::vector<AttrIndex>{0} && fd.rhs == 1;
+  });
+  EXPECT_TRUE(ab);
+}
+
+TEST(TaneTest, MatchesBruteForceOnRandomTables) {
+  // Property: on random small tables, TANE's exact-FD output equals the
+  // brute-force enumeration of *minimal* exact FDs with |lhs| <= 2.
+  Rng master(0x7A7E);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random 4-column table with clustered values so some FDs hold.
+    Schema schema({Attribute("a"), Attribute("b"), Attribute("c"),
+                   Attribute("d")});
+    Table t(std::move(schema));
+    int64_t rows = 20 + static_cast<int64_t>(master.NextUint64(30));
+    for (int64_t r = 0; r < rows; ++r) {
+      int64_t group = static_cast<int64_t>(master.NextUint64(5));
+      t.AppendRowLabels({
+          "a" + std::to_string(group),
+          "b" + std::to_string(group % 3),
+          "c" + std::to_string(master.NextUint64(3)),
+          "d" + std::to_string((group + master.NextUint64(2)) % 4),
+      });
+    }
+
+    // Brute force: exact FD X -> y holds iff no two rows agree on X but
+    // disagree on y; minimal iff no proper subset of X also determines y.
+    auto holds = [&](const std::vector<AttrIndex>& lhs, AttrIndex rhs) {
+      for (RowIndex i = 0; i < t.num_rows(); ++i) {
+        for (RowIndex j = i + 1; j < t.num_rows(); ++j) {
+          bool agree = true;
+          for (AttrIndex a : lhs) agree = agree && t.Get(i, a) == t.Get(j, a);
+          if (agree && t.Get(i, rhs) != t.Get(j, rhs)) return false;
+        }
+      }
+      return true;
+    };
+    std::set<std::pair<std::vector<AttrIndex>, AttrIndex>> brute;
+    for (AttrIndex y = 0; y < 4; ++y) {
+      for (AttrIndex x = 0; x < 4; ++x) {
+        if (x != y && holds({x}, y)) brute.insert({{x}, y});
+      }
+      for (AttrIndex x1 = 0; x1 < 4; ++x1) {
+        for (AttrIndex x2 = x1 + 1; x2 < 4; ++x2) {
+          if (x1 == y || x2 == y) continue;
+          if (brute.count({{x1}, y}) || brute.count({{x2}, y})) continue;
+          if (holds({x1, x2}, y)) brute.insert({{x1, x2}, y});
+        }
+      }
+    }
+
+    Tane::Options opt;
+    opt.max_lhs_size = 2;
+    auto fds = Tane(opt).Discover(t);
+    ASSERT_TRUE(fds.ok()) << "trial " << trial;
+    std::set<std::pair<std::vector<AttrIndex>, AttrIndex>> mined;
+    for (const auto& fd : *fds) mined.insert({fd.lhs, fd.rhs});
+    EXPECT_EQ(mined, brute) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------------- CTANE --
+
+TEST(CtaneTest, DiscoversConstantRules) {
+  Table t = MakeFdTable();
+  Ctane::Options opt;
+  opt.min_support = 2;
+  Ctane ctane(opt);
+  auto cfds = ctane.Discover(t);
+  ASSERT_TRUE(cfds.ok());
+  bool berkeley_ca = std::any_of(
+      cfds->begin(), cfds->end(), [&](const ConstantCfd& cfd) {
+        return cfd.lhs.size() == 1 && cfd.lhs[0] == 1 &&
+               t.schema().attribute(1).label(cfd.lhs_values[0]) == "Berkeley" &&
+               cfd.rhs == 2 &&
+               t.schema().attribute(2).label(cfd.rhs_value) == "CA";
+      });
+  EXPECT_TRUE(berkeley_ca);
+}
+
+TEST(CtaneTest, RespectsMinSupport) {
+  Table t = MakeFdTable();
+  Ctane::Options opt;
+  opt.min_support = 100;
+  Ctane ctane(opt);
+  auto cfds = ctane.Discover(t);
+  ASSERT_TRUE(cfds.ok());
+  EXPECT_TRUE(cfds->empty());
+}
+
+TEST(CtaneTest, ConfidenceFiltersImpureRules) {
+  Schema schema({Attribute("a"), Attribute("b")});
+  Table t(std::move(schema));
+  // a=x maps to b=p 3 times, b=q once: confidence 0.75.
+  t.AppendRowLabels({"x", "p"});
+  t.AppendRowLabels({"x", "p"});
+  t.AppendRowLabels({"x", "p"});
+  t.AppendRowLabels({"x", "q"});
+  auto rules_on_b = [](const std::vector<ConstantCfd>& cfds) {
+    std::vector<ConstantCfd> out;
+    for (const auto& cfd : cfds) {
+      if (cfd.rhs == 1) out.push_back(cfd);
+    }
+    return out;
+  };
+  // Note [b='p'] -> a='x' has confidence 1.0 and is legitimately found in
+  // both configurations; only rules targeting b are confidence-gated here.
+  Ctane::Options strict;
+  strict.min_support = 2;
+  strict.min_confidence = 0.9;
+  auto none = Ctane(strict).Discover(t);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(rules_on_b(*none).empty());
+
+  Ctane::Options loose = strict;
+  loose.min_confidence = 0.7;
+  auto some = Ctane(loose).Discover(t);
+  ASSERT_TRUE(some.ok());
+  auto on_b = rules_on_b(*some);
+  ASSERT_EQ(on_b.size(), 1u);
+  EXPECT_NEAR(on_b[0].confidence, 0.75, 1e-12);
+  EXPECT_EQ(on_b[0].support, 4);
+}
+
+TEST(CtaneTest, MinimalityPrunesSupersetPatterns) {
+  Table t = MakeFdTable();
+  Ctane::Options opt;
+  opt.min_support = 2;
+  opt.max_lhs_size = 2;
+  auto cfds = Ctane(opt).Discover(t);
+  ASSERT_TRUE(cfds.ok());
+  // [city='Berkeley'] -> state='CA' holds, so no
+  // [zip='94704', city='Berkeley'] -> state rule should appear.
+  for (const auto& cfd : *cfds) {
+    if (cfd.rhs == 2 && cfd.lhs.size() == 2) {
+      bool has_berkeley = false;
+      for (size_t i = 0; i < cfd.lhs.size(); ++i) {
+        has_berkeley =
+            has_berkeley ||
+            (cfd.lhs[i] == 1 &&
+             t.schema().attribute(1).label(cfd.lhs_values[i]) == "Berkeley");
+      }
+      EXPECT_FALSE(has_berkeley) << CfdToString(cfd, t.schema());
+    }
+  }
+}
+
+// --------------------------------------------------------------------- FDX --
+
+TEST(FdxTest, RecoversFunctionalEdgesOnChain) {
+  std::vector<SemNode> nodes(3);
+  nodes[0] = {"a", 5, {}, 0.0};
+  nodes[1] = {"b", 5, {0}, 0.02};
+  nodes[2] = {"c", 5, {1}, 0.02};
+  SemModel sem(std::move(nodes), 51);
+  Rng rng(52);
+  Table data = sem.Sample(3000, &rng);
+  Fdx fdx({});
+  auto fds = fdx.Discover(data, &rng);
+  ASSERT_TRUE(fds.ok());
+  // Some dependency touching (0,1) and (1,2) should appear.
+  auto touches = [&](AttrIndex x, AttrIndex y) {
+    return std::any_of(fds->begin(), fds->end(), [&](const Fd& fd) {
+      bool x_in = std::find(fd.lhs.begin(), fd.lhs.end(), x) != fd.lhs.end();
+      bool y_in = std::find(fd.lhs.begin(), fd.lhs.end(), y) != fd.lhs.end();
+      return (x_in && fd.rhs == y) || (y_in && fd.rhs == x);
+    });
+  };
+  EXPECT_TRUE(touches(0, 1));
+  EXPECT_TRUE(touches(1, 2));
+}
+
+TEST(FdxTest, FailsOnDegenerateConstantColumn) {
+  // A constant attribute gives a zero-variance indicator; with a tiny ridge
+  // the inversion is ill-conditioned, reproducing FDX's failure mode.
+  Schema schema({Attribute("a"), Attribute("b")});
+  Table t(std::move(schema));
+  Rng rng(53);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRowLabels({"const", "v" + std::to_string(rng.NextUint64(3))});
+  }
+  Fdx::Options opt;
+  opt.ridge = 0.0;
+  Fdx fdx(opt);
+  auto fds = fdx.Discover(t, &rng);
+  EXPECT_FALSE(fds.ok());
+}
+
+TEST(FdxTest, TooFewRowsRejected) {
+  Schema schema({Attribute("a")});
+  Table t(std::move(schema));
+  t.AppendRowLabels({"x"});
+  Rng rng(54);
+  EXPECT_FALSE(Fdx({}).Discover(t, &rng).ok());
+}
+
+// --------------------------------------------------------------- detectors --
+
+TEST(FdDetectorTest, FlagsViolatingRowsOnly) {
+  Table train = MakeFdTable();
+  FdDetector detector({Fd{{0}, 1, 0.0}}, {});
+  detector.Fit(train);
+  EXPECT_GT(detector.num_mappings(), 0);
+
+  Table test = MakeFdTable();
+  test.AppendRowLabels({"94704", "Oakland", "CA", "x"});  // Violation.
+  auto flags = detector.Detect(test);
+  ASSERT_EQ(flags.size(), 9u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_FALSE(flags[i]);
+  EXPECT_TRUE(flags[8]);
+}
+
+TEST(FdDetectorTest, UnknownCombosAreNotFlagged) {
+  Table train = MakeFdTable();
+  FdDetector detector({Fd{{0}, 1, 0.0}}, {});
+  detector.Fit(train);
+  Table test(train.schema());
+  test.AppendRowLabels({"99999", "Nowhere", "XX", "x"});
+  auto flags = detector.Detect(test);
+  EXPECT_FALSE(flags[0]);
+}
+
+TEST(FdDetectorTest, ConfidenceGateSkipsImpureMappings) {
+  Schema schema({Attribute("a"), Attribute("b")});
+  Table train(std::move(schema));
+  train.AppendRowLabels({"x", "p"});
+  train.AppendRowLabels({"x", "q"});  // 50/50: not a trustworthy mapping.
+  FdDetector::Options opt;
+  opt.min_confidence = 0.9;
+  FdDetector detector({Fd{{0}, 1, 0.0}}, opt);
+  detector.Fit(train);
+  EXPECT_EQ(detector.num_mappings(), 0);
+}
+
+TEST(CfdDetectorTest, FlagsPatternViolations) {
+  Table t = MakeFdTable();
+  ConstantCfd cfd;
+  cfd.lhs = {1};
+  cfd.lhs_values = {t.schema().attribute(1).Lookup("Berkeley")};
+  cfd.rhs = 2;
+  cfd.rhs_value = t.schema().attribute(2).Lookup("CA");
+  CfdDetector detector({cfd});
+  Table test = t;
+  test.AppendRowLabels({"94704", "Berkeley", "NY", "x"});  // Violation.
+  auto flags = detector.Detect(test);
+  EXPECT_TRUE(flags.back());
+  for (size_t i = 0; i + 1 < flags.size(); ++i) EXPECT_FALSE(flags[i]);
+}
+
+// ------------------------------------------------------------------ OptSMT --
+
+TEST(OptSmtTest, ExactOnTinyDataset) {
+  std::vector<SemNode> nodes(3);
+  nodes[0] = {"a", 4, {}, 0.0};
+  nodes[1] = {"b", 4, {0}, 0.0};
+  nodes[2] = {"c", 3, {1}, 0.0};
+  SemModel sem(std::move(nodes), 61);
+  Rng rng(62);
+  Table data = sem.Sample(400, &rng);
+  OptSmtSynthesizer::Options opt;
+  opt.epsilon = 0.01;
+  opt.time_budget_seconds = 30.0;
+  OptSmtSynthesizer synth(opt);
+  auto result = synth.Synthesize(data);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_GT(result.clauses_generated, 0);
+  EXPECT_GT(result.candidates_explored, 0);
+  // The exact search finds epsilon-valid statements for b and c.
+  EXPECT_GE(result.program.statements.size(), 2u);
+  EXPECT_TRUE(core::IsProgramEpsilonValid(result.program, data, 0.01));
+}
+
+TEST(OptSmtTest, TimesOutOnTightBudget) {
+  RandomSemOptions opt;
+  opt.num_nodes = 12;
+  Rng rng(63);
+  SemModel sem = BuildRandomSem(opt, &rng);
+  Table data = sem.Sample(5000, &rng);
+  OptSmtSynthesizer::Options sopt;
+  sopt.time_budget_seconds = 0.0;  // Instant budget exhaustion.
+  OptSmtSynthesizer synth(sopt);
+  auto result = synth.Synthesize(data);
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(OptSmtTest, ClauseCountGrowsWithData) {
+  std::vector<SemNode> nodes(3);
+  nodes[0] = {"a", 4, {}, 0.0};
+  nodes[1] = {"b", 4, {0}, 0.0};
+  nodes[2] = {"c", 3, {1}, 0.0};
+  SemModel sem(std::move(nodes), 64);
+  Rng rng(65);
+  Table small = sem.Sample(100, &rng);
+  Table large = sem.Sample(1000, &rng);
+  OptSmtSynthesizer synth({});
+  auto rs = synth.Synthesize(small);
+  auto rl = synth.Synthesize(large);
+  EXPECT_GT(rl.clauses_generated, rs.clauses_generated * 5);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace guardrail

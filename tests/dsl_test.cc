@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include "core/ast.h"
+#include "core/guard.h"
+#include "core/interpreter.h"
+#include "core/metrics.h"
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace guardrail {
+namespace core {
+namespace {
+
+// Brace-free Branch construction (Branch carries advisory metadata fields
+// beyond the three semantic ones).
+core::Branch MakeBranch(AttrIndex det, ValueId det_value, AttrIndex target,
+                        ValueId assignment) {
+  core::Branch branch;
+  branch.condition.equalities = {{det, det_value}};
+  branch.target = target;
+  branch.assignment = assignment;
+  return branch;
+}
+
+// Shared fixture: the paper's running PostalCode/City example.
+class DslTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    ASSERT_TRUE(schema.AddAttribute(Attribute("zip")).ok());
+    ASSERT_TRUE(schema.AddAttribute(Attribute("city")).ok());
+    ASSERT_TRUE(schema.AddAttribute(Attribute("state")).ok());
+    data_ = Table(std::move(schema));
+    // zip -> city -> state; one corrupted row at the end.
+    data_.AppendRowLabels({"94704", "Berkeley", "CA"});
+    data_.AppendRowLabels({"94704", "Berkeley", "CA"});
+    data_.AppendRowLabels({"94607", "Oakland", "CA"});
+    data_.AppendRowLabels({"10001", "NewYork", "NY"});
+    data_.AppendRowLabels({"94704", "gibbon", "CA"});  // Corrupted city.
+
+    zip_berkeley_ = data_.schema().attribute(0).Lookup("94704");
+    zip_oakland_ = data_.schema().attribute(0).Lookup("94607");
+    zip_ny_ = data_.schema().attribute(0).Lookup("10001");
+    berkeley_ = data_.schema().attribute(1).Lookup("Berkeley");
+    oakland_ = data_.schema().attribute(1).Lookup("Oakland");
+    newyork_ = data_.schema().attribute(1).Lookup("NewYork");
+    gibbon_ = data_.schema().attribute(1).Lookup("gibbon");
+
+    Statement stmt;
+    stmt.determinants = {0};
+    stmt.dependent = 1;
+    stmt.branches = {
+        MakeBranch(0, zip_berkeley_, 1, berkeley_),
+        MakeBranch(0, zip_oakland_, 1, oakland_),
+        MakeBranch(0, zip_ny_, 1, newyork_),
+    };
+    program_.statements.push_back(std::move(stmt));
+  }
+
+  Table data_;
+  Program program_;
+  ValueId zip_berkeley_, zip_oakland_, zip_ny_;
+  ValueId berkeley_, oakland_, newyork_, gibbon_;
+};
+
+// ----------------------------------------------------------- validation --
+
+TEST_F(DslTest, ValidProgramPasses) {
+  EXPECT_TRUE(ValidateProgram(program_, data_.schema()).ok());
+}
+
+TEST_F(DslTest, EmptyGivenRejected) {
+  Program p = program_;
+  p.statements[0].determinants.clear();
+  EXPECT_FALSE(ValidateProgram(p, data_.schema()).ok());
+}
+
+TEST_F(DslTest, DependentInGivenRejected) {
+  Program p = program_;
+  p.statements[0].determinants = {1};
+  EXPECT_FALSE(ValidateProgram(p, data_.schema()).ok());
+}
+
+TEST_F(DslTest, BranchTargetMismatchRejected) {
+  Program p = program_;
+  p.statements[0].branches[0].target = 2;
+  EXPECT_FALSE(ValidateProgram(p, data_.schema()).ok());
+}
+
+TEST_F(DslTest, ConditionOutsideGivenRejected) {
+  Program p = program_;
+  p.statements[0].branches[0].condition.equalities = {{2, 0}};
+  EXPECT_FALSE(ValidateProgram(p, data_.schema()).ok());
+}
+
+TEST_F(DslTest, OutOfDomainLiteralRejected) {
+  Program p = program_;
+  p.statements[0].branches[0].assignment = 99;
+  EXPECT_FALSE(ValidateProgram(p, data_.schema()).ok());
+}
+
+TEST_F(DslTest, EmptyHavingRejected) {
+  Program p = program_;
+  p.statements[0].branches.clear();
+  EXPECT_FALSE(ValidateProgram(p, data_.schema()).ok());
+}
+
+// ---------------------------------------------------------- interpreter --
+
+TEST_F(DslTest, ExecuteAssignsDependent) {
+  Interpreter interp(&program_);
+  Row corrupted = data_.GetRow(4);  // zip=94704, city=gibbon.
+  Row repaired = interp.Execute(corrupted);
+  EXPECT_EQ(repaired[1], berkeley_);
+  EXPECT_EQ(repaired[0], corrupted[0]);
+  EXPECT_EQ(repaired[2], corrupted[2]);
+}
+
+TEST_F(DslTest, ExecuteIsIdentityOnCleanRows) {
+  Interpreter interp(&program_);
+  for (RowIndex r = 0; r < 4; ++r) {
+    Row row = data_.GetRow(r);
+    EXPECT_EQ(interp.Execute(row), row) << "row " << r;
+  }
+}
+
+TEST_F(DslTest, SatisfiesMatchesEqn1) {
+  Interpreter interp(&program_);
+  EXPECT_TRUE(interp.Satisfies(data_.GetRow(0)));
+  EXPECT_FALSE(interp.Satisfies(data_.GetRow(4)));
+}
+
+TEST_F(DslTest, CheckReportsViolationDetails) {
+  Interpreter interp(&program_);
+  auto violations = interp.Check(data_.GetRow(4));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].attribute, 1);
+  EXPECT_EQ(violations[0].expected, berkeley_);
+  EXPECT_EQ(violations[0].actual, gibbon_);
+  EXPECT_EQ(violations[0].statement_index, 0);
+  EXPECT_EQ(violations[0].branch_index, 0);
+}
+
+TEST_F(DslTest, UnmatchedRowIsUnconstrained) {
+  Interpreter interp(&program_);
+  // A zip outside all branch conditions: no branch fires, row satisfies.
+  Row row = data_.GetRow(0);
+  row[0] = data_.mutable_schema().attribute(0).GetOrInsert("99999");
+  EXPECT_TRUE(interp.Satisfies(row));
+  EXPECT_TRUE(interp.Check(row).empty());
+}
+
+TEST_F(DslTest, FirstMatchingBranchWins) {
+  // Two branches with the same condition but different assignments: the
+  // first fires.
+  Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  stmt.branches = {
+      MakeBranch(0, zip_berkeley_, 1, oakland_),
+      MakeBranch(0, zip_berkeley_, 1, berkeley_),
+  };
+  Program p;
+  p.statements.push_back(stmt);
+  Interpreter interp(&p);
+  Row row = data_.GetRow(0);
+  EXPECT_EQ(interp.Execute(row)[1], oakland_);
+}
+
+TEST_F(DslTest, MultiStatementProgramAppliesEach) {
+  // Add city -> state.
+  ValueId ca = data_.schema().attribute(2).Lookup("CA");
+  ValueId ny = data_.schema().attribute(2).Lookup("NY");
+  Statement stmt2;
+  stmt2.determinants = {1};
+  stmt2.dependent = 2;
+  stmt2.branches = {
+      MakeBranch(1, berkeley_, 2, ca),
+      MakeBranch(1, newyork_, 2, ny),
+  };
+  Program p = program_;
+  p.statements.push_back(stmt2);
+  Interpreter interp(&p);
+  Row row = data_.GetRow(0);
+  row[2] = ny;  // Corrupt state.
+  auto violations = interp.Check(row);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].attribute, 2);
+  EXPECT_EQ(interp.Execute(row)[2], ca);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST_F(DslTest, BranchStatsCountSupportAndLoss) {
+  const Branch& b = program_.statements[0].branches[0];  // 94704 -> Berkeley
+  BranchStats stats = ComputeBranchStats(b, data_);
+  EXPECT_EQ(stats.support, 3);  // Rows 0, 1, 4.
+  EXPECT_EQ(stats.loss, 1);     // Row 4 (gibbon).
+}
+
+TEST_F(DslTest, CoverageFollowsEqn5And6) {
+  const Statement& s = program_.statements[0];
+  EXPECT_DOUBLE_EQ(BranchCoverage(s.branches[0], data_), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(BranchCoverage(s.branches[1], data_), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(BranchCoverage(s.branches[2], data_), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(StatementCoverage(s, data_), 1.0);
+  EXPECT_DOUBLE_EQ(ProgramCoverage(program_, data_), 1.0);
+}
+
+TEST_F(DslTest, EmptyProgramHasZeroCoverage) {
+  Program empty;
+  EXPECT_DOUBLE_EQ(ProgramCoverage(empty, data_), 0.0);
+  EXPECT_EQ(ProgramLoss(empty, data_), 0);
+  EXPECT_TRUE(IsProgramEpsilonValid(empty, data_, 0.0));
+}
+
+TEST_F(DslTest, EpsilonValidityThreshold) {
+  const Branch& b = program_.statements[0].branches[0];
+  // loss=1, support=3: valid iff 1 <= 3 * eps, i.e. eps >= 1/3.
+  EXPECT_FALSE(IsBranchEpsilonValid(b, data_, 0.2));
+  EXPECT_TRUE(IsBranchEpsilonValid(b, data_, 0.34));
+  EXPECT_FALSE(IsStatementEpsilonValid(program_.statements[0], data_, 0.2));
+  EXPECT_TRUE(IsProgramEpsilonValid(program_, data_, 0.34));
+}
+
+TEST_F(DslTest, ProgramLossSumsBranchLosses) {
+  EXPECT_EQ(ProgramLoss(program_, data_), 1);
+  EXPECT_EQ(StatementLoss(program_.statements[0], data_), 1);
+}
+
+// ------------------------------------------------------ printer / parser --
+
+TEST_F(DslTest, PrinterEmitsSurfaceSyntax) {
+  std::string text = ToDsl(program_, data_.schema());
+  EXPECT_NE(text.find("GIVEN zip ON city HAVING"), std::string::npos);
+  EXPECT_NE(text.find("IF zip = '94704' THEN city <- 'Berkeley';"),
+            std::string::npos);
+}
+
+TEST_F(DslTest, ParsePrintRoundTrip) {
+  std::string text = ToDsl(program_, data_.schema());
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(text, &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == program_);
+  // Round-trip again: printing the parse yields identical text.
+  EXPECT_EQ(ToDsl(*parsed, schema), text);
+}
+
+TEST_F(DslTest, ParserHandlesMultiDeterminantAndConjunction) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(
+      "GIVEN zip, city ON state HAVING\n"
+      "  IF zip = '94704' AND city = 'Berkeley' THEN state <- 'CA';",
+      &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Statement& s = parsed->statements[0];
+  EXPECT_EQ(s.determinants, (std::vector<AttrIndex>{0, 1}));
+  EXPECT_EQ(s.dependent, 2);
+  ASSERT_EQ(s.branches.size(), 1u);
+  EXPECT_EQ(s.branches[0].condition.equalities.size(), 2u);
+}
+
+TEST_F(DslTest, ParserExtendsDomainForUnseenLiterals) {
+  Schema schema = data_.schema();
+  int32_t before = schema.attribute(1).domain_size();
+  auto parsed = ParseProgram(
+      "GIVEN zip ON city HAVING IF zip = '77777' THEN city <- 'Houston';",
+      &schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(schema.attribute(1).domain_size(), before + 1);
+  EXPECT_GE(schema.attribute(0).Lookup("77777"), 0);
+}
+
+TEST_F(DslTest, ParserRejectsUnknownAttribute) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(
+      "GIVEN nosuch ON city HAVING IF nosuch = 'x' THEN city <- 'y';",
+      &schema);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DslTest, ParserRejectsTargetMismatch) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(
+      "GIVEN zip ON city HAVING IF zip = '94704' THEN state <- 'CA';",
+      &schema);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(DslTest, ParserRejectsMissingSemicolon) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(
+      "GIVEN zip ON city HAVING IF zip = '94704' THEN city <- 'Berkeley'",
+      &schema);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(DslTest, ParserRejectsStatementWithoutBranches) {
+  Schema schema = data_.schema();
+  EXPECT_FALSE(ParseProgram("GIVEN zip ON city HAVING", &schema).ok());
+}
+
+TEST_F(DslTest, ParserHandlesEscapedQuotes) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(
+      "GIVEN zip ON city HAVING IF zip = 'it\\'s' THEN city <- 'x\\\\y';",
+      &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The printer escapes them back; round-trip preserves the program.
+  std::string printed = ToDsl(*parsed, schema);
+  Schema schema2 = schema;
+  auto reparsed = ParseProgram(printed, &schema2);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*reparsed == *parsed);
+}
+
+TEST_F(DslTest, ParserCaseInsensitiveKeywords) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram(
+      "given zip on city having if zip = '94704' then city <- 'Berkeley';",
+      &schema);
+  ASSERT_TRUE(parsed.ok());
+}
+
+TEST_F(DslTest, EmptyProgramParses) {
+  Schema schema = data_.schema();
+  auto parsed = ParseProgram("", &schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+// ------------------------------------------------------------------ guard --
+
+TEST_F(DslTest, GuardRaisePolicy) {
+  Guard guard(&program_);
+  EXPECT_TRUE(guard.ProcessRow(data_.GetRow(0), ErrorPolicy::kRaise).ok());
+  auto bad = guard.ProcessRow(data_.GetRow(4), ErrorPolicy::kRaise);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsConstraintViolation());
+}
+
+TEST_F(DslTest, GuardIgnorePolicyLeavesRow) {
+  Guard guard(&program_);
+  auto row = guard.ProcessRow(data_.GetRow(4), ErrorPolicy::kIgnore);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, data_.GetRow(4));
+}
+
+TEST_F(DslTest, GuardCoercePolicyNullsViolations) {
+  Guard guard(&program_);
+  auto row = guard.ProcessRow(data_.GetRow(4), ErrorPolicy::kCoerce);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1], kNullValue);
+}
+
+TEST_F(DslTest, GuardRectifyPolicyRepairs) {
+  Guard guard(&program_);
+  auto row = guard.ProcessRow(data_.GetRow(4), ErrorPolicy::kRectify);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1], berkeley_);
+}
+
+TEST_F(DslTest, GuardRectifyIsIdempotent) {
+  Guard guard(&program_);
+  auto once = guard.ProcessRow(data_.GetRow(4), ErrorPolicy::kRectify);
+  ASSERT_TRUE(once.ok());
+  auto twice = guard.ProcessRow(*once, ErrorPolicy::kRectify);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+  EXPECT_TRUE(guard.interpreter().Satisfies(*once));
+}
+
+TEST_F(DslTest, GuardProcessTableRectify) {
+  Guard guard(&program_);
+  Table copy = data_;
+  GuardOutcome outcome = guard.ProcessTable(&copy, ErrorPolicy::kRectify);
+  EXPECT_EQ(outcome.rows_checked, 5);
+  EXPECT_EQ(outcome.rows_flagged, 1);
+  EXPECT_EQ(outcome.cells_repaired, 1);
+  EXPECT_TRUE(outcome.flagged[4]);
+  EXPECT_EQ(copy.GetLabel(4, 1), "Berkeley");
+}
+
+TEST_F(DslTest, GuardProcessTableRaiseStopsEarly) {
+  Guard guard(&program_);
+  Table copy = data_;
+  GuardOutcome outcome = guard.ProcessTable(&copy, ErrorPolicy::kRaise);
+  EXPECT_EQ(outcome.rows_flagged, 1);
+  EXPECT_EQ(outcome.rows_checked, 5);  // Stopped at the violating row.
+  EXPECT_EQ(copy.GetLabel(4, 1), "gibbon");  // Unmodified.
+}
+
+TEST_F(DslTest, GuardDetectViolationsMatchesInterpreter) {
+  Guard guard(&program_);
+  auto flags = guard.DetectViolations(data_);
+  ASSERT_EQ(flags.size(), 5u);
+  EXPECT_FALSE(flags[0]);
+  EXPECT_TRUE(flags[4]);
+}
+
+TEST(ErrorPolicyTest, Names) {
+  EXPECT_STREQ(ErrorPolicyName(ErrorPolicy::kRaise), "raise");
+  EXPECT_STREQ(ErrorPolicyName(ErrorPolicy::kIgnore), "ignore");
+  EXPECT_STREQ(ErrorPolicyName(ErrorPolicy::kCoerce), "coerce");
+  EXPECT_STREQ(ErrorPolicyName(ErrorPolicy::kRectify), "rectify");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace guardrail

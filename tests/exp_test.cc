@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "exp/detection_metrics.h"
+#include "exp/pipeline.h"
+#include "exp/query_workload.h"
+#include "ml/naive_bayes.h"
+#include "sql/executor.h"
+
+namespace guardrail {
+namespace exp {
+namespace {
+
+// ----------------------------------------------------- detection metrics --
+
+TEST(DetectionMetricsTest, ConfusionCounting) {
+  std::vector<bool> pred = {true, true, false, false, true};
+  std::vector<bool> truth = {true, false, true, false, true};
+  ConfusionCounts c = CountConfusion(pred, truth);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(DetectionMetricsTest, PerfectDetection) {
+  std::vector<bool> flags = {true, false, true};
+  ConfusionCounts c = CountConfusion(flags, flags);
+  EXPECT_DOUBLE_EQ(F1(c), 1.0);
+  EXPECT_DOUBLE_EQ(Mcc(c), 1.0);
+  EXPECT_TRUE(IsMccDefined(c));
+}
+
+TEST(DetectionMetricsTest, DegenerateDetectorUndefinedMcc) {
+  std::vector<bool> all_negative(10, false);
+  std::vector<bool> truth(10, false);
+  truth[0] = true;
+  ConfusionCounts c = CountConfusion(all_negative, truth);
+  EXPECT_FALSE(IsMccDefined(c));  // No positive predictions.
+  EXPECT_DOUBLE_EQ(F1(c), 0.0);
+}
+
+TEST(DetectionMetricsTest, InverseDetectorNegativeMcc) {
+  std::vector<bool> truth = {true, true, false, false};
+  std::vector<bool> inverted = {false, false, true, true};
+  EXPECT_DOUBLE_EQ(Mcc(CountConfusion(inverted, truth)), -1.0);
+}
+
+// ----------------------------------------------------------- query error --
+
+sql::QueryResult MakeResult(
+    std::vector<std::pair<std::string, double>> rows) {
+  sql::QueryResult result;
+  result.columns = {"key", "value"};
+  for (auto& [key, value] : rows) {
+    result.rows.push_back(
+        {sql::SqlValue::String(key), sql::SqlValue::Number(value)});
+  }
+  return result;
+}
+
+TEST(RelativeQueryErrorTest, IdenticalResultsZeroError) {
+  auto r = MakeResult({{"a", 1.0}, {"b", 2.0}});
+  EXPECT_DOUBLE_EQ(RelativeQueryError(r, r), 0.0);
+}
+
+TEST(RelativeQueryErrorTest, L1OverSmoothedCleanNorm) {
+  // The denominator carries +1 smoothing (see query_workload.cc).
+  auto clean = MakeResult({{"a", 10.0}, {"b", 10.0}});
+  auto dirty = MakeResult({{"a", 12.0}, {"b", 9.0}});
+  EXPECT_DOUBLE_EQ(RelativeQueryError(clean, dirty), 3.0 / 21.0);
+}
+
+TEST(RelativeQueryErrorTest, MissingGroupCountsFully) {
+  auto clean = MakeResult({{"a", 10.0}, {"b", 5.0}});
+  auto dirty = MakeResult({{"a", 10.0}});
+  EXPECT_DOUBLE_EQ(RelativeQueryError(clean, dirty), 5.0 / 16.0);
+}
+
+TEST(RelativeQueryErrorTest, ExtraGroupCountsFully) {
+  auto clean = MakeResult({{"a", 10.0}});
+  auto dirty = MakeResult({{"a", 10.0}, {"zz", 4.0}});
+  EXPECT_DOUBLE_EQ(RelativeQueryError(clean, dirty), 4.0 / 11.0);
+}
+
+TEST(RelativeQueryErrorTest, CappedAtOne) {
+  auto clean = MakeResult({{"a", 1.0}});
+  auto dirty = MakeResult({{"a", 100.0}});
+  EXPECT_DOUBLE_EQ(RelativeQueryError(clean, dirty), 1.0);
+}
+
+TEST(RelativeQueryErrorTest, EmptyCleanEdgeCases) {
+  sql::QueryResult empty;
+  EXPECT_DOUBLE_EQ(RelativeQueryError(empty, empty), 0.0);
+  auto dirty = MakeResult({{"a", 1.0}});
+  EXPECT_DOUBLE_EQ(RelativeQueryError(empty, dirty), 1.0);
+}
+
+// -------------------------------------------------------------- workload --
+
+TEST(WorkloadTest, GeneratesFourQueriesPerDataset) {
+  DatasetBundle bundle = DatasetRepository::Build(2, 500);
+  auto workload = GenerateWorkload(bundle, "t", "m");
+  ASSERT_EQ(workload.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(workload[static_cast<size_t>(i)].query_index, i);
+    EXPECT_EQ(workload[static_cast<size_t>(i)].dataset_id, 2);
+    EXPECT_NE(workload[static_cast<size_t>(i)].sql.find("ML_PREDICT('m')"),
+              std::string::npos);
+  }
+}
+
+TEST(WorkloadTest, QueriesParseAndRun) {
+  DatasetBundle bundle = DatasetRepository::Build(6, 400);
+  auto workload = GenerateWorkload(bundle, "t", "m");
+  ml::NaiveBayesTrainer trainer;
+  auto model = trainer.Train(bundle.clean, bundle.label_column);
+  ASSERT_TRUE(model.ok());
+  sql::Executor executor;
+  executor.RegisterTable("t", &bundle.clean);
+  executor.RegisterModel("m", model->get());
+  for (const auto& query : workload) {
+    auto result = executor.Execute(query.sql);
+    ASSERT_TRUE(result.ok()) << query.sql << "\n"
+                             << result.status().ToString();
+    EXPECT_FALSE(result->columns.empty());
+  }
+}
+
+// -------------------------------------------------------------- pipeline --
+
+TEST(PipelineTest, PrepareDatasetEndToEnd) {
+  ExperimentConfig config;
+  config.row_limit = 1500;
+  auto prepared = PrepareDataset(2, config);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const PreparedDataset& p = **prepared;
+  EXPECT_EQ(p.train.num_rows() + p.test_clean.num_rows(), 1500);
+  EXPECT_EQ(p.test_clean.num_rows(), p.test_dirty.num_rows());
+  EXPECT_FALSE(p.errors.empty());
+  EXPECT_TRUE(p.model != nullptr);
+  // Label column protected: no injected error touches it.
+  for (const auto& e : p.errors) {
+    EXPECT_NE(e.column, p.bundle.label_column);
+  }
+  // row_has_error is consistent with errors.
+  for (const auto& e : p.errors) {
+    EXPECT_TRUE(p.row_has_error[static_cast<size_t>(e.row)]);
+  }
+}
+
+TEST(PipelineTest, SkipModelTraining) {
+  ExperimentConfig config;
+  config.row_limit = 800;
+  config.train_model = false;
+  auto prepared = PrepareDataset(6, config);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE((*prepared)->model == nullptr);
+}
+
+TEST(PipelineTest, MispredictionsOnlyOnChangedRows) {
+  ExperimentConfig config;
+  config.row_limit = 1500;
+  auto prepared = PrepareDataset(2, config);
+  ASSERT_TRUE(prepared.ok());
+  const PreparedDataset& p = **prepared;
+  auto mispred = ComputeMispredictions(*p.model, p.test_clean, p.test_dirty,
+                                       p.bundle.label_column);
+  ASSERT_EQ(mispred.size(), static_cast<size_t>(p.test_clean.num_rows()));
+  for (size_t i = 0; i < mispred.size(); ++i) {
+    if (mispred[i]) {
+      EXPECT_TRUE(p.row_has_error[i])
+          << "prediction flip without an injected error";
+    }
+  }
+}
+
+TEST(PipelineTest, DeterministicForFixedSeed) {
+  ExperimentConfig config;
+  config.row_limit = 600;
+  config.train_model = false;
+  auto a = PrepareDataset(4, config);
+  auto b = PrepareDataset(4, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->errors.size(), (*b)->errors.size());
+  EXPECT_EQ((*a)->synthesis.program, (*b)->synthesis.program);
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace guardrail

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "ml/automl.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "table/sem_generator.h"
+
+namespace guardrail {
+namespace ml {
+namespace {
+
+// A learnable task: label depends on two categorical features with noise.
+SemModel MakeTaskSem(double noise = 0.1) {
+  std::vector<SemNode> nodes(4);
+  nodes[0] = {"f0", 4, {}, 0.0};
+  nodes[1] = {"f1", 3, {}, 0.0};
+  nodes[2] = {"f2", 5, {0}, 0.1};
+  nodes[3] = {"label", 2, {0, 1}, noise};
+  return SemModel(std::move(nodes), 81);
+}
+
+struct TrainedSetup {
+  Table train;
+  Table test;
+  std::unique_ptr<Model> model;
+};
+
+TrainedSetup TrainWith(const Trainer& trainer, uint64_t seed = 7) {
+  SemModel sem = MakeTaskSem();
+  Rng rng(seed);
+  Table data = sem.Sample(3000, &rng);
+  auto [train, test] = data.Split(0.7, &rng);
+  auto model = trainer.Train(train, 3);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return {std::move(train), std::move(test), std::move(*model)};
+}
+
+class TrainerParamTest
+    : public ::testing::TestWithParam<std::shared_ptr<Trainer>> {};
+
+TEST_P(TrainerParamTest, BeatsChanceOnLearnableTask) {
+  TrainedSetup setup = TrainWith(*GetParam());
+  double accuracy = setup.model->Accuracy(setup.test);
+  EXPECT_GT(accuracy, 0.7) << GetParam()->name();
+}
+
+TEST_P(TrainerParamTest, ProbabilitiesAreDistribution) {
+  TrainedSetup setup = TrainWith(*GetParam());
+  for (RowIndex r = 0; r < 20; ++r) {
+    auto probs = setup.model->PredictProbabilities(setup.test.GetRow(r));
+    ASSERT_EQ(probs.size(), 2u);
+    double total = 0;
+    for (double p : probs) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(TrainerParamTest, PredictionConsistentWithProbabilities) {
+  TrainedSetup setup = TrainWith(*GetParam());
+  for (RowIndex r = 0; r < 50; ++r) {
+    Row row = setup.test.GetRow(r);
+    auto probs = setup.model->PredictProbabilities(row);
+    ValueId pred = setup.model->Predict(row);
+    for (double p : probs) {
+      EXPECT_LE(p, probs[static_cast<size_t>(pred)] + 1e-12);
+    }
+  }
+}
+
+TEST_P(TrainerParamTest, HandlesNullAndUnseenValues) {
+  TrainedSetup setup = TrainWith(*GetParam());
+  Row row = setup.test.GetRow(0);
+  row[0] = kNullValue;
+  ValueId pred = setup.model->Predict(row);
+  EXPECT_GE(pred, 0);
+  EXPECT_LT(pred, 2);
+}
+
+TEST_P(TrainerParamTest, EmptyTrainRejected) {
+  Schema schema({Attribute("x"), Attribute("label")});
+  Table empty(std::move(schema));
+  EXPECT_FALSE(GetParam()->Train(empty, 1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrainers, TrainerParamTest,
+    ::testing::Values(std::make_shared<NaiveBayesTrainer>(),
+                      std::make_shared<DecisionTreeTrainer>(),
+                      std::make_shared<LogisticRegressionTrainer>(),
+                      std::make_shared<AutoMlTrainer>()),
+    [](const ::testing::TestParamInfo<std::shared_ptr<Trainer>>& info) {
+      return info.param->name();
+    });
+
+TEST(MajorityTrainerTest, PredictsMode) {
+  Schema schema({Attribute("x"), Attribute("label")});
+  Table t(std::move(schema));
+  t.AppendRowLabels({"a", "yes"});
+  t.AppendRowLabels({"b", "yes"});
+  t.AppendRowLabels({"c", "no"});
+  for (int i = 0; i < 10; ++i) t.AppendRowLabels({"d", "yes"});
+  MajorityTrainer trainer;
+  auto model = trainer.Train(t, 1);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->Predict(t.GetRow(2)),
+            t.schema().attribute(1).Lookup("yes"));
+}
+
+TEST(NaiveBayesTest, LearnsConditionalStructure) {
+  // label == f0 exactly: NB should be near-perfect.
+  Schema schema({Attribute("f0"), Attribute("label")});
+  Table t(std::move(schema));
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    std::string v = rng.NextBernoulli(0.5) ? "a" : "b";
+    t.AppendRowLabels({v, v == "a" ? "la" : "lb"});
+  }
+  NaiveBayesTrainer trainer;
+  auto model = trainer.Train(t, 1);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->Accuracy(t), 0.99);
+}
+
+TEST(DecisionTreeTest, DepthLimitCoarsensModel) {
+  SemModel sem = MakeTaskSem(0.0);
+  Rng rng(6);
+  Table data = sem.Sample(2000, &rng);
+  DecisionTreeTrainer::Options shallow_opt;
+  shallow_opt.max_depth = 0;  // Root only: majority predictor.
+  auto shallow = DecisionTreeTrainer(shallow_opt).Train(data, 3);
+  auto deep = DecisionTreeTrainer().Train(data, 3);
+  ASSERT_TRUE(shallow.ok());
+  ASSERT_TRUE(deep.ok());
+  EXPECT_GT((*deep)->Accuracy(data), (*shallow)->Accuracy(data));
+}
+
+TEST(AutoMlTest, EnsembleIsAtLeastCompetitive) {
+  // The ensemble should not be dramatically worse than naive Bayes alone.
+  TrainedSetup nb = TrainWith(NaiveBayesTrainer(), 9);
+  TrainedSetup ens = TrainWith(AutoMlTrainer(), 9);
+  EXPECT_GT(ens.model->Accuracy(ens.test),
+            nb.model->Accuracy(nb.test) - 0.1);
+}
+
+TEST(AutoMlTest, InputErrorsCauseMispredictions) {
+  // The premise of the paper's Sec. 5: corrupting inputs flips predictions.
+  TrainedSetup setup = TrainWith(AutoMlTrainer(), 10);
+  int64_t flips = 0;
+  for (RowIndex r = 0; r < setup.test.num_rows(); ++r) {
+    Row clean = setup.test.GetRow(r);
+    Row dirty = clean;
+    dirty[0] = (dirty[0] + 1) % 4;  // Corrupt the strongest feature.
+    flips += setup.model->Predict(clean) != setup.model->Predict(dirty);
+  }
+  EXPECT_GT(flips, setup.test.num_rows() / 10);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace guardrail

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pgm/dag.h"
+#include "pgm/mec_enumerator.h"
+#include "pgm/meek_rules.h"
+#include "pgm/orientation_count.h"
+#include "pgm/pdag.h"
+
+namespace guardrail {
+namespace pgm {
+namespace {
+
+// ------------------------------------------------------------------- Dag --
+
+TEST(DagTest, AddEdgeMaintainsAdjacency) {
+  Dag g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.IsAdjacent(1, 0));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.parents(2), std::vector<int32_t>{1});
+  EXPECT_EQ(g.children(0), std::vector<int32_t>{1});
+}
+
+TEST(DagTest, DuplicateEdgeIgnored) {
+  Dag g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DagTest, AcyclicityAndTopologicalOrder) {
+  Dag g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  EXPECT_TRUE(g.IsAcyclic());
+  auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<size_t>(order[i])] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[0], pos[3]);
+}
+
+TEST(DagTest, DetectsCycle) {
+  Dag g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(DagTest, VStructures) {
+  // 0 -> 2 <- 1 with 0,1 non-adjacent: one v-structure.
+  Dag g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  auto vs = g.VStructures();
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0], (std::array<int32_t, 3>{0, 2, 1}));
+}
+
+TEST(DagTest, ShieldedColliderIsNotVStructure) {
+  Dag g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 1);  // Shield.
+  EXPECT_TRUE(g.VStructures().empty());
+}
+
+TEST(DagTest, MarkovEquivalenceOfChains) {
+  // 0->1->2 and 0<-1<-2 and 0<-1->2 are all equivalent (no colliders).
+  Dag a(3), b(3), c(3), d(3);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  b.AddEdge(2, 1);
+  b.AddEdge(1, 0);
+  c.AddEdge(1, 0);
+  c.AddEdge(1, 2);
+  d.AddEdge(0, 1);
+  d.AddEdge(2, 1);  // Collider: NOT equivalent.
+  EXPECT_TRUE(a.IsMarkovEquivalent(b));
+  EXPECT_TRUE(a.IsMarkovEquivalent(c));
+  EXPECT_FALSE(a.IsMarkovEquivalent(d));
+}
+
+// ------------------------------------------------------------------ Pdag --
+
+TEST(PdagTest, EdgeTypeQueries) {
+  Pdag g(3);
+  g.AddUndirectedEdge(0, 1);
+  g.AddDirectedEdge(1, 2);
+  EXPECT_TRUE(g.HasUndirectedEdge(0, 1));
+  EXPECT_TRUE(g.HasUndirectedEdge(1, 0));
+  EXPECT_FALSE(g.HasDirectedEdge(0, 1));
+  EXPECT_TRUE(g.HasDirectedEdge(1, 2));
+  EXPECT_FALSE(g.HasDirectedEdge(2, 1));
+  EXPECT_TRUE(g.IsAdjacent(2, 1));
+  EXPECT_FALSE(g.IsAdjacent(0, 2));
+}
+
+TEST(PdagTest, OrientConvertsUndirected) {
+  Pdag g(2);
+  g.AddUndirectedEdge(0, 1);
+  g.Orient(0, 1);
+  EXPECT_TRUE(g.HasDirectedEdge(0, 1));
+  EXPECT_FALSE(g.HasUndirectedEdge(0, 1));
+}
+
+TEST(PdagTest, RemoveEdge) {
+  Pdag g(2);
+  g.AddUndirectedEdge(0, 1);
+  g.RemoveEdge(0, 1);
+  EXPECT_FALSE(g.IsAdjacent(0, 1));
+}
+
+TEST(PdagTest, CompleteUndirectedHasAllEdges) {
+  Pdag g = Pdag::CompleteUndirected(5);
+  EXPECT_EQ(g.NumUndirectedEdges(), 10);
+  EXPECT_EQ(g.NumDirectedEdges(), 0);
+}
+
+TEST(PdagTest, NeighborQueries) {
+  Pdag g(4);
+  g.AddUndirectedEdge(0, 1);
+  g.AddDirectedEdge(2, 0);
+  g.AddDirectedEdge(0, 3);
+  EXPECT_EQ(g.UndirectedNeighbors(0), std::vector<int32_t>{1});
+  EXPECT_EQ(g.DirectedParents(0), std::vector<int32_t>{2});
+  EXPECT_EQ(g.AdjacentNodes(0), (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(PdagTest, ToDagRequiresFullyDirected) {
+  Pdag g(2);
+  g.AddUndirectedEdge(0, 1);
+  EXPECT_FALSE(g.ToDag().ok());
+  g.Orient(0, 1);
+  auto dag = g.ToDag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->HasEdge(0, 1));
+}
+
+TEST(PdagTest, ToDagRejectsCycle) {
+  Pdag g(3);
+  g.AddDirectedEdge(0, 1);
+  g.AddDirectedEdge(1, 2);
+  g.AddDirectedEdge(2, 0);
+  EXPECT_TRUE(g.HasDirectedCycle());
+  EXPECT_FALSE(g.ToDag().ok());
+}
+
+TEST(PdagTest, MixedGraphCycleDetectionIgnoresUndirected) {
+  Pdag g(3);
+  g.AddDirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 0);
+  EXPECT_FALSE(g.HasDirectedCycle());
+}
+
+TEST(PdagTest, FromDagRecoversCpdagOfChain) {
+  // Chain 0->1->2 has no v-structures: CPDAG is fully undirected.
+  Dag d(3);
+  d.AddEdge(0, 1);
+  d.AddEdge(1, 2);
+  Pdag cpdag = Pdag::FromDag(d);
+  EXPECT_TRUE(cpdag.HasUndirectedEdge(0, 1));
+  EXPECT_TRUE(cpdag.HasUndirectedEdge(1, 2));
+  EXPECT_EQ(cpdag.NumDirectedEdges(), 0);
+}
+
+TEST(PdagTest, FromDagKeepsVStructureDirected) {
+  Dag d(3);
+  d.AddEdge(0, 2);
+  d.AddEdge(1, 2);
+  Pdag cpdag = Pdag::FromDag(d);
+  EXPECT_TRUE(cpdag.HasDirectedEdge(0, 2));
+  EXPECT_TRUE(cpdag.HasDirectedEdge(1, 2));
+}
+
+// ------------------------------------------------------------ Meek rules --
+
+TEST(MeekRulesTest, R1OrientsAwayFromCollider) {
+  // 0 -> 1, 1 - 2, 0 and 2 non-adjacent => 1 -> 2.
+  Pdag g(3);
+  g.AddDirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  int oriented = ApplyMeekRules(&g);
+  EXPECT_EQ(oriented, 1);
+  EXPECT_TRUE(g.HasDirectedEdge(1, 2));
+}
+
+TEST(MeekRulesTest, R2OrientsToAvoidCycle) {
+  // 0 -> 1 -> 2 and 0 - 2 => 0 -> 2.
+  Pdag g(3);
+  g.AddDirectedEdge(0, 1);
+  g.AddDirectedEdge(1, 2);
+  g.AddUndirectedEdge(0, 2);
+  ApplyMeekRules(&g);
+  EXPECT_TRUE(g.HasDirectedEdge(0, 2));
+}
+
+TEST(MeekRulesTest, R3Orients) {
+  // 0 - 1, 0 - 2, 0 - 3, 2 -> 1, 3 -> 1, 2 and 3 non-adjacent => 0 -> 1.
+  Pdag g(4);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(0, 2);
+  g.AddUndirectedEdge(0, 3);
+  g.AddDirectedEdge(2, 1);
+  g.AddDirectedEdge(3, 1);
+  ApplyMeekRules(&g);
+  EXPECT_TRUE(g.HasDirectedEdge(0, 1));
+}
+
+TEST(MeekRulesTest, NoRuleAppliesLeavesGraphAlone) {
+  Pdag g(3);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  EXPECT_EQ(ApplyMeekRules(&g), 0);
+  EXPECT_EQ(g.NumUndirectedEdges(), 2);
+}
+
+TEST(MeekRulesTest, ClosureReachesFixpointOnChainOfTriggers) {
+  // 0 -> 1, then 1-2, 2-3, 3-4 in a path: R1 cascades down the path.
+  Pdag g(5);
+  g.AddDirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 3);
+  g.AddUndirectedEdge(3, 4);
+  ApplyMeekRules(&g);
+  EXPECT_TRUE(g.HasDirectedEdge(1, 2));
+  EXPECT_TRUE(g.HasDirectedEdge(2, 3));
+  EXPECT_TRUE(g.HasDirectedEdge(3, 4));
+}
+
+// --------------------------------------------------------- MEC enumerator --
+
+TEST(MecEnumeratorTest, ChainCpdagHasThreeMembers) {
+  // Skeleton 0-1-2, no v-structure: members are the three collider-free
+  // orientations.
+  Pdag cpdag(3);
+  cpdag.AddUndirectedEdge(0, 1);
+  cpdag.AddUndirectedEdge(1, 2);
+  MecEnumerator enumerator;
+  auto dags = enumerator.Enumerate(cpdag);
+  EXPECT_EQ(dags.size(), 3u);
+  for (const auto& dag : dags) EXPECT_TRUE(dag.IsAcyclic());
+}
+
+TEST(MecEnumeratorTest, FullyDirectedCpdagHasOneMember) {
+  Pdag cpdag(3);
+  cpdag.AddDirectedEdge(0, 2);
+  cpdag.AddDirectedEdge(1, 2);
+  MecEnumerator enumerator;
+  auto dags = enumerator.Enumerate(cpdag);
+  ASSERT_EQ(dags.size(), 1u);
+  EXPECT_TRUE(dags[0].HasEdge(0, 2));
+  EXPECT_TRUE(dags[0].HasEdge(1, 2));
+}
+
+TEST(MecEnumeratorTest, CompleteGraphMecSizeIsFactorial) {
+  // Complete undirected graph on n nodes: every acyclic orientation is
+  // equivalent (no unshielded triples) -> n! members.
+  Pdag cpdag = Pdag::CompleteUndirected(4);
+  MecEnumerator enumerator;
+  EXPECT_EQ(enumerator.CountMembers(cpdag), 24);
+}
+
+TEST(MecEnumeratorTest, MatchesBruteForceOnRandomCpdags) {
+  // Property: for assorted small graphs, the backtracking enumerator equals
+  // brute force over all orientations.
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    int32_t n = 3 + static_cast<int32_t>(rng.NextUint64(3));  // 3..5 nodes.
+    Dag dag(n);
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v = u + 1; v < n; ++v) {
+        if (rng.NextBernoulli(0.45)) dag.AddEdge(u, v);
+      }
+    }
+    Pdag cpdag = Pdag::FromDag(dag);
+    MecEnumerator enumerator;
+    auto fast = enumerator.Enumerate(cpdag);
+    auto slow = BruteForceMecMembers(cpdag);
+    EXPECT_EQ(fast.size(), slow.size()) << "trial " << trial;
+    // The generating DAG must be among the members.
+    bool found = false;
+    for (const auto& member : fast) found = found || member == dag;
+    EXPECT_TRUE(found) << "trial " << trial;
+  }
+}
+
+TEST(MecEnumeratorTest, EveryMemberIsEquivalentToGenerator) {
+  Dag dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  Pdag cpdag = Pdag::FromDag(dag);
+  MecEnumerator enumerator;
+  for (const auto& member : enumerator.Enumerate(cpdag)) {
+    EXPECT_TRUE(member.IsMarkovEquivalent(dag));
+  }
+}
+
+TEST(MecEnumeratorTest, RespectsMaxDagsCap) {
+  Pdag cpdag = Pdag::CompleteUndirected(5);  // 120 members.
+  MecEnumerator::Options opt;
+  opt.max_dags = 10;
+  MecEnumerator enumerator(opt);
+  EXPECT_EQ(enumerator.CountMembers(cpdag), 10);
+}
+
+TEST(BestEffortExtensionTest, ProducesAcyclicExtension) {
+  Pdag cpdag(4);
+  cpdag.AddUndirectedEdge(0, 1);
+  cpdag.AddDirectedEdge(1, 2);
+  cpdag.AddUndirectedEdge(2, 3);
+  Dag dag = BestEffortExtension(cpdag);
+  EXPECT_TRUE(dag.IsAcyclic());
+  EXPECT_EQ(dag.num_edges(), 3);
+  EXPECT_TRUE(dag.HasEdge(1, 2));
+}
+
+// -------------------------------------------------- orientation counting --
+
+TEST(OrientationCountTest, TreeHasTwoPowEdges) {
+  // Every orientation of a tree is acyclic: 2^m.
+  Pdag g(4);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(1, 3);
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 8.0);
+}
+
+TEST(OrientationCountTest, TriangleHasSix) {
+  // K3: 2^3 - 2 cyclic = 6 = |chi(-1)|.
+  Pdag g(3);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(0, 2);
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 6.0);
+}
+
+TEST(OrientationCountTest, CompleteGraphIsFactorial) {
+  Pdag g = Pdag::CompleteUndirected(5);
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 120.0);
+}
+
+TEST(OrientationCountTest, FourCycleHasFourteen) {
+  // C4: chi(k) = (k-1)^4 + (k-1); |chi(-1)| = 16 - 2 = 14.
+  Pdag g(4);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 3);
+  g.AddUndirectedEdge(3, 0);
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 14.0);
+}
+
+TEST(OrientationCountTest, DisconnectedComponentsMultiply) {
+  Pdag g(5);
+  g.AddUndirectedEdge(0, 1);  // 2 orientations.
+  g.AddUndirectedEdge(2, 3);
+  g.AddUndirectedEdge(3, 4);  // Path: 4 orientations.
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 8.0);
+}
+
+TEST(OrientationCountTest, EmptyGraphIsOne) {
+  Pdag g(6);
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 1.0);
+}
+
+TEST(OrientationCountTest, CountsSkeletonIgnoringDirections) {
+  // Directed edges count as skeleton edges.
+  Pdag g(3);
+  g.AddDirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), 4.0);
+}
+
+TEST(OrientationCountTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    int32_t n = 3 + static_cast<int32_t>(rng.NextUint64(3));
+    Pdag g(n);
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v = u + 1; v < n; ++v) {
+        if (rng.NextBernoulli(0.5)) {
+          g.AddUndirectedEdge(u, v);
+          edges.emplace_back(u, v);
+        }
+      }
+    }
+    // Brute force: count acyclic orientations directly.
+    int64_t brute = 0;
+    for (uint64_t mask = 0; mask < (1ULL << edges.size()); ++mask) {
+      Dag d(n);
+      for (size_t i = 0; i < edges.size(); ++i) {
+        auto [u, v] = edges[i];
+        if (mask & (1ULL << i)) {
+          d.AddEdge(u, v);
+        } else {
+          d.AddEdge(v, u);
+        }
+      }
+      brute += d.IsAcyclic() ? 1 : 0;
+    }
+    EXPECT_DOUBLE_EQ(CountAcyclicOrientations(g), static_cast<double>(brute))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pgm
+}  // namespace guardrail

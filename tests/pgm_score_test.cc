@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/synthesizer.h"
+#include "pgm/ci_test.h"
+#include "pgm/bic_score.h"
+#include "pgm/d_separation.h"
+#include "pgm/encoded_data.h"
+#include "pgm/hill_climbing.h"
+#include "table/sem_generator.h"
+
+namespace guardrail {
+namespace pgm {
+namespace {
+
+// ---------------------------------------------------------- d-separation --
+
+// Classic five-node graph:  0 -> 1 -> 3,  0 -> 2 -> 3,  3 -> 4.
+Dag MakeDiamond() {
+  Dag g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  return g;
+}
+
+TEST(DSeparationTest, ChainBlockedByMiddle) {
+  Dag g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(IsDSeparated(g, 0, 2, {}));
+  EXPECT_TRUE(IsDSeparated(g, 0, 2, {1}));
+}
+
+TEST(DSeparationTest, ForkBlockedByRoot) {
+  Dag g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EXPECT_FALSE(IsDSeparated(g, 1, 2, {}));
+  EXPECT_TRUE(IsDSeparated(g, 1, 2, {0}));
+}
+
+TEST(DSeparationTest, ColliderOpensWhenConditioned) {
+  Dag g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(IsDSeparated(g, 0, 1, {}));
+  EXPECT_FALSE(IsDSeparated(g, 0, 1, {2}));
+}
+
+TEST(DSeparationTest, ColliderOpensViaDescendant) {
+  Dag g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);  // Descendant of the collider.
+  EXPECT_TRUE(IsDSeparated(g, 0, 1, {}));
+  EXPECT_FALSE(IsDSeparated(g, 0, 1, {3}));
+}
+
+TEST(DSeparationTest, DiamondCases) {
+  Dag g = MakeDiamond();
+  // 0 and 4 connected through 3; conditioning on 3 blocks.
+  EXPECT_FALSE(IsDSeparated(g, 0, 4, {}));
+  EXPECT_TRUE(IsDSeparated(g, 0, 4, {3}));
+  // 1 and 2: common cause 0; conditioning on 0 blocks, but conditioning on
+  // the collider 3 as well re-opens the path 1 -> 3 <- 2.
+  EXPECT_FALSE(IsDSeparated(g, 1, 2, {}));
+  EXPECT_TRUE(IsDSeparated(g, 1, 2, {0}));
+  EXPECT_FALSE(IsDSeparated(g, 1, 2, {0, 3}));
+}
+
+TEST(DSeparationTest, DisconnectedNodesAlwaysSeparated) {
+  Dag g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(IsDSeparated(g, 0, 2, {}));
+  EXPECT_TRUE(IsDSeparated(g, 1, 3, {0}));
+}
+
+TEST(DSeparationTest, AgreesWithSampledIndependenceOnRandomSems) {
+  // Property: on a ground-truth SEM graph, d-separation must match the
+  // structural reachability of influence — spot-check against CI-test
+  // behavior on sampled data for marginal pairs.
+  Rng master(77);
+  RandomSemOptions opt;
+  opt.num_nodes = 6;
+  opt.min_cardinality = 3;
+  opt.max_cardinality = 4;
+  SemModel sem = BuildRandomSem(opt, &master);
+  Dag truth(sem.num_nodes());
+  auto parents = sem.ParentSets();
+  for (int32_t v = 0; v < sem.num_nodes(); ++v) {
+    for (AttrIndex p : parents[static_cast<size_t>(v)]) truth.AddEdge(p, v);
+  }
+  Rng rng(78);
+  Table data = sem.Sample(6000, &rng);
+  EncodedData encoded = EncodeIdentity(data);
+  GSquareTest test(&encoded, {});
+  for (int32_t x = 0; x < sem.num_nodes(); ++x) {
+    for (int32_t y = x + 1; y < sem.num_nodes(); ++y) {
+      if (IsDSeparated(truth, x, y, {})) {
+        // Marginal d-separation implies marginal independence (Markov).
+        EXPECT_TRUE(test.Test(x, y, {}).independent)
+            << "pair " << x << "," << y;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- BIC score --
+
+EncodedData MakeChainData(int64_t rows, uint64_t seed) {
+  // 0 -> 1 deterministic-ish, 2 independent noise.
+  Rng rng(seed);
+  EncodedData data;
+  data.cardinalities = {4, 4, 4};
+  data.columns.assign(3, {});
+  data.num_rows = rows;
+  for (int64_t i = 0; i < rows; ++i) {
+    ValueId a = static_cast<ValueId>(rng.NextUint64(4));
+    ValueId b = rng.NextBernoulli(0.95) ? (a + 1) % 4
+                                        : static_cast<ValueId>(rng.NextUint64(4));
+    data.columns[0].push_back(a);
+    data.columns[1].push_back(b);
+    data.columns[2].push_back(static_cast<ValueId>(rng.NextUint64(4)));
+  }
+  return data;
+}
+
+TEST(BicScoreTest, TrueParentBeatsEmptyAndWrongParent) {
+  EncodedData data = MakeChainData(3000, 5);
+  BicScorer scorer(&data);
+  double with_parent = scorer.FamilyScore(1, {0});
+  double without = scorer.FamilyScore(1, {});
+  double wrong = scorer.FamilyScore(1, {2});
+  EXPECT_GT(with_parent, without);
+  EXPECT_GT(without, wrong - 1e-9);  // Penalty makes the noise parent lose.
+}
+
+TEST(BicScoreTest, PenaltyDiscouragesSpuriousParents) {
+  EncodedData data = MakeChainData(3000, 6);
+  BicScorer scorer(&data);
+  // Adding the irrelevant attribute 2 on top of the true parent 0 cannot
+  // improve BIC: likelihood gain ~0, penalty strictly larger.
+  EXPECT_LT(scorer.FamilyScore(1, {0, 2}), scorer.FamilyScore(1, {0}));
+}
+
+TEST(BicScoreTest, ScoreDecomposesOverFamilies) {
+  EncodedData data = MakeChainData(1000, 7);
+  BicScorer scorer(&data);
+  Dag dag(3);
+  dag.AddEdge(0, 1);
+  double total = scorer.Score(dag);
+  double manual = scorer.FamilyScore(0, {}) + scorer.FamilyScore(1, {0}) +
+                  scorer.FamilyScore(2, {});
+  EXPECT_DOUBLE_EQ(total, manual);
+}
+
+TEST(BicScoreTest, CacheServesRepeatLookups) {
+  EncodedData data = MakeChainData(500, 8);
+  BicScorer scorer(&data);
+  scorer.FamilyScore(1, {0});
+  int64_t misses = scorer.cache_misses();
+  scorer.FamilyScore(1, {0});
+  EXPECT_EQ(scorer.cache_misses(), misses);
+  EXPECT_GT(scorer.cache_hits(), 0);
+}
+
+// --------------------------------------------------------- hill climbing --
+
+TEST(HillClimbingTest, RecoversChainSkeleton) {
+  std::vector<SemNode> nodes(4);
+  nodes[0] = {"a", 4, {}, 0.0};
+  nodes[1] = {"b", 4, {0}, 0.02};
+  nodes[2] = {"c", 4, {1}, 0.02};
+  nodes[3] = {"d", 3, {}, 0.0};  // Isolated.
+  SemModel sem(std::move(nodes), 91);
+  Rng rng(92);
+  Table data = sem.Sample(4000, &rng);
+  HillClimbingLearner learner({});
+  auto result = learner.Learn(EncodeIdentity(data));
+  EXPECT_TRUE(result.dag.IsAcyclic());
+  EXPECT_TRUE(result.dag.IsAdjacent(0, 1));
+  EXPECT_TRUE(result.dag.IsAdjacent(1, 2));
+  EXPECT_FALSE(result.dag.IsAdjacent(0, 3));
+  EXPECT_FALSE(result.dag.IsAdjacent(2, 3));
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.moves_evaluated, 0);
+}
+
+TEST(HillClimbingTest, RespectsMaxParents) {
+  RandomSemOptions opt;
+  opt.num_nodes = 7;
+  Rng master(93);
+  SemModel sem = BuildRandomSem(opt, &master);
+  Rng rng(94);
+  Table data = sem.Sample(2000, &rng);
+  HillClimbingLearner::Options options;
+  options.max_parents = 1;
+  HillClimbingLearner learner(options);
+  auto result = learner.Learn(EncodeIdentity(data));
+  for (int32_t v = 0; v < result.dag.num_nodes(); ++v) {
+    EXPECT_LE(result.dag.parents(v).size(), 1u);
+  }
+}
+
+TEST(HillClimbingTest, ScoreNeverBelowEmptyNetwork) {
+  EncodedData data = MakeChainData(1500, 95);
+  BicScorer scorer(&data);
+  double empty_score = scorer.Score(Dag(3));
+  HillClimbingLearner learner({});
+  auto result = learner.Learn(data);
+  EXPECT_GE(result.score, empty_score - 1e-9);
+}
+
+TEST(HillClimbingTest, SynthesizerIntegration) {
+  std::vector<SemNode> nodes(3);
+  nodes[0] = {"x", 5, {}, 0.0};
+  nodes[1] = {"y", 5, {0}, 0.01};
+  nodes[2] = {"z", 4, {1}, 0.01};
+  SemModel sem(std::move(nodes), 96);
+  Rng rng(97);
+  Table data = sem.Sample(3000, &rng);
+  guardrail::core::SynthesisOptions options;
+  options.structure_method = guardrail::core::StructureMethod::kHillClimbing;
+  options.fill.epsilon = 0.05;
+  guardrail::core::Synthesizer synthesizer(options);
+  guardrail::core::SynthesisReport report = synthesizer.Synthesize(data, &rng);
+  EXPECT_FALSE(report.program.empty());
+  EXPECT_GT(report.coverage, 0.5);
+}
+
+}  // namespace
+}  // namespace pgm
+}  // namespace guardrail

@@ -1,0 +1,177 @@
+// Cross-dataset property suite: invariants that must hold on every one of
+// the 12 evaluation datasets, run at reduced row counts. These are the
+// repository's guard rails against regressions that a single-dataset unit
+// test would miss.
+
+#include <gtest/gtest.h>
+
+#include "core/guard.h"
+#include "core/metrics.h"
+#include "core/normalize.h"
+#include "core/serialization.h"
+#include "exp/detection_metrics.h"
+#include "exp/pipeline.h"
+#include "table/profile.h"
+
+namespace guardrail {
+namespace {
+
+class DatasetPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static exp::ExperimentConfig Config() {
+    exp::ExperimentConfig config;
+    config.row_limit = 2500;
+    config.train_model = false;
+    config.synthesis.fill.epsilon = 0.05;
+    return config;
+  }
+};
+
+TEST_P(DatasetPropertyTest, DatasetDimensionsMatchSpec) {
+  DatasetBundle bundle = DatasetRepository::Build(GetParam(), 500);
+  EXPECT_EQ(bundle.clean.num_columns(), bundle.spec.num_attributes);
+  EXPECT_LE(bundle.clean.num_rows(), 500);
+  for (AttrIndex c = 0; c < bundle.clean.num_columns(); ++c) {
+    const auto& attr = bundle.clean.schema().attribute(c);
+    EXPECT_GE(attr.domain_size(), 1);
+    // Labels aside, cardinalities honor the spec's range.
+    if (c != bundle.label_column) {
+      EXPECT_LE(attr.domain_size(), bundle.spec.max_cardinality);
+    }
+  }
+}
+
+TEST_P(DatasetPropertyTest, SynthesizedProgramIsValidAndEpsilonValid) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const exp::PreparedDataset& p = **prepared;
+  // Structural validity against the schema.
+  EXPECT_TRUE(
+      core::ValidateProgram(p.synthesis.program, p.train.schema()).ok());
+  // Every branch honors Eqn. 3 on its synthesis data.
+  EXPECT_TRUE(core::IsProgramEpsilonValid(p.synthesis.program, p.train,
+                                          Config().synthesis.fill.epsilon));
+  // Reported coverage equals recomputed coverage.
+  EXPECT_NEAR(p.synthesis.coverage,
+              core::ProgramCoverage(p.synthesis.program, p.train), 1e-9);
+}
+
+TEST_P(DatasetPropertyTest, BranchMetadataIsCoherent) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok());
+  const core::Program& program = (*prepared)->synthesis.program;
+  for (const auto& stmt : program.statements) {
+    for (const auto& branch : stmt.branches) {
+      EXPECT_GE(branch.support, Config().synthesis.fill.min_branch_support);
+      // The assignment is always tolerated (it was the mode).
+      EXPECT_TRUE(std::binary_search(branch.tolerated_values.begin(),
+                                     branch.tolerated_values.end(),
+                                     branch.assignment));
+      // Conditions cover exactly the determinant set.
+      EXPECT_EQ(branch.condition.equalities.size(),
+                stmt.determinants.size());
+    }
+  }
+}
+
+TEST_P(DatasetPropertyTest, DetectionFlagsAreConsistentWithSemantics) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok());
+  const exp::PreparedDataset& p = **prepared;
+  core::Guard guard(&p.synthesis.program);
+  core::Interpreter interpreter(&p.synthesis.program);
+  auto flags = guard.DetectViolations(p.test_dirty);
+  for (RowIndex r = 0; r < std::min<int64_t>(200, p.test_dirty.num_rows());
+       ++r) {
+    EXPECT_EQ(flags[static_cast<size_t>(r)],
+              !interpreter.Satisfies(p.test_dirty.GetRow(r)));
+  }
+}
+
+TEST_P(DatasetPropertyTest, RectifiedTableSatisfiesNoNewViolations) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok());
+  const exp::PreparedDataset& p = **prepared;
+  core::Guard guard(&p.synthesis.program);
+  Table repaired = p.test_dirty;
+  guard.ProcessTable(&repaired, core::ErrorPolicy::kRectify);
+  // Rectification never increases the number of violating rows.
+  auto before = guard.DetectViolations(p.test_dirty);
+  auto after = guard.DetectViolations(repaired);
+  int64_t violations_before = 0, violations_after = 0;
+  for (bool f : before) violations_before += f ? 1 : 0;
+  for (bool f : after) violations_after += f ? 1 : 0;
+  EXPECT_LE(violations_after, violations_before);
+}
+
+TEST_P(DatasetPropertyTest, CoercePolicyNullsExactlyViolatingDependents) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok());
+  const exp::PreparedDataset& p = **prepared;
+  core::Guard guard(&p.synthesis.program);
+  Table coerced = p.test_dirty;
+  core::GuardOutcome outcome =
+      guard.ProcessTable(&coerced, core::ErrorPolicy::kCoerce);
+  int64_t nulls = 0;
+  for (RowIndex r = 0; r < coerced.num_rows(); ++r) {
+    for (AttrIndex c = 0; c < coerced.num_columns(); ++c) {
+      bool was_null = p.test_dirty.Get(r, c) == kNullValue;
+      bool is_null = coerced.Get(r, c) == kNullValue;
+      if (!was_null && is_null) ++nulls;
+      // Coerce never invents non-null values.
+      if (was_null) {
+        EXPECT_TRUE(is_null);
+      }
+    }
+  }
+  EXPECT_EQ(nulls, outcome.cells_repaired);
+}
+
+TEST_P(DatasetPropertyTest, NormalizationPreservesDetection) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok());
+  const exp::PreparedDataset& p = **prepared;
+  core::Program normalized = p.synthesis.program;
+  core::NormalizeProgram(&normalized);
+  core::Guard original(&p.synthesis.program);
+  core::Guard canon(&normalized);
+  EXPECT_EQ(original.DetectViolations(p.test_dirty),
+            canon.DetectViolations(p.test_dirty));
+}
+
+TEST_P(DatasetPropertyTest, SerializationRoundTripsSynthesizedProgram) {
+  auto prepared = exp::PrepareDataset(GetParam(), Config());
+  ASSERT_TRUE(prepared.ok());
+  const exp::PreparedDataset& p = **prepared;
+  if (p.synthesis.program.empty()) GTEST_SKIP() << "empty program";
+  Schema schema = p.train.schema();
+  std::string text =
+      core::SerializeProgram(p.synthesis.program, schema, "property test");
+  auto loaded = core::DeserializeProgram(text, &schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == p.synthesis.program);
+}
+
+TEST_P(DatasetPropertyTest, ProfileAccountsForEveryRow) {
+  DatasetBundle bundle = DatasetRepository::Build(GetParam(), 800);
+  TableProfile profile = ProfileTable(bundle.clean);
+  ASSERT_EQ(profile.columns.size(),
+            static_cast<size_t>(bundle.clean.num_columns()));
+  for (const auto& column : profile.columns) {
+    EXPECT_GE(column.cardinality, 1);
+    EXPECT_GE(column.mode_count, 1);
+    EXPECT_GE(column.entropy_bits, 0.0);
+    EXPECT_LE(column.mode_fraction, 1.0);
+    EXPECT_EQ(column.null_count, 0);  // SEM sampling produces no nulls.
+  }
+  EXPECT_TRUE(profile.ConstantColumns().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPropertyTest,
+                         ::testing::Range(1, 13),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "dataset" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace guardrail

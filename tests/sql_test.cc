@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include "core/guard.h"
+#include "ml/automl.h"
+#include "ml/naive_bayes.h"
+#include "sql/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace guardrail {
+namespace sql {
+namespace {
+
+// ------------------------------------------------------------------ lexer --
+
+TEST(LexerTest, TokenizesKeywordsIdentifiersLiterals) {
+  auto tokens = LexSql("SELECT x, 'str''x' FROM t WHERE a >= 1.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[3].text, "str'x");
+  EXPECT_EQ((*tokens)[8].text, ">=");
+  EXPECT_EQ((*tokens)[9].type, TokenType::kNumber);
+  EXPECT_EQ((*tokens)[9].text, "1.5");
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = LexSql("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[static_cast<size_t>(i)].type, TokenType::kKeyword);
+  }
+}
+
+TEST(LexerTest, NormalizesNeAndEq) {
+  auto tokens = LexSql("a <> b == c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "!=");
+  EXPECT_EQ((*tokens)[3].text, "=");
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(LexSql("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(LexSql("SELECT @x").ok());
+}
+
+// ----------------------------------------------------------------- parser --
+
+TEST(ParserTest, ParsesFullSelect) {
+  auto stmt = ParseSelect(
+      "SELECT a, COUNT(*) AS n FROM t WHERE a = 'x' AND b > 2 "
+      "GROUP BY a LIMIT 10;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->table_name, "t");
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].alias, "n");
+  ASSERT_TRUE(stmt->where != nullptr);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto expr = ParseExpression("1 + 2 * 3 = 7 AND NOT 0 > 1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->ToString(), "(((1 + (2 * 3)) = 7) AND (NOT (0 > 1)))");
+}
+
+TEST(ParserTest, CaseWhenParses) {
+  auto expr = ParseExpression(
+      "CASE WHEN x = 'a' THEN 1 WHEN x = 'b' THEN 2 ELSE 0 END");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kCase);
+  EXPECT_EQ((*expr)->when_clauses.size(), 2u);
+  ASSERT_TRUE((*expr)->else_clause != nullptr);
+}
+
+TEST(ParserTest, QualifiedColumnKeepsColumnName) {
+  auto expr = ParseExpression("adult.age");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kColumnRef);
+  EXPECT_EQ((*expr)->column, "age");
+}
+
+TEST(ParserTest, FunctionCallsAndStar) {
+  auto expr = ParseExpression("COUNT(*)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE((*expr)->star);
+  auto expr2 = ParseExpression("ml_predict('m')");
+  ASSERT_TRUE(expr2.ok());
+  EXPECT_EQ((*expr2)->call_name, "ML_PREDICT");
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("a FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t trailing garbage here").ok());
+  EXPECT_FALSE(ParseExpression("CASE END").ok());
+}
+
+TEST(ParserTest, CloneProducesEqualTree) {
+  auto expr = ParseExpression("CASE WHEN a = 1 THEN b + 2 ELSE c END");
+  ASSERT_TRUE(expr.ok());
+  ExprPtr clone = (*expr)->Clone();
+  EXPECT_EQ(clone->ToString(), (*expr)->ToString());
+}
+
+// ---------------------------------------------------------------- planner --
+
+TEST(PlannerTest, SplitConjunctsFlattensAndTree) {
+  auto expr = ParseExpression("a = 1 AND b = 2 AND (c = 3 OR d = 4)");
+  ASSERT_TRUE(expr.ok());
+  auto conjuncts = SplitConjuncts(expr->get());
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(PlannerTest, DetectsMlPredict) {
+  auto with = ParseExpression("ML_PREDICT('m') = 'yes'");
+  auto without = ParseExpression("a = 'yes'");
+  EXPECT_TRUE(ContainsMlPredict(with->get()));
+  EXPECT_FALSE(ContainsMlPredict(without->get()));
+}
+
+TEST(PlannerTest, DetectsAggregates) {
+  auto agg = ParseExpression("AVG(CASE WHEN a = 1 THEN 1 ELSE 0 END)");
+  auto plain = ParseExpression("a + 1");
+  EXPECT_TRUE(ContainsAggregate(agg->get()));
+  EXPECT_FALSE(ContainsAggregate(plain->get()));
+  std::vector<const Expr*> nodes;
+  CollectAggregates(agg->get(), &nodes);
+  EXPECT_EQ(nodes.size(), 1u);
+}
+
+TEST(PlannerTest, PushdownSplitsByMlDependence) {
+  auto expr = ParseExpression("a = 1 AND ML_PREDICT('m') = 'x' AND b = 2");
+  FilterPlan plan = PlanFilter(expr->get(), /*enable_pushdown=*/true);
+  EXPECT_EQ(plan.base_conjuncts.size(), 2u);
+  EXPECT_EQ(plan.ml_conjuncts.size(), 1u);
+  FilterPlan no_push = PlanFilter(expr->get(), /*enable_pushdown=*/false);
+  EXPECT_TRUE(no_push.base_conjuncts.empty());
+  EXPECT_EQ(no_push.ml_conjuncts.size(), 3u);
+}
+
+// --------------------------------------------------------------- executor --
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({Attribute("dept"), Attribute("grade"), Attribute("label")});
+    table_ = Table(std::move(schema));
+    // dept: eng/ops; grade: a/b/c; label == 'hi' iff grade == 'a'.
+    const char* rows[][3] = {
+        {"eng", "a", "hi"}, {"eng", "a", "hi"}, {"eng", "b", "lo"},
+        {"ops", "b", "lo"}, {"ops", "c", "lo"}, {"ops", "a", "hi"},
+        {"eng", "c", "lo"}, {"ops", "a", "hi"},
+    };
+    for (const auto& row : rows) {
+      table_.AppendRowLabels({row[0], row[1], row[2]});
+    }
+    executor_.RegisterTable("t", &table_);
+    ml::NaiveBayesTrainer trainer;
+    auto model = trainer.Train(table_, 2);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(*model);
+    executor_.RegisterModel("m", model_.get());
+  }
+
+  Table table_;
+  std::unique_ptr<ml::Model> model_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, SimpleProjection) {
+  auto result = executor_.Execute("SELECT dept, grade FROM t LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->columns, (std::vector<std::string>{"dept", "grade"}));
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0].string(), "eng");
+}
+
+TEST_F(ExecutorTest, WhereFilters) {
+  auto result = executor_.Execute("SELECT grade FROM t WHERE dept = 'ops'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, CountStarAndGroupBy) {
+  auto result = executor_.Execute(
+      "SELECT dept, COUNT(*) FROM t GROUP BY dept");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  double total = 0;
+  for (const auto& row : result->rows) total += row[1].number();
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST_F(ExecutorTest, AggregatesComputeCorrectly) {
+  auto result = executor_.Execute(
+      "SELECT AVG(CASE WHEN grade = 'a' THEN 1 ELSE 0 END), "
+      "SUM(CASE WHEN grade = 'a' THEN 1 ELSE 0 END), "
+      "MIN(grade), MAX(grade), COUNT(*) FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 0.5);  // 4 of 8.
+  EXPECT_DOUBLE_EQ(result->rows[0][1].number(), 4.0);
+  EXPECT_EQ(result->rows[0][2].string(), "a");
+  EXPECT_EQ(result->rows[0][3].string(), "c");
+  EXPECT_DOUBLE_EQ(result->rows[0][4].number(), 8.0);
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  auto result = executor_.Execute(
+      "SELECT grade, COUNT(*) AS n FROM t GROUP BY grade HAVING "
+      "COUNT(*) >= 3 ORDER BY grade");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // grade a: 4 rows, b: 2, c: 2 -> only 'a' survives.
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].string(), "a");
+  EXPECT_DOUBLE_EQ(result->rows[0][1].number(), 4.0);
+}
+
+TEST_F(ExecutorTest, HavingMayReferenceAggregatesNotProjected) {
+  auto result = executor_.Execute(
+      "SELECT dept FROM t GROUP BY dept HAVING "
+      "AVG(CASE WHEN grade = 'a' THEN 1 ELSE 0 END) > 0.4");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // eng: 2/4 = 0.5 qualifies; ops: 2/4 = 0.5 qualifies too.
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, HavingWithoutGroupByRejected) {
+  EXPECT_FALSE(
+      executor_.Execute("SELECT dept FROM t HAVING COUNT(*) > 1").ok());
+}
+
+TEST_F(ExecutorTest, ArithmeticOverAggregates) {
+  auto result = executor_.Execute("SELECT COUNT(*) * 2 + 1 FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 17.0);
+}
+
+TEST_F(ExecutorTest, MlPredictProducesLabels) {
+  auto result = executor_.Execute(
+      "SELECT ML_PREDICT('m') AS pred, COUNT(*) FROM t GROUP BY "
+      "ML_PREDICT('m')");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->rows.size(), 1u);
+  for (const auto& row : result->rows) {
+    EXPECT_TRUE(row[0].string() == "hi" || row[0].string() == "lo");
+  }
+  // 8 predictions keying the groups during the scan + 2 more when the
+  // bare select-item ML_PREDICT is re-evaluated on each group's
+  // representative row during finalization.
+  EXPECT_EQ(executor_.stats().predictions_made, 10);
+}
+
+TEST_F(ExecutorTest, MlPredictAccuracyOnTrainData) {
+  // The NB model learns grade='a' <=> 'hi' perfectly on this table.
+  auto result = executor_.Execute(
+      "SELECT AVG(CASE WHEN ML_PREDICT('m') = label THEN 1 ELSE 0 END) "
+      "FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 1.0);
+}
+
+TEST_F(ExecutorTest, PredicatePushdownSkipsInference) {
+  // The ML conjunct is written FIRST: only pushdown (not mere left-to-right
+  // short-circuiting) can reorder the cheap base predicate in front of it.
+  executor_.ResetStats();
+  auto result = executor_.Execute(
+      "SELECT COUNT(*) FROM t WHERE ML_PREDICT('m') = 'hi' AND "
+      "dept = 'eng'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 2.0);
+  const auto& stats = executor_.stats();
+  EXPECT_EQ(stats.rows_scanned, 8);
+  EXPECT_EQ(stats.rows_after_pushdown, 4);   // Only eng rows.
+  EXPECT_EQ(stats.predictions_made, 4);      // Inference on survivors only.
+}
+
+TEST_F(ExecutorTest, DisabledPushdownPredictsEverywhere) {
+  Executor::Options opt;
+  opt.enable_predicate_pushdown = false;
+  Executor executor(opt);
+  executor.RegisterTable("t", &table_);
+  executor.RegisterModel("m", model_.get());
+  auto result = executor.Execute(
+      "SELECT COUNT(*) FROM t WHERE ML_PREDICT('m') = 'hi' AND "
+      "dept = 'eng'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 2.0);  // Same answer.
+  EXPECT_EQ(executor.stats().predictions_made, 8);     // But 2x inference.
+}
+
+TEST_F(ExecutorTest, UnknownTableAndModelErrors) {
+  EXPECT_EQ(executor_.Execute("SELECT a FROM nosuch").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(executor_
+                .Execute("SELECT ML_PREDICT('nomodel') FROM t")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(executor_.Execute("SELECT nosuchcol FROM t").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, GuardRectifyChangesModelInput) {
+  // Constraint: IF dept = 'eng' THEN grade <- 'a'. Guarded prediction sees
+  // repaired rows; eng rows all predict 'hi'.
+  Schema schema = table_.schema();
+  ValueId eng = schema.attribute(0).Lookup("eng");
+  ValueId grade_a = schema.attribute(1).Lookup("a");
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch branch;
+  branch.condition.equalities = {{0, eng}};
+  branch.target = 1;
+  branch.assignment = grade_a;
+  stmt.branches = {branch};
+  program.statements.push_back(stmt);
+  core::Guard guard(&program);
+  executor_.SetGuard(&guard, core::ErrorPolicy::kRectify);
+  auto result = executor_.Execute(
+      "SELECT COUNT(*) FROM t WHERE dept = 'eng' AND "
+      "ML_PREDICT('m') = 'hi'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 4.0);  // All eng rows now 'a'.
+  EXPECT_GT(executor_.stats().rows_guard_flagged, 0);
+  EXPECT_GE(executor_.stats().guard_seconds, 0.0);
+}
+
+TEST_F(ExecutorTest, GuardRaiseFailsQueryOnViolation) {
+  Schema schema = table_.schema();
+  ValueId eng = schema.attribute(0).Lookup("eng");
+  ValueId grade_a = schema.attribute(1).Lookup("a");
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch branch;
+  branch.condition.equalities = {{0, eng}};
+  branch.target = 1;
+  branch.assignment = grade_a;
+  stmt.branches = {branch};
+  program.statements.push_back(stmt);
+  core::Guard guard(&program);
+  executor_.SetGuard(&guard, core::ErrorPolicy::kRaise);
+  auto result = executor_.Execute("SELECT ML_PREDICT('m') FROM t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsConstraintViolation());
+}
+
+TEST_F(ExecutorTest, NullComparisonsAreNotTrue) {
+  Table with_null = table_;
+  with_null.Set(0, 1, kNullValue);
+  Executor executor;
+  executor.RegisterTable("t", &with_null);
+  auto result = executor.Execute("SELECT COUNT(*) FROM t WHERE grade = 'a'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 3.0);  // Row 0 excluded.
+}
+
+TEST_F(ExecutorTest, QueryResultToStringRenders) {
+  auto result = executor_.Execute("SELECT dept FROM t LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  std::string text = result->ToString();
+  EXPECT_NE(text.find("dept"), std::string::npos);
+  EXPECT_NE(text.find("eng"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- values --
+
+TEST(SqlValueTest, CompareNumericStrings) {
+  EXPECT_EQ(SqlValue::String("10").Compare(SqlValue::Number(9)), 1);
+  EXPECT_EQ(SqlValue::String("abc").Compare(SqlValue::String("abd")), -1);
+  EXPECT_TRUE(SqlValue::Number(2).Equals(SqlValue::String("2")));
+  EXPECT_FALSE(SqlValue::MakeNull().Equals(SqlValue::MakeNull()));
+}
+
+TEST(SqlValueTest, Truthiness) {
+  EXPECT_TRUE(SqlValue::Boolean(true).Truthy());
+  EXPECT_FALSE(SqlValue::Boolean(false).Truthy());
+  EXPECT_TRUE(SqlValue::Number(0.5).Truthy());
+  EXPECT_FALSE(SqlValue::Number(0).Truthy());
+  EXPECT_FALSE(SqlValue::MakeNull().Truthy());
+  EXPECT_TRUE(SqlValue::String("true").Truthy());
+  EXPECT_FALSE(SqlValue::String("yes").Truthy());
+}
+
+TEST(SqlValueTest, DisplayForms) {
+  EXPECT_EQ(SqlValue::MakeNull().ToDisplayString(), "NULL");
+  EXPECT_EQ(SqlValue::Number(2.5).ToDisplayString(), "2.5");
+  EXPECT_EQ(SqlValue::Boolean(true).ToDisplayString(), "true");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace guardrail

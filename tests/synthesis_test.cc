@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/nontriviality.h"
+#include "core/printer.h"
+#include "core/sketch.h"
+#include "core/sketch_filler.h"
+#include "core/synthesizer.h"
+#include "pgm/pc_algorithm.h"
+#include "table/sem_generator.h"
+
+namespace guardrail {
+namespace core {
+namespace {
+
+// Chain SEM zip -> city -> state with mild noise; small enough to reason
+// about, large enough for statistics.
+SemModel MakeChainSem(double noise = 0.01) {
+  std::vector<SemNode> nodes(3);
+  nodes[0] = {"zip", 6, {}, 0.0};
+  nodes[1] = {"city", 5, {0}, noise};
+  nodes[2] = {"state", 4, {1}, noise};
+  return SemModel(std::move(nodes), 77);
+}
+
+// ---------------------------------------------------------------- sketch --
+
+TEST(SketchTest, FromDagOneStatementPerNonRoot) {
+  pgm::Dag dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 2);
+  ProgramSketch sketch = SketchFromDag(dag);
+  ASSERT_EQ(sketch.statements.size(), 2u);
+  EXPECT_EQ(sketch.statements[0].dependent, 1);
+  EXPECT_EQ(sketch.statements[0].determinants, std::vector<AttrIndex>{0});
+  EXPECT_EQ(sketch.statements[1].dependent, 2);
+  EXPECT_EQ(sketch.statements[1].determinants, (std::vector<AttrIndex>{0, 1}));
+}
+
+TEST(SketchTest, EmptyDagYieldsEmptySketch) {
+  pgm::Dag dag(3);
+  EXPECT_TRUE(SketchFromDag(dag).empty());
+}
+
+TEST(SketchTest, ToStringRendersHole) {
+  Schema schema({Attribute("a"), Attribute("b")});
+  StatementSketch s;
+  s.determinants = {0};
+  s.dependent = 1;
+  EXPECT_EQ(ToString(s, schema), "GIVEN a ON b HAVING []");
+}
+
+// ---------------------------------------------------------------- filler --
+
+class FillerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sem_ = std::make_unique<SemModel>(MakeChainSem());
+    Rng rng(5);
+    data_ = sem_->Sample(2000, &rng);
+  }
+  std::unique_ptr<SemModel> sem_;
+  Table data_;
+};
+
+TEST_F(FillerTest, FillsChainStatementWithFullCoverage) {
+  StatementSketch sketch;
+  sketch.determinants = {0};
+  sketch.dependent = 1;
+  FillOptions options;
+  options.epsilon = 0.05;
+  auto stmt = FillStatementSketch(sketch, data_, options);
+  ASSERT_TRUE(stmt.has_value());
+  // One branch per observed zip value; near-total coverage.
+  EXPECT_GE(stmt->branches.size(), 4u);
+  EXPECT_GT(StatementCoverage(*stmt, data_), 0.95);
+  EXPECT_TRUE(IsStatementEpsilonValid(*stmt, data_, 0.05));
+}
+
+TEST_F(FillerTest, BranchAssignmentsAreModes) {
+  StatementSketch sketch;
+  sketch.determinants = {0};
+  sketch.dependent = 1;
+  FillOptions options;
+  options.epsilon = 0.05;
+  auto stmt = FillStatementSketch(sketch, data_, options);
+  ASSERT_TRUE(stmt.has_value());
+  for (const auto& branch : stmt->branches) {
+    ValueId zip = branch.condition.equalities[0].second;
+    EXPECT_EQ(branch.assignment, sem_->StructuralFunction(1, {zip}));
+  }
+}
+
+TEST_F(FillerTest, RejectsNoisyDependentUnderTightEpsilon) {
+  // state determined by city, but we ask GIVEN zip ON state: still mostly
+  // functional through the chain. Instead use an unrelated pair: shuffle.
+  StatementSketch sketch;
+  sketch.determinants = {2};  // state
+  sketch.dependent = 0;       // zip: one state maps to many zips.
+  FillOptions options;
+  options.epsilon = 0.01;
+  options.min_branch_support = 5;
+  auto stmt = FillStatementSketch(sketch, data_, options);
+  // No state value should pin down a zip at 99% purity.
+  EXPECT_FALSE(stmt.has_value());
+}
+
+TEST_F(FillerTest, MinSupportFiltersRareConditions) {
+  FillOptions options;
+  options.epsilon = 0.5;
+  options.min_branch_support = 4000;  // Larger than the dataset.
+  StatementSketch sketch;
+  sketch.determinants = {0};
+  sketch.dependent = 1;
+  EXPECT_FALSE(FillStatementSketch(sketch, data_, options).has_value());
+}
+
+TEST_F(FillerTest, ConditionCapKeepsMostFrequent) {
+  FillOptions options;
+  options.epsilon = 0.05;
+  options.max_conditions_per_statement = 2;
+  StatementSketch sketch;
+  sketch.determinants = {0};
+  sketch.dependent = 1;
+  auto stmt = FillStatementSketch(sketch, data_, options);
+  ASSERT_TRUE(stmt.has_value());
+  EXPECT_LE(stmt->branches.size(), 2u);
+}
+
+TEST_F(FillerTest, FillProgramSketchDropsBottomStatements) {
+  ProgramSketch sketch;
+  sketch.statements.push_back({{0}, 1});   // Fillable.
+  sketch.statements.push_back({{2}, 0});   // Not epsilon-valid.
+  FillOptions options;
+  options.epsilon = 0.01;
+  Program program = FillProgramSketch(sketch, data_, options);
+  ASSERT_EQ(program.statements.size(), 1u);
+  EXPECT_EQ(program.statements[0].dependent, 1);
+}
+
+TEST_F(FillerTest, TwoDeterminantConditionsAreConjunctions) {
+  StatementSketch sketch;
+  sketch.determinants = {0, 1};
+  sketch.dependent = 2;
+  FillOptions options;
+  options.epsilon = 0.05;
+  options.min_branch_support = 3;
+  auto stmt = FillStatementSketch(sketch, data_, options);
+  ASSERT_TRUE(stmt.has_value());
+  for (const auto& branch : stmt->branches) {
+    EXPECT_EQ(branch.condition.equalities.size(), 2u);
+    EXPECT_EQ(branch.condition.equalities[0].first, 0);
+    EXPECT_EQ(branch.condition.equalities[1].first, 1);
+  }
+  EXPECT_TRUE(ValidateProgram(Program{{*stmt}}, data_.schema()).ok());
+}
+
+TEST_F(FillerTest, NullCellsAreSkipped) {
+  Table with_nulls = data_;
+  for (RowIndex r = 0; r < 50; ++r) with_nulls.Set(r, 0, kNullValue);
+  StatementSketch sketch;
+  sketch.determinants = {0};
+  sketch.dependent = 1;
+  FillOptions options;
+  options.epsilon = 0.05;
+  auto stmt = FillStatementSketch(sketch, with_nulls, options);
+  ASSERT_TRUE(stmt.has_value());
+  for (const auto& branch : stmt->branches) {
+    EXPECT_NE(branch.condition.equalities[0].second, kNullValue);
+  }
+}
+
+// ------------------------------------------------------------ synthesizer --
+
+TEST(SynthesizerTest, RecoversChainConstraints) {
+  SemModel sem = MakeChainSem();
+  Rng rng(9);
+  Table data = sem.Sample(3000, &rng);
+  SynthesisOptions options;
+  options.fill.epsilon = 0.05;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  ASSERT_FALSE(report.program.empty());
+  EXPECT_TRUE(IsProgramEpsilonValid(report.program, data, 0.05));
+  EXPECT_GT(report.coverage, 0.5);
+  EXPECT_GE(report.num_dags_enumerated, 1);
+  // Some statement should functionally relate zip/city or city/state.
+  bool chain_constraint = false;
+  for (const auto& stmt : report.program.statements) {
+    chain_constraint = chain_constraint ||
+                       (stmt.determinants == std::vector<AttrIndex>{0} &&
+                        stmt.dependent == 1) ||
+                       (stmt.determinants == std::vector<AttrIndex>{1} &&
+                        stmt.dependent == 2) ||
+                       (stmt.determinants == std::vector<AttrIndex>{1} &&
+                        stmt.dependent == 0) ||
+                       (stmt.determinants == std::vector<AttrIndex>{2} &&
+                        stmt.dependent == 1);
+  }
+  EXPECT_TRUE(chain_constraint)
+      << ToDsl(report.program, data.schema());
+}
+
+TEST(SynthesizerTest, SynthesizeFromMecPicksMaxCoverage) {
+  SemModel sem = MakeChainSem();
+  Rng rng(10);
+  Table data = sem.Sample(2000, &rng);
+  // Hand the synthesizer the ground-truth MEC of the chain (all three
+  // orientations are members).
+  pgm::Dag truth(3);
+  truth.AddEdge(0, 1);
+  truth.AddEdge(1, 2);
+  pgm::Pdag cpdag = pgm::Pdag::FromDag(truth);
+  SynthesisOptions options;
+  options.fill.epsilon = 0.05;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.SynthesizeFromMec(cpdag, data);
+  EXPECT_EQ(report.num_dags_enumerated, 3);
+  EXPECT_GT(report.coverage, 0.9);
+  EXPECT_FALSE(report.program.empty());
+  // Cache must have been effective: 3 DAGs x 2 statements but only a few
+  // distinct (determinants, dependent) pairs.
+  EXPECT_GT(report.cache_hits, 0);
+  EXPECT_LE(report.cache_misses, 6);
+}
+
+TEST(SynthesizerTest, CacheCountsAreConsistent) {
+  SemModel sem = MakeChainSem();
+  Rng rng(11);
+  Table data = sem.Sample(1000, &rng);
+  pgm::Pdag cpdag = pgm::Pdag::CompleteUndirected(3);
+  SynthesisOptions options;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.SynthesizeFromMec(cpdag, data);
+  // The complete graph on 3 nodes has 6 member DAGs (total orders), each
+  // contributing 2 non-root statements -> hits + misses == 12 total fills.
+  EXPECT_EQ(report.num_dags_enumerated, 6);
+  EXPECT_EQ(report.cache_hits + report.cache_misses,
+            report.num_dags_enumerated * 2);
+  // Only 6 distinct (determinants, dependent) pairs exist, so the cache
+  // absorbs at least half of the fills.
+  EXPECT_LE(report.cache_misses, 6 + 3);  // Pairs + single-determinant forms.
+}
+
+TEST(SynthesizerTest, EmptyishDataYieldsEmptyProgram) {
+  Schema schema({Attribute("a"), Attribute("b")});
+  Table data(std::move(schema));
+  for (int i = 0; i < 20; ++i) data.AppendRowLabels({"x", "y"});
+  SynthesisOptions options;
+  Synthesizer synth(options);
+  Rng rng(12);
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  // Constant columns carry no statistical signal; nothing to synthesize.
+  EXPECT_TRUE(report.program.empty());
+}
+
+TEST(SynthesizerTest, IdentitySamplerPathWorks) {
+  SemModel sem = MakeChainSem();
+  Rng rng(13);
+  Table data = sem.Sample(3000, &rng);
+  SynthesisOptions options;
+  options.use_auxiliary_sampler = false;
+  options.fill.epsilon = 0.05;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  // Low-cardinality chain: even the identity sampler learns something.
+  EXPECT_FALSE(report.program.empty());
+}
+
+TEST(SynthesizerTest, ReportTimingsPopulated) {
+  SemModel sem = MakeChainSem();
+  Rng rng(14);
+  Table data = sem.Sample(500, &rng);
+  SynthesisOptions options;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  EXPECT_GE(report.sampling_seconds, 0.0);
+  EXPECT_GE(report.structure_seconds, 0.0);
+  EXPECT_GE(report.total_seconds,
+            report.enumeration_seconds + report.fill_seconds - 1e-9);
+  EXPECT_GT(report.num_ci_tests, 0);
+}
+
+TEST(SynthesizerTest, GntEnforcementDropsRedundantStatements) {
+  // Feed Alg. 2 a deliberately redundant sketch via a hand-made "MEC":
+  // zip -> city, zip -> state, city -> state (Example 4.1). The GNT filter
+  // runs on the full pipeline, so go through Synthesize with a hostile
+  // CPDAG is not possible directly; instead verify that when enforcement is
+  // ON, the chosen sketch stays GNT per the checker, and the report counts
+  // any drops.
+  SemModel sem = MakeChainSem(/*noise=*/0.05);
+  Rng rng(21);
+  Table data = sem.Sample(4000, &rng);
+  SynthesisOptions options;
+  options.fill.epsilon = 0.1;
+  options.enforce_gnt = true;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  NonTrivialityChecker checker(&data, {});
+  EXPECT_TRUE(checker.IsGloballyNonTrivial(report.chosen_sketch));
+  EXPECT_GE(report.gnt_statements_dropped, 0);
+  // Coverage was recomputed for the filtered program.
+  EXPECT_NEAR(report.coverage, ProgramCoverage(report.program, data), 1e-9);
+}
+
+// --------------------------------------------------------- nontriviality --
+
+TEST(NonTrivialityTest, LntHoldsForTrueEdgeOnly) {
+  SemModel sem = MakeChainSem();
+  Rng rng(15);
+  Table data = sem.Sample(3000, &rng);
+  NonTrivialityChecker checker(&data, {});
+  StatementSketch real;
+  real.determinants = {0};
+  real.dependent = 1;
+  EXPECT_TRUE(checker.IsLocallyNonTrivial(real));
+
+  // Independent attribute: append a pure-noise column.
+  Table extended = data;
+  Attribute noise("noise");
+  for (int v = 0; v < 3; ++v) noise.GetOrInsert("n" + std::to_string(v));
+  ASSERT_TRUE(extended.mutable_schema().AddAttribute(std::move(noise)).ok());
+  // Rebuild with the extra column.
+  Schema schema = extended.schema();
+  Table with_noise(schema);
+  Rng noise_rng(16);
+  for (RowIndex r = 0; r < data.num_rows(); ++r) {
+    Row row = data.GetRow(r);
+    row.push_back(static_cast<ValueId>(noise_rng.NextUint64(3)));
+    ASSERT_TRUE(with_noise.AppendRow(row).ok());
+  }
+  NonTrivialityChecker checker2(&with_noise, {});
+  StatementSketch trivial;
+  trivial.determinants = {3};
+  trivial.dependent = 1;
+  EXPECT_FALSE(checker2.IsLocallyNonTrivial(trivial));
+}
+
+TEST(NonTrivialityTest, GntRejectsRedundantStatement) {
+  // Example 4.1: zip -> city, zip -> state, city -> state. The statement
+  // GIVEN zip ON state is not GNT once GIVEN city ON state is present,
+  // because conditioning on city makes zip's influence on state vanish.
+  SemModel sem = MakeChainSem(/*noise=*/0.05);
+  Rng rng(17);
+  Table data = sem.Sample(4000, &rng);
+  NonTrivialityChecker checker(&data, {});
+  ProgramSketch program;
+  program.statements.push_back({{0}, 1});  // zip -> city
+  program.statements.push_back({{0}, 2});  // zip -> state (redundant)
+  program.statements.push_back({{1}, 2});  // city -> state
+  StatementSketch redundant{{0}, 2};
+  EXPECT_FALSE(checker.IsGloballyNonTrivial(program, redundant));
+  EXPECT_FALSE(checker.IsGloballyNonTrivial(program));
+
+  ProgramSketch good;
+  good.statements.push_back({{0}, 1});
+  good.statements.push_back({{1}, 2});
+  EXPECT_TRUE(checker.IsGloballyNonTrivial(good));
+}
+
+TEST(NonTrivialityTest, SynthesizedSketchIsGnt) {
+  // The production pipeline should produce GNT sketches (Thm. 4.1).
+  SemModel sem = MakeChainSem(/*noise=*/0.05);
+  Rng rng(18);
+  Table data = sem.Sample(4000, &rng);
+  SynthesisOptions options;
+  options.fill.epsilon = 0.1;
+  Synthesizer synth(options);
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  ASSERT_FALSE(report.chosen_sketch.empty());
+  NonTrivialityChecker checker(&data, {});
+  EXPECT_TRUE(checker.IsGloballyNonTrivial(report.chosen_sketch));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,50 @@
+#!/bin/sh
+# End-to-end smoke test of the guardrail CLI. Usage: cli_smoke_test.sh <binary>
+set -e
+BIN="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+cat > "$DIR/data.csv" <<CSV
+zip,city,note
+94704,Berkeley,a
+94704,Berkeley,b
+94607,Oakland,a
+94607,Oakland,c
+10001,NewYork,b
+94704,Berkeley,c
+94607,Oakland,b
+10001,NewYork,a
+94704,Berkeley,a
+10001,NewYork,c
+94704,Berkeley,b
+94607,Oakland,a
+10001,NewYork,b
+94704,Berkeley,c
+94607,Oakland,b
+10001,NewYork,a
+CSV
+
+"$BIN" synthesize "$DIR/data.csv" "$DIR/prog.grl" 0.01 > "$DIR/synth.log"
+grep -q "GIVEN zip ON city" "$DIR/prog.grl"
+
+# Clean data: no violations, exit 0.
+"$BIN" check "$DIR/prog.grl" "$DIR/data.csv" > "$DIR/clean.log"
+grep -q "0 violation" "$DIR/clean.log"
+
+# Corrupt a cell: check exits 3, repair restores it.
+sed 's/94704,Berkeley,a/94704,gibbon,a/' "$DIR/data.csv" > "$DIR/dirty.csv"
+if "$BIN" check "$DIR/prog.grl" "$DIR/dirty.csv" > "$DIR/dirty.log"; then
+  echo "expected nonzero exit for violations" >&2
+  exit 1
+fi
+grep -q "gibbon" "$DIR/dirty.log"
+"$BIN" repair "$DIR/prog.grl" "$DIR/dirty.csv" "$DIR/fixed.csv" > /dev/null
+"$BIN" check "$DIR/prog.grl" "$DIR/fixed.csv" | grep -q "0 violation"
+! grep -q gibbon "$DIR/fixed.csv"
+
+# Profile, query, explain all run.
+"$BIN" profile "$DIR/data.csv" | grep -q "card=3"
+"$BIN" query "$DIR/data.csv" "SELECT city, COUNT(*) AS n FROM t GROUP BY city ORDER BY n DESC, city LIMIT 1" | grep -q "Berkeley | 6"
+"$BIN" explain "SELECT a FROM t WHERE ML_PREDICT('m')='x' AND a='y'" | grep -q "Filter\[pre-inference\]"
+echo "cli smoke OK"

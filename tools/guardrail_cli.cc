@@ -1,0 +1,193 @@
+// guardrail — command-line front end for the library.
+//
+//   guardrail synthesize <data.csv> <out.grl> [epsilon]
+//       Synthesize an integrity-constraint program from a CSV relation and
+//       save it as a reviewable text artifact.
+//   guardrail check <program.grl> <data.csv>
+//       Report rows violating the constraints (row numbers are 1-based data
+//       rows, header excluded). Exit code 3 when violations exist.
+//   guardrail repair <program.grl> <in.csv> <out.csv>
+//       Rectify violations (MAP repair) and write the cleaned CSV.
+//   guardrail profile <data.csv>
+//       Print per-column cardinality / entropy / mode statistics.
+//   guardrail query <data.csv> "<SELECT ...>"
+//       Run a SQL query against the CSV (table name: t).
+//   guardrail explain "<SELECT ...>"
+//       Show the physical plan, including the predicate-pushdown split.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/guard.h"
+#include "core/normalize.h"
+#include "core/printer.h"
+#include "core/serialization.h"
+#include "core/synthesizer.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "table/profile.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+Result<Table> LoadCsvTable(const std::string& path) {
+  GUARDRAIL_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  return Table::FromCsv(doc);
+}
+
+int CmdSynthesize(const std::string& data_path, const std::string& out_path,
+                  double epsilon) {
+  auto table = LoadCsvTable(data_path);
+  if (!table.ok()) return Fail(table.status());
+
+  core::SynthesisOptions options;
+  options.fill.epsilon = epsilon;
+  core::Synthesizer synthesizer(options);
+  Rng rng(0x6A1DULL);
+  core::SynthesisReport report = synthesizer.Synthesize(*table, &rng);
+  core::NormalizeProgram(&report.program);
+
+  std::string comment = "synthesized from " + data_path + " (epsilon " +
+                        FormatDouble(epsilon) + ", coverage " +
+                        FormatDouble(report.coverage, 3) + ")";
+  Status saved = core::SaveProgramToFile(out_path, report.program,
+                                         table->schema(), comment);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("%s\n",
+              core::ProgramSummary(report.program, table->schema()).c_str());
+  std::printf("coverage %.3f | %lld DAGs in MEC | %.3fs total\n",
+              report.coverage,
+              static_cast<long long>(report.num_dags_enumerated),
+              report.total_seconds);
+  std::printf("written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int CmdCheck(const std::string& program_path, const std::string& data_path) {
+  auto table = LoadCsvTable(data_path);
+  if (!table.ok()) return Fail(table.status());
+  Schema schema = table->schema();
+  auto program = core::LoadProgramFromFile(program_path, &schema);
+  if (!program.ok()) return Fail(program.status());
+
+  core::Guard guard(&*program);
+  core::Interpreter interpreter(&*program);
+  int64_t violations = 0;
+  for (RowIndex r = 0; r < table->num_rows(); ++r) {
+    Row row = table->GetRow(r);
+    for (const auto& v : interpreter.Check(row)) {
+      ++violations;
+      std::printf("row %lld: %s = '%s' but constraints expect '%s'\n",
+                  static_cast<long long>(r + 1),
+                  schema.attribute(v.attribute).name().c_str(),
+                  v.actual == kNullValue
+                      ? "<null>"
+                      : schema.attribute(v.attribute).label(v.actual).c_str(),
+                  schema.attribute(v.attribute).label(v.expected).c_str());
+    }
+  }
+  std::printf("%lld violation(s) across %lld row(s)\n",
+              static_cast<long long>(violations),
+              static_cast<long long>(table->num_rows()));
+  return violations > 0 ? 3 : 0;
+}
+
+int CmdRepair(const std::string& program_path, const std::string& in_path,
+              const std::string& out_path) {
+  auto table = LoadCsvTable(in_path);
+  if (!table.ok()) return Fail(table.status());
+  Schema schema = table->schema();
+  auto program = core::LoadProgramFromFile(program_path, &schema);
+  if (!program.ok()) return Fail(program.status());
+  // Domains may have grown while parsing the program (literals unseen in
+  // this CSV); rebuild the table under the extended schema.
+  Table working(schema);
+  for (RowIndex r = 0; r < table->num_rows(); ++r) {
+    std::vector<std::string> labels;
+    for (AttrIndex c = 0; c < table->num_columns(); ++c) {
+      labels.push_back(table->GetLabel(r, c));
+    }
+    working.AppendRowLabels(labels);
+  }
+
+  core::Guard guard(&*program);
+  core::GuardOutcome outcome =
+      guard.ProcessTable(&working, core::ErrorPolicy::kRectify);
+  Status written = WriteCsvFile(out_path, working.ToCsv());
+  if (!written.ok()) return Fail(written);
+  std::printf("%lld row(s) flagged, %lld cell(s) repaired -> %s\n",
+              static_cast<long long>(outcome.rows_flagged),
+              static_cast<long long>(outcome.cells_repaired),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdProfile(const std::string& data_path) {
+  auto table = LoadCsvTable(data_path);
+  if (!table.ok()) return Fail(table.status());
+  std::fputs(ToString(ProfileTable(*table)).c_str(), stdout);
+  return 0;
+}
+
+int CmdQuery(const std::string& data_path, const std::string& sql) {
+  auto table = LoadCsvTable(data_path);
+  if (!table.ok()) return Fail(table.status());
+  sql::Executor executor;
+  executor.RegisterTable("t", &*table);
+  auto result = executor.Execute(sql);
+  if (!result.ok()) return Fail(result.status());
+  std::fputs(result->ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdExplain(const std::string& sql) {
+  auto stmt = sql::ParseSelect(sql);
+  if (!stmt.ok()) return Fail(stmt.status());
+  std::fputs(sql::ExplainPlan(*stmt, /*enable_pushdown=*/true).c_str(),
+             stdout);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  guardrail synthesize <data.csv> <out.grl> [epsilon]\n"
+               "  guardrail check <program.grl> <data.csv>\n"
+               "  guardrail repair <program.grl> <in.csv> <out.csv>\n"
+               "  guardrail profile <data.csv>\n"
+               "  guardrail query <data.csv> \"<SELECT ...>\"\n"
+               "  guardrail explain \"<SELECT ...>\"\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "synthesize" && (argc == 4 || argc == 5)) {
+    double epsilon = 0.02;
+    if (argc == 5 && !ParseDouble(argv[4], &epsilon)) return Usage();
+    return CmdSynthesize(argv[2], argv[3], epsilon);
+  }
+  if (command == "check" && argc == 4) return CmdCheck(argv[2], argv[3]);
+  if (command == "repair" && argc == 5) {
+    return CmdRepair(argv[2], argv[3], argv[4]);
+  }
+  if (command == "profile" && argc == 3) return CmdProfile(argv[2]);
+  if (command == "query" && argc == 4) return CmdQuery(argv[2], argv[3]);
+  if (command == "explain" && argc == 3) return CmdExplain(argv[2]);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main(int argc, char** argv) { return guardrail::Main(argc, argv); }
