@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace guardrail {
 
 namespace {
@@ -21,18 +23,31 @@ std::string QuoteField(std::string_view field) {
   return out;
 }
 
+// "row R, column C" with 1-based positions (row 1 is the header).
+std::string At(size_t row, size_t column) {
+  return "row " + std::to_string(row) + ", column " + std::to_string(column);
+}
+
 }  // namespace
 
 Result<CsvDocument> ParseCsv(std::string_view text) {
+  GUARDRAIL_FAILPOINT("csv.parse");
   CsvDocument doc;
   std::vector<std::string> record;
   std::string field;
   bool in_quotes = false;
+  bool field_was_quoted = false;
   bool record_has_content = false;
+  // 1-based positions for error context. `row` counts records (header = 1);
+  // `column` counts fields within the current record.
+  size_t row = 1;
+  size_t column = 1;
 
   auto end_field = [&]() {
     record.push_back(std::move(field));
     field.clear();
+    field_was_quoted = false;
+    ++column;
   };
   auto end_record = [&]() -> Status {
     end_field();
@@ -40,21 +55,33 @@ Result<CsvDocument> ParseCsv(std::string_view text) {
       doc.header = std::move(record);
     } else {
       if (record.size() != doc.header.size()) {
-        return Status::ParseError("CSV row has " +
-                                  std::to_string(record.size()) +
-                                  " fields, header has " +
-                                  std::to_string(doc.header.size()));
+        return Status::InvalidArgument(
+            "CSV row has " + std::to_string(record.size()) +
+            " field(s) but the header has " +
+            std::to_string(doc.header.size()) + " (row " + std::to_string(row) +
+            ")");
       }
       doc.rows.push_back(std::move(record));
     }
     record.clear();
     record_has_content = false;
+    ++row;
+    column = 1;
     return Status::OK();
   };
 
   size_t i = 0;
   while (i < text.size()) {
     char c = text[i];
+    if (c == '\0') {
+      return Status::InvalidArgument("CSV contains a NUL byte at " +
+                                     At(row, column));
+    }
+    if (field.size() >= kMaxCsvFieldBytes) {
+      return Status::InvalidArgument(
+          "CSV field exceeds " + std::to_string(kMaxCsvFieldBytes) +
+          " bytes at " + At(row, column));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -68,7 +95,15 @@ Result<CsvDocument> ParseCsv(std::string_view text) {
       }
     } else {
       if (c == '"') {
+        if (!field.empty() || field_was_quoted) {
+          // RFC 4180: a quote may only open a field or escape inside one.
+          // `ab"cd` or `"ab"cd` would silently mis-parse; reject instead.
+          return Status::InvalidArgument(
+              "misplaced quote inside unquoted CSV field at " +
+              At(row, column));
+        }
         in_quotes = true;
+        field_was_quoted = true;
         record_has_content = true;
       } else if (c == ',') {
         end_field();
@@ -79,17 +114,27 @@ Result<CsvDocument> ParseCsv(std::string_view text) {
           GUARDRAIL_RETURN_NOT_OK(end_record());
         }
       } else {
+        if (field_was_quoted) {
+          return Status::InvalidArgument(
+              "characters after closing quote in CSV field at " +
+              At(row, column));
+        }
         field += c;
         record_has_content = true;
       }
     }
     ++i;
   }
-  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field at " +
+                                   At(row, column));
+  }
   if (record_has_content || !field.empty() || !record.empty()) {
     GUARDRAIL_RETURN_NOT_OK(end_record());
   }
-  if (doc.header.empty()) return Status::ParseError("empty CSV input");
+  if (doc.header.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
   return doc;
 }
 
@@ -108,6 +153,7 @@ std::string WriteCsv(const CsvDocument& doc) {
 }
 
 Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  GUARDRAIL_FAILPOINT("csv.open");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream ss;
@@ -116,6 +162,7 @@ Result<CsvDocument> ReadCsvFile(const std::string& path) {
 }
 
 Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  GUARDRAIL_FAILPOINT("csv.write");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out << WriteCsv(doc);

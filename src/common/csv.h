@@ -15,8 +15,15 @@ struct CsvDocument {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// Upper bound on a single field's size; longer fields are rejected rather
+/// than ballooning memory on hostile input.
+inline constexpr size_t kMaxCsvFieldBytes = 1u << 20;  // 1 MiB
+
 /// Parses RFC-4180-style CSV text: comma separated, double-quote quoting with
 /// "" escapes, LF or CRLF line endings. The first record is the header.
+/// Malformed input — ragged rows, unterminated or misplaced quotes, embedded
+/// NUL bytes, overlong fields — is rejected with Status::InvalidArgument
+/// carrying 1-based row/column context, never silently mis-parsed.
 Result<CsvDocument> ParseCsv(std::string_view text);
 
 /// Serializes a document back to CSV text, quoting fields that need it.

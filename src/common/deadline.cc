@@ -1,0 +1,13 @@
+#include "common/deadline.h"
+
+namespace guardrail {
+
+Status CancellationToken::CheckTimeout(const char* stage) const {
+  if (!Cancelled()) return Status::OK();
+  return Status::Timeout(std::string(stage) +
+                         (cancelled_->load(std::memory_order_relaxed)
+                              ? ": cancelled"
+                              : ": deadline expired"));
+}
+
+}  // namespace guardrail

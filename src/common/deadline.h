@@ -1,0 +1,140 @@
+#ifndef GUARDRAIL_COMMON_DEADLINE_H_
+#define GUARDRAIL_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace guardrail {
+
+/// A point on the monotonic clock after which work should stop. The default
+/// Deadline is infinite (never expires), so APIs can take one unconditionally
+/// and pay nothing on the unlimited path. Deadlines compose by taking the
+/// earlier of two (Earliest), which is how a per-stage budget nests inside a
+/// whole-request budget.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : at_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  static Deadline AfterSeconds(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+  static Deadline At(Clock::time_point at) { return Deadline(at); }
+
+  bool is_infinite() const { return at_ == Clock::time_point::max(); }
+  bool Expired() const { return !is_infinite() && Clock::now() >= at_; }
+
+  /// Seconds until expiry; +inf when infinite, 0 when already expired.
+  double RemainingSeconds() const {
+    if (is_infinite()) return std::numeric_limits<double>::infinity();
+    double s = std::chrono::duration<double>(at_ - Clock::now()).count();
+    return s > 0.0 ? s : 0.0;
+  }
+
+  Clock::time_point time_point() const { return at_; }
+
+  /// The earlier of the two deadlines.
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point at) : at_(at) {}
+  Clock::time_point at_;
+};
+
+/// A cheap, copyable cancellation handle: a deadline plus a shared manual
+/// cancel flag. Copies share the flag, so cancelling any copy cancels all of
+/// them; tightening the deadline (WithDeadline) keeps the shared flag, which
+/// is how a stage budget composes with its request's cancellation.
+class CancellationToken {
+ public:
+  /// Never cancelled, infinite deadline.
+  CancellationToken()
+      : deadline_(Deadline::Infinite()),
+        cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  static CancellationToken Never() { return CancellationToken(); }
+  static CancellationToken WithBudgetMillis(int64_t ms) {
+    CancellationToken token;
+    token.deadline_ = Deadline::AfterMillis(ms);
+    return token;
+  }
+
+  /// A token sharing this one's cancel flag but expiring no later than
+  /// `deadline`.
+  CancellationToken WithDeadline(const Deadline& deadline) const {
+    CancellationToken token = *this;
+    token.deadline_ = Deadline::Earliest(deadline_, deadline);
+    return token;
+  }
+
+  /// Manual cancellation; observed by every copy of this token.
+  void RequestCancel() const { cancelled_->store(true, std::memory_order_relaxed); }
+
+  bool Cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed) || deadline_.Expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// OK, or Status::Timeout naming the stage that ran out of budget.
+  Status CheckTimeout(const char* stage) const;
+
+ private:
+  Deadline deadline_;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Amortizes the clock read inside hot loops: Expired() touches the clock
+/// only every `stride` calls, and latches once the token reports
+/// cancellation, so the steady-state cost is one counter decrement per
+/// iteration. Not thread-safe; make one per loop.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(const CancellationToken* token,
+                           uint32_t stride = 256)
+      : token_(token), stride_(stride == 0 ? 1 : stride), countdown_(0) {}
+
+  /// True once the token is cancelled / expired (checked every stride calls).
+  bool Expired() {
+    if (expired_) return true;
+    if (countdown_ > 0) {
+      --countdown_;
+      return false;
+    }
+    countdown_ = stride_ - 1;
+    expired_ = token_ != nullptr && token_->Cancelled();
+    return expired_;
+  }
+
+  /// OK, or Status::Timeout for `stage` once expired.
+  Status Check(const char* stage) {
+    if (!Expired()) return Status::OK();
+    return token_->CheckTimeout(stage);
+  }
+
+ private:
+  const CancellationToken* token_;
+  uint32_t stride_;
+  uint32_t countdown_;
+  bool expired_ = false;
+};
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_DEADLINE_H_

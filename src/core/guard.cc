@@ -78,7 +78,8 @@ void Guard::RectifyViolation(const Violation& violation, Row* row) const {
 }
 
 Result<Row> Guard::ProcessRow(const Row& row, ErrorPolicy policy) const {
-  std::vector<Violation> violations = interpreter_.Check(row);
+  GUARDRAIL_ASSIGN_OR_RETURN(std::vector<Violation> violations,
+                             interpreter_.CheckedCheck(row));
   if (violations.empty()) return row;
   switch (policy) {
     case ErrorPolicy::kRaise:
@@ -108,8 +109,17 @@ GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
   outcome.flagged.assign(static_cast<size_t>(table->num_rows()), false);
   for (RowIndex r = 0; r < table->num_rows(); ++r) {
     Row row = table->GetRow(r);
-    std::vector<Violation> violations = interpreter_.Check(row);
+    Result<std::vector<Violation>> checked = interpreter_.CheckedCheck(row);
     ++outcome.rows_checked;
+    if (!checked.ok()) {
+      ++outcome.rows_failed;
+      if (outcome.first_error.ok()) outcome.first_error = checked.status();
+      // kRaise aborts on the first problem of any kind; the lenient
+      // policies isolate the failing row and keep the batch alive.
+      if (policy == ErrorPolicy::kRaise) return outcome;
+      continue;
+    }
+    const std::vector<Violation>& violations = *checked;
     if (violations.empty()) continue;
     ++outcome.rows_flagged;
     outcome.flagged[static_cast<size_t>(r)] = true;

@@ -33,6 +33,12 @@ struct GuardOutcome {
   int64_t rows_checked = 0;
   int64_t rows_flagged = 0;
   int64_t cells_repaired = 0;
+  /// Rows whose evaluation itself failed (injected faults, malformed rows).
+  /// Under kIgnore / kCoerce / kRectify such rows are skipped untouched and
+  /// processing continues; under kRaise the first failure aborts the batch.
+  int64_t rows_failed = 0;
+  /// The first per-row evaluation error encountered; OK when rows_failed == 0.
+  Status first_error;
   /// Per-row violation flag, aligned with the input table.
   std::vector<bool> flagged;
 };
@@ -46,11 +52,16 @@ class Guard {
 
   /// Applies the policy to one row. kRaise returns ConstraintViolation on a
   /// violating row; the other policies return the (possibly repaired) row.
+  /// Rows narrower than the attributes the program references are rejected
+  /// with InvalidArgument under every policy — a malformed row is an input
+  /// error, not a constraint violation to ignore or repair.
   Result<Row> ProcessRow(const Row& row, ErrorPolicy policy) const;
 
   /// Applies the policy to a whole table. With kCoerce / kRectify the table
   /// is modified in place. With kRaise processing stops at the first
-  /// violation (the outcome still reports it).
+  /// violation or evaluation error (the outcome still reports it). Under the
+  /// other policies a per-row evaluation failure is isolated: the row is
+  /// counted in rows_failed and left untouched, and the batch continues.
   GuardOutcome ProcessTable(Table* table, ErrorPolicy policy) const;
 
   /// Pure detection: per-row violation flags (Eqn. 1), no mutation.

@@ -1,9 +1,43 @@
 #include "core/interpreter.h"
 
+#include <algorithm>
+
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace guardrail {
 namespace core {
+
+Interpreter::Interpreter(const Program* program) : program_(program) {
+  for (const auto& stmt : program_->statements) {
+    min_row_width_ = std::max(min_row_width_,
+                              static_cast<size_t>(stmt.dependent) + 1);
+    for (AttrIndex a : stmt.determinants) {
+      min_row_width_ = std::max(min_row_width_, static_cast<size_t>(a) + 1);
+    }
+    for (const auto& branch : stmt.branches) {
+      min_row_width_ =
+          std::max(min_row_width_, static_cast<size_t>(branch.target) + 1);
+      for (const auto& [attr, value] : branch.condition.equalities) {
+        min_row_width_ =
+            std::max(min_row_width_, static_cast<size_t>(attr) + 1);
+      }
+    }
+  }
+}
+
+size_t Interpreter::MinRowWidth() const { return min_row_width_; }
+
+Result<std::vector<Violation>> Interpreter::CheckedCheck(const Row& row) const {
+  GUARDRAIL_FAILPOINT("interpreter.check");
+  if (row.size() < min_row_width_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) +
+        " attribute(s) but the program references attribute index " +
+        std::to_string(min_row_width_ - 1));
+  }
+  return Check(row);
+}
 
 int32_t Interpreter::MatchBranch(const Statement& stmt, const Row& row) {
   for (size_t i = 0; i < stmt.branches.size(); ++i) {

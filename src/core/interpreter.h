@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/ast.h"
 #include "table/table.h"
 
@@ -25,7 +26,7 @@ struct Violation {
 /// matches fires and assigns the dependent attribute.
 class Interpreter {
  public:
-  explicit Interpreter(const Program* program) : program_(program) {}
+  explicit Interpreter(const Program* program);
 
   /// [[p]]_t — returns the updated state t'. The input row is evaluated
   /// against the *original* state for condition matching of each statement
@@ -37,14 +38,25 @@ class Interpreter {
   bool Satisfies(const Row& row) const;
 
   /// All violations of `row`, one per statement whose fired branch
-  /// disagrees with the observed dependent value.
+  /// disagrees with the observed dependent value. The row must be as wide as
+  /// the program's schema; Check assumes it (callers on trusted rows).
   std::vector<Violation> Check(const Row& row) const;
+
+  /// Fallible Check for untrusted rows: rejects rows narrower than the
+  /// attributes the program references (InvalidArgument) instead of reading
+  /// out of bounds, and carries the "interpreter.check" failpoint.
+  Result<std::vector<Violation>> CheckedCheck(const Row& row) const;
+
+  /// Widest attribute index referenced by any statement, plus one; the
+  /// minimum row width CheckedCheck accepts. 0 for an empty program.
+  size_t MinRowWidth() const;
 
   /// Index of the first branch of `stmt` matching `row`, or -1.
   static int32_t MatchBranch(const Statement& stmt, const Row& row);
 
  private:
   const Program* program_;
+  size_t min_row_width_ = 0;
 };
 
 }  // namespace core

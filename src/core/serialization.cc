@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/parser.h"
 #include "core/printer.h"
@@ -28,6 +29,7 @@ std::string SerializeProgram(const Program& program, const Schema& schema,
 }
 
 Result<Program> DeserializeProgram(const std::string& text, Schema* schema) {
+  GUARDRAIL_FAILPOINT("serialize.load");
   std::string body;
   bool header_seen = false;
   for (const std::string& line : StrSplit(text, '\n')) {
@@ -55,6 +57,7 @@ Result<Program> DeserializeProgram(const std::string& text, Schema* schema) {
 
 Status SaveProgramToFile(const std::string& path, const Program& program,
                          const Schema& schema, const std::string& comment) {
+  GUARDRAIL_FAILPOINT("serialize.save");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out << SerializeProgram(program, schema, comment);

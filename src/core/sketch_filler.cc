@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -24,7 +25,17 @@ struct ConditionGroup {
 std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
                                              const Table& data,
                                              const FillOptions& options) {
+  Result<std::optional<Statement>> filled =
+      FillStatementSketch(sketch, data, options, CancellationToken::Never());
+  // Infallible with an infinite budget.
+  return std::move(filled).value();
+}
+
+Result<std::optional<Statement>> FillStatementSketch(
+    const StatementSketch& sketch, const Table& data,
+    const FillOptions& options, const CancellationToken& cancel) {
   GUARDRAIL_CHECK(!sketch.determinants.empty());
+  DeadlineChecker deadline(&cancel, /*stride=*/1024);
   // One pass over the data groups rows by their determinant combination —
   // this materializes exactly the warranted conditions comb(det) of
   // Alg. 1 line 11 (the Cartesian product restricted to observed support).
@@ -43,6 +54,7 @@ std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
 
   std::vector<ValueId> combo(sketch.determinants.size());
   for (RowIndex r = 0; r < data.num_rows(); ++r) {
+    GUARDRAIL_RETURN_NOT_OK(deadline.Check("sketch fill"));
     bool has_null = false;
     uint64_t key = overflow ? 1469598103934665603ULL : 0;
     for (size_t i = 0; i < sketch.determinants.size(); ++i) {
@@ -121,8 +133,8 @@ std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
     stmt.branches.push_back(std::move(branch));
   }
 
-  if (stmt.branches.empty()) return std::nullopt;
-  return stmt;
+  if (stmt.branches.empty()) return std::optional<Statement>();
+  return std::optional<Statement>(std::move(stmt));
 }
 
 Program FillProgramSketch(const ProgramSketch& sketch, const Table& data,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/deadline.h"
 #include "core/ast.h"
 #include "core/sketch.h"
 #include "table/table.h"
@@ -33,6 +34,13 @@ struct FillOptions {
 std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
                                              const Table& data,
                                              const FillOptions& options);
+
+/// Cancellable variant: polls `cancel` amortized across the data scan and
+/// returns Status::Timeout on expiry (a partially grouped statement would
+/// understate support, so no partial fill is produced).
+Result<std::optional<Statement>> FillStatementSketch(
+    const StatementSketch& sketch, const Table& data,
+    const FillOptions& options, const CancellationToken& cancel);
 
 /// Fills a whole program sketch (Alg. 1): statements that fill to bottom are
 /// dropped.

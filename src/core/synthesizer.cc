@@ -1,5 +1,6 @@
 #include "core/synthesizer.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/timer.h"
@@ -16,19 +17,25 @@ namespace {
 /// so FillStmtSketch results are memoized on (determinants, dependent).
 class StatementCache {
  public:
-  const std::optional<Statement>& GetOrFill(const StatementSketch& sketch,
-                                            const Table& data,
-                                            const FillOptions& options) {
+  /// nullptr means the sketch filled to bottom. Timeouts are propagated and
+  /// never cached (the entry may still be fillable by a later caller with a
+  /// fresh budget).
+  Result<const Statement*> GetOrFill(const StatementSketch& sketch,
+                                     const Table& data,
+                                     const FillOptions& options,
+                                     const CancellationToken& cancel) {
     auto it = cache_.find(sketch);
     if (it != cache_.end()) {
       ++hits_;
-      return it->second;
+      return it->second.has_value() ? &*it->second : nullptr;
     }
+    GUARDRAIL_ASSIGN_OR_RETURN(std::optional<Statement> filled,
+                               FillStatementSketch(sketch, data, options,
+                                                   cancel));
     ++misses_;
-    auto [pos, inserted] =
-        cache_.emplace(sketch, FillStatementSketch(sketch, data, options));
+    auto [pos, inserted] = cache_.emplace(sketch, std::move(filled));
     (void)inserted;
-    return pos->second;
+    return pos->second.has_value() ? &*pos->second : nullptr;
   }
 
   int64_t hits() const { return hits_; }
@@ -40,10 +47,82 @@ class StatementCache {
   int64_t misses_ = 0;
 };
 
+/// A token whose deadline spends at most `fraction` of what remains on
+/// `cancel` — how the ladder reserves budget for its fallback rungs. With an
+/// infinite budget this is `cancel` itself (no behavior change).
+CancellationToken SubBudget(const CancellationToken& cancel, double fraction) {
+  if (cancel.deadline().is_infinite()) return cancel;
+  return cancel.WithDeadline(
+      Deadline::AfterSeconds(fraction * cancel.deadline().RemainingSeconds()));
+}
+
 }  // namespace
+
+const char* SynthesisRungName(SynthesisRung rung) {
+  switch (rung) {
+    case SynthesisRung::kFullMec:
+      return "full-mec";
+    case SynthesisRung::kSingleDag:
+      return "single-dag";
+    case SynthesisRung::kHillClimb:
+      return "hill-climb";
+    case SynthesisRung::kTrivial:
+      return "trivial";
+  }
+  return "unknown";
+}
+
+std::vector<DomainConstraint> BuildDomainConstraints(const Table& data) {
+  std::vector<DomainConstraint> out;
+  out.reserve(static_cast<size_t>(data.num_columns()));
+  for (AttrIndex a = 0; a < data.num_columns(); ++a) {
+    DomainConstraint dc;
+    dc.attribute = a;
+    dc.domain_size = data.schema().attribute(a).domain_size();
+    std::vector<int64_t> counts(
+        static_cast<size_t>(std::max(1, dc.domain_size)), 0);
+    for (ValueId v : data.column(a)) {
+      if (v != kNullValue) ++counts[static_cast<size_t>(v)];
+    }
+    for (size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] > dc.mode_support) {
+        dc.mode_support = counts[v];
+        dc.mode = static_cast<ValueId>(v);
+      }
+    }
+    out.push_back(dc);
+  }
+  return out;
+}
+
+std::vector<AttrIndex> DomainViolations(
+    const std::vector<DomainConstraint>& constraints, const Row& row) {
+  std::vector<AttrIndex> out;
+  for (const DomainConstraint& dc : constraints) {
+    size_t i = static_cast<size_t>(dc.attribute);
+    if (i >= row.size()) {
+      out.push_back(dc.attribute);
+      continue;
+    }
+    ValueId v = row[i];
+    if (v == kNullValue || v < 0 || v >= dc.domain_size) {
+      out.push_back(dc.attribute);
+    }
+  }
+  return out;
+}
 
 SynthesisReport Synthesizer::SynthesizeFromMec(const pgm::Pdag& cpdag,
                                                const Table& data) const {
+  Result<SynthesisReport> report =
+      SynthesizeFromMec(cpdag, data, CancellationToken::Never());
+  // Infallible with an infinite budget.
+  return std::move(report).value();
+}
+
+Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
+    const pgm::Pdag& cpdag, const Table& data,
+    const CancellationToken& cancel) const {
   SynthesisReport report;
   report.cpdag = cpdag;
 
@@ -56,17 +135,25 @@ SynthesisReport Synthesizer::SynthesizeFromMec(const pgm::Pdag& cpdag,
   pgm::Pdag working = cpdag;
   pgm::RepairCpdagCycles(&working);
   pgm::MecEnumerator enumerator(enum_options);
-  std::vector<pgm::Dag> dags = enumerator.Enumerate(working);
-  if (dags.empty()) {
+  std::vector<pgm::Dag> dags;
+  bool enumeration_cut_short = false;
+  Status enum_status = enumerator.Enumerate(working, cancel, &dags);
+  if (!enum_status.ok()) {
+    // Budget expired mid-enumeration; whatever members surfaced so far are
+    // still valid candidates for Alg. 2's arbitration.
+    enumeration_cut_short = true;
+  } else if (dags.empty()) {
     // Finite-sample PC output occasionally admits no consistent extension
     // (conflicting colliders). Relax the v-structure validation so Alg. 2's
     // coverage selection can still arbitrate between acyclic orientations.
     enum_options.strict_v_structures = false;
     pgm::MecEnumerator relaxed(enum_options);
-    dags = relaxed.Enumerate(working);
+    if (!relaxed.Enumerate(working, cancel, &dags).ok()) {
+      enumeration_cut_short = true;
+    }
   }
   if (dags.empty()) {
-    // Last resort: one greedy acyclic orientation.
+    // Last resort: one greedy acyclic orientation (bounded, uncancelled).
     dags.push_back(pgm::BestEffortExtension(working));
   }
   report.enumeration_seconds = watch.ElapsedSeconds();
@@ -78,20 +165,38 @@ SynthesisReport Synthesizer::SynthesizeFromMec(const pgm::Pdag& cpdag,
   Program best_program;
   ProgramSketch best_sketch;
   double best_coverage = -1.0;
+  size_t dags_filled = 0;
+  bool fill_cut_short = false;
   for (const pgm::Dag& dag : dags) {
     ProgramSketch sketch = SketchFromDag(dag);
     Program program;
+    bool complete = true;
     for (const auto& stmt_sketch : sketch.statements) {
-      const std::optional<Statement>& stmt =
-          cache.GetOrFill(stmt_sketch, data, options_.fill);
-      if (stmt.has_value()) program.statements.push_back(*stmt);
+      Result<const Statement*> stmt =
+          cache.GetOrFill(stmt_sketch, data, options_.fill, cancel);
+      if (!stmt.ok()) {
+        complete = false;
+        break;
+      }
+      if (*stmt != nullptr) program.statements.push_back(**stmt);
     }
+    if (!complete) {
+      // A half-filled program would understate coverage; drop it and stop —
+      // the budget is gone.
+      fill_cut_short = true;
+      break;
+    }
+    ++dags_filled;
     double coverage = ProgramCoverage(program, data);
     if (coverage > best_coverage) {
       best_coverage = coverage;
       best_program = std::move(program);
       best_sketch = std::move(sketch);
     }
+  }
+  if (dags_filled == 0) {
+    return Status::Timeout(
+        "sketch filling: budget exhausted before any DAG could be filled");
   }
   report.fill_seconds = watch.ElapsedSeconds();
   report.cache_hits = cache.hits();
@@ -100,64 +205,182 @@ SynthesisReport Synthesizer::SynthesizeFromMec(const pgm::Pdag& cpdag,
   report.chosen_sketch = std::move(best_sketch);
   report.coverage = best_coverage < 0.0 ? 0.0 : best_coverage;
   report.total_seconds = total_watch.ElapsedSeconds();
+
+  if (enumeration_cut_short || fill_cut_short) {
+    report.rung = SynthesisRung::kSingleDag;
+    report.budget_expired = true;
+    report.degradation_reason =
+        "budget expired during " +
+        std::string(enumeration_cut_short ? "MEC enumeration" : "sketch fill") +
+        "; selected over " + std::to_string(dags_filled) + " of " +
+        std::to_string(dags.size()) + " candidate DAG(s)";
+  }
+  return report;
+}
+
+Result<SynthesisReport> Synthesizer::FillSingleDag(
+    const pgm::Dag& dag, const Table& data,
+    const CancellationToken& cancel) const {
+  SynthesisReport report;
+  report.cpdag = pgm::Pdag::FromDag(dag);
+  report.num_dags_enumerated = 1;
+  StopWatch watch;
+  ProgramSketch sketch = SketchFromDag(dag);
+  Program program;
+  for (const auto& stmt_sketch : sketch.statements) {
+    GUARDRAIL_ASSIGN_OR_RETURN(
+        std::optional<Statement> stmt,
+        FillStatementSketch(stmt_sketch, data, options_.fill, cancel));
+    if (stmt.has_value()) program.statements.push_back(std::move(*stmt));
+    ++report.cache_misses;
+  }
+  report.fill_seconds = watch.ElapsedSeconds();
+  report.coverage = ProgramCoverage(program, data);
+  report.program = std::move(program);
+  report.chosen_sketch = std::move(sketch);
   return report;
 }
 
 SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng) const {
+  return Synthesize(data, rng, CancellationToken::Never());
+}
+
+SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng,
+                                        const CancellationToken& cancel) const {
   StopWatch total_watch;
   StopWatch watch;
+  SynthesisReport report;
+
+  // The ladder's floor never fails: one cheap pass, no deadline checks.
+  auto degrade_to_trivial = [&](const std::string& reason) {
+    SynthesisReport trivial;
+    trivial.rung = SynthesisRung::kTrivial;
+    trivial.budget_expired = true;
+    trivial.degradation_reason = reason;
+    trivial.domain_constraints = BuildDomainConstraints(data);
+    trivial.sampling_seconds = report.sampling_seconds;
+    trivial.structure_seconds = report.structure_seconds;
+    trivial.num_ci_tests = report.num_ci_tests;
+    trivial.total_seconds = total_watch.ElapsedSeconds();
+    return trivial;
+  };
+
+  if (cancel.Cancelled()) {
+    return degrade_to_trivial("budget exhausted before synthesis began");
+  }
+
   pgm::EncodedData encoded;
   if (options_.use_auxiliary_sampler) {
     encoded = pgm::SampleAuxiliaryDistribution(data, options_.aux, rng);
   } else {
     encoded = pgm::EncodeIdentity(data);
   }
-  double sampling_seconds = watch.ElapsedSeconds();
+  report.sampling_seconds = watch.ElapsedSeconds();
+  if (cancel.Cancelled()) {
+    return degrade_to_trivial("budget expired during auxiliary sampling");
+  }
 
   watch.Restart();
   pgm::Pdag cpdag;
-  int64_t num_ci_tests = 0;
+  std::string structure_note;
+  bool structure_expired = false;
   if (options_.structure_method == StructureMethod::kHillClimbing) {
     pgm::HillClimbingLearner learner(options_.hill_climbing);
-    pgm::HillClimbingLearner::LearnResult learned = learner.Learn(encoded);
+    pgm::HillClimbingLearner::LearnResult learned =
+        learner.Learn(encoded, SubBudget(cancel, 0.5));
     cpdag = pgm::Pdag::FromDag(learned.dag);
+    if (learned.timed_out) {
+      structure_expired = true;
+      structure_note = "hill climbing stopped early at iteration " +
+                       std::to_string(learned.iterations);
+    }
   } else {
     pgm::PcAlgorithm pc(options_.pc);
-    pgm::PcResult pc_result = pc.Run(encoded);
-    cpdag = std::move(pc_result.cpdag);
-    num_ci_tests = pc_result.num_ci_tests;
+    // PC gets half the remaining budget so the fallback rungs keep the rest.
+    Result<pgm::PcResult> pc_result = pc.Run(encoded, SubBudget(cancel, 0.5));
+    if (pc_result.ok()) {
+      cpdag = std::move(pc_result->cpdag);
+      report.num_ci_tests = pc_result->num_ci_tests;
+    } else {
+      // Rung kHillClimb: a half-finished PC skeleton is unusable, but the
+      // anytime hill climber always has *some* DAG to offer.
+      pgm::HillClimbingLearner learner(options_.hill_climbing);
+      pgm::HillClimbingLearner::LearnResult learned =
+          learner.Learn(encoded, SubBudget(cancel, 0.5));
+      report.structure_seconds = watch.ElapsedSeconds();
+      Result<SynthesisReport> filled =
+          FillSingleDag(learned.dag, data, cancel);
+      if (!filled.ok()) {
+        return degrade_to_trivial(
+            "pc and the hill-climbing fallback both exceeded the budget (" +
+            filled.status().message() + ")");
+      }
+      SynthesisReport out = std::move(*filled);
+      out.rung = SynthesisRung::kHillClimb;
+      out.budget_expired = true;
+      out.degradation_reason =
+          "pc structure learning exceeded its budget slice; fell back to "
+          "anytime hill climbing (" +
+          std::to_string(learned.iterations) + " iteration(s))";
+      out.sampling_seconds = report.sampling_seconds;
+      out.structure_seconds = report.structure_seconds;
+      out.num_ci_tests = report.num_ci_tests;
+      out.total_seconds = total_watch.ElapsedSeconds();
+      return out;
+    }
   }
-  double structure_seconds = watch.ElapsedSeconds();
+  report.structure_seconds = watch.ElapsedSeconds();
 
-  SynthesisReport report = SynthesizeFromMec(cpdag, data);
+  Result<SynthesisReport> inner = SynthesizeFromMec(cpdag, data, cancel);
+  if (!inner.ok()) {
+    return degrade_to_trivial("budget expired during sketch filling (" +
+                              inner.status().message() + ")");
+  }
+  double sampling_seconds = report.sampling_seconds;
+  double structure_seconds = report.structure_seconds;
+  int64_t num_ci_tests = report.num_ci_tests;
+  report = std::move(*inner);
   report.sampling_seconds = sampling_seconds;
   report.structure_seconds = structure_seconds;
   report.num_ci_tests = num_ci_tests;
+  if (structure_expired) {
+    report.budget_expired = true;
+    if (!report.degradation_reason.empty()) report.degradation_reason += "; ";
+    report.degradation_reason += structure_note;
+  }
 
   if (options_.enforce_gnt && !report.chosen_sketch.empty()) {
-    NonTrivialityChecker checker(&data, options_.gnt_ci);
-    ProgramSketch kept_sketch;
-    Program kept_program;
-    for (size_t i = 0; i < report.chosen_sketch.statements.size(); ++i) {
-      const StatementSketch& sketch = report.chosen_sketch.statements[i];
-      if (checker.IsGloballyNonTrivial(report.chosen_sketch, sketch)) {
-        kept_sketch.statements.push_back(sketch);
-        // The filled program may have dropped some sketch statements
-        // (bottom); match by header.
-        for (const auto& stmt : report.program.statements) {
-          if (stmt.determinants == sketch.determinants &&
-              stmt.dependent == sketch.dependent) {
-            kept_program.statements.push_back(stmt);
-            break;
+    if (cancel.Cancelled()) {
+      // The GNT post-filter only ever *drops* statements; skipping it keeps
+      // a valid (slightly more permissive) program.
+      report.budget_expired = true;
+      if (!report.degradation_reason.empty()) report.degradation_reason += "; ";
+      report.degradation_reason += "gnt post-filter skipped (budget expired)";
+    } else {
+      NonTrivialityChecker checker(&data, options_.gnt_ci);
+      ProgramSketch kept_sketch;
+      Program kept_program;
+      for (size_t i = 0; i < report.chosen_sketch.statements.size(); ++i) {
+        const StatementSketch& sketch = report.chosen_sketch.statements[i];
+        if (checker.IsGloballyNonTrivial(report.chosen_sketch, sketch)) {
+          kept_sketch.statements.push_back(sketch);
+          // The filled program may have dropped some sketch statements
+          // (bottom); match by header.
+          for (const auto& stmt : report.program.statements) {
+            if (stmt.determinants == sketch.determinants &&
+                stmt.dependent == sketch.dependent) {
+              kept_program.statements.push_back(stmt);
+              break;
+            }
           }
+        } else {
+          ++report.gnt_statements_dropped;
         }
-      } else {
-        ++report.gnt_statements_dropped;
       }
+      report.chosen_sketch = std::move(kept_sketch);
+      report.program = std::move(kept_program);
+      report.coverage = ProgramCoverage(report.program, data);
     }
-    report.chosen_sketch = std::move(kept_sketch);
-    report.program = std::move(kept_program);
-    report.coverage = ProgramCoverage(report.program, data);
   }
 
   report.total_seconds = total_watch.ElapsedSeconds();

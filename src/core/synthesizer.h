@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "core/ast.h"
 #include "core/sketch.h"
@@ -51,6 +54,48 @@ struct SynthesisOptions {
   pgm::GSquareTest::Options gnt_ci;
 };
 
+/// The graceful-degradation ladder: which synthesis strategy ultimately
+/// produced the program when running under a time budget. Rungs are ordered
+/// from full fidelity to the trivial floor; an unlimited budget always stays
+/// on the top rung.
+enum class SynthesisRung {
+  /// Full pipeline: PC (or configured learner) + complete MEC enumeration +
+  /// coverage-maximal selection across all member DAGs.
+  kFullMec = 0,
+  /// Structure was learned but the budget cut the enumeration or fill short;
+  /// the program comes from the best DAG subset that finished (possibly a
+  /// single best-effort extension).
+  kSingleDag = 1,
+  /// PC exceeded its budget slice; structure fell back to anytime greedy
+  /// hill climbing and a single-DAG fill.
+  kHillClimb = 2,
+  /// Budget exhausted before any statement could be synthesized; only the
+  /// per-attribute domain constraints remain (program is empty).
+  kTrivial = 3,
+};
+
+const char* SynthesisRungName(SynthesisRung rung);
+
+/// The ladder's floor: one constraint per attribute restricting values to
+/// the dictionary observed at synthesis time. Computable in one cheap pass,
+/// so it is always available no matter how little budget remains.
+struct DomainConstraint {
+  AttrIndex attribute = 0;
+  /// Codes in [0, domain_size) were observed at synthesis time.
+  int32_t domain_size = 0;
+  /// Most frequent observed value and how many rows carried it.
+  ValueId mode = kNullValue;
+  int64_t mode_support = 0;
+};
+
+/// One pass over `data` building the floor constraints.
+std::vector<DomainConstraint> BuildDomainConstraints(const Table& data);
+
+/// Attributes of `row` violating the domain constraints (NULL or a code
+/// outside the synthesis-time dictionary).
+std::vector<AttrIndex> DomainViolations(
+    const std::vector<DomainConstraint>& constraints, const Row& row);
+
 /// Everything the pipeline produced, for experiments and diagnostics.
 struct SynthesisReport {
   Program program;
@@ -73,6 +118,17 @@ struct SynthesisReport {
 
   // Statements removed by the optional GNT post-filter.
   int64_t gnt_statements_dropped = 0;
+
+  // ---- Graceful degradation (deadline-aware synthesis). ----
+  /// Ladder rung that produced `program`; kFullMec on unlimited budgets.
+  SynthesisRung rung = SynthesisRung::kFullMec;
+  /// Human-readable explanation when rung != kFullMec (which stage ran out
+  /// of budget and what the ladder fell back to). Empty otherwise.
+  std::string degradation_reason;
+  /// True when any stage hit the deadline (even if a lower rung recovered).
+  bool budget_expired = false;
+  /// Populated on the kTrivial rung (and harmless to use on any rung).
+  std::vector<DomainConstraint> domain_constraints;
 };
 
 /// The Guardrail synthesizer: auxiliary sampling -> PC -> MEC enumeration ->
@@ -86,13 +142,33 @@ class Synthesizer {
   /// use_auxiliary_sampler == false the pipeline is fully deterministic.
   SynthesisReport Synthesize(const Table& data, Rng* rng) const;
 
+  /// Deadline-aware synthesis. Never hangs, never crashes, never returns
+  /// garbage: when `cancel` fires mid-pipeline the degradation ladder steps
+  /// down — full MEC -> best-DAG-subset fill -> hill-climbing structure ->
+  /// trivial domain constraints — and the report records the rung reached,
+  /// why, and the per-stage wall-clock. With an infinite budget the result
+  /// is identical to Synthesize(data, rng).
+  SynthesisReport Synthesize(const Table& data, Rng* rng,
+                             const CancellationToken& cancel) const;
+
   /// Alg. 2 in isolation: given a CPDAG, enumerate member DAGs, fill each
   /// induced sketch against `data` with a shared statement cache, and return
   /// the concrete program with maximum coverage.
   SynthesisReport SynthesizeFromMec(const pgm::Pdag& cpdag,
                                     const Table& data) const;
 
+  /// Cancellable Alg. 2. Degrades internally to a partial-enumeration /
+  /// best-effort-extension fill (rung kSingleDag); returns Status::Timeout
+  /// only when not even one DAG could be filled within the budget.
+  Result<SynthesisReport> SynthesizeFromMec(
+      const pgm::Pdag& cpdag, const Table& data,
+      const CancellationToken& cancel) const;
+
  private:
+  /// Rung kHillClimb / kSingleDag helper: fill the sketch of one DAG.
+  Result<SynthesisReport> FillSingleDag(const pgm::Dag& dag, const Table& data,
+                                        const CancellationToken& cancel) const;
+
   SynthesisOptions options_;
 };
 

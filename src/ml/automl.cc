@@ -122,6 +122,7 @@ Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
   std::vector<std::unique_ptr<Model>> members;
   std::vector<double> weights;
   for (const auto& trainer : trainers) {
+    if (options_.cancel.Cancelled()) break;
     Result<std::unique_ptr<Model>> model =
         trainer->Train(fit_split, label_column);
     if (!model.ok()) continue;
@@ -132,6 +133,7 @@ Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
     weights.push_back(accuracy * accuracy);  // Emphasize the better models.
   }
   if (members.empty()) {
+    GUARDRAIL_RETURN_NOT_OK(options_.cancel.CheckTimeout("automl training"));
     return Status::Internal("no ensemble member trained successfully");
   }
   return std::unique_ptr<Model>(new EnsembleModel(

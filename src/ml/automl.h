@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "ml/model.h"
 
@@ -27,6 +28,10 @@ class AutoMlTrainer : public Trainer {
   struct Options {
     double validation_fraction = 0.2;
     uint64_t seed = 0x4D4C5EEDULL;
+    /// Budget for the whole AutoML pass. Checked between model families:
+    /// expiry serves the ensemble of whatever members finished in time, or
+    /// Status::Timeout when none did — never a half-trained model.
+    CancellationToken cancel;
   };
 
   AutoMlTrainer() : options_() {}

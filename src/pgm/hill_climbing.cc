@@ -56,6 +56,11 @@ std::vector<int32_t> SortedParents(const WorkingGraph& g, int32_t v) {
 
 HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
     const EncodedData& data) const {
+  return Learn(data, CancellationToken::Never());
+}
+
+HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
+    const EncodedData& data, const CancellationToken& cancel) const {
   const int32_t n = data.num_variables();
   BicScorer scorer(&data);
   WorkingGraph graph(n);
@@ -66,7 +71,10 @@ HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
     family[static_cast<size_t>(v)] = scorer.FamilyScore(v, {});
   }
 
-  LearnResult result{Dag(n), 0.0, 0, 0};
+  LearnResult result{Dag(n), 0.0, 0, 0, false};
+  // Each move evaluation runs a BIC family score over the data, so even a
+  // stride of 1 would be cheap; 16 makes polling disappear entirely.
+  DeadlineChecker deadline(&cancel, /*stride=*/16);
 
   // One candidate move: the score delta and how to apply it.
   struct Move {
@@ -90,9 +98,13 @@ HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
       }
     };
 
-    for (int32_t from = 0; from < n; ++from) {
+    for (int32_t from = 0; from < n && !result.timed_out; ++from) {
       for (int32_t to = 0; to < n; ++to) {
         if (from == to) continue;
+        if (deadline.Expired()) {
+          result.timed_out = true;
+          break;
+        }
         if (!graph.HasEdge(from, to)) {
           // Add from -> to.
           if (static_cast<int32_t>(
@@ -160,7 +172,9 @@ HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
       }
     }
 
-    if (!found) break;
+    // A partially scanned neighborhood would apply a non-greedy move; stop
+    // at the last fully evaluated iteration instead.
+    if (result.timed_out || !found) break;
     switch (best.kind) {
       case Move::Kind::kAdd:
         graph.parents[static_cast<size_t>(best.to)].insert(best.from);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "pgm/bic_score.h"
 #include "pgm/dag.h"
 #include "pgm/encoded_data.h"
@@ -30,11 +31,20 @@ class HillClimbingLearner {
     double score = 0.0;
     int32_t iterations = 0;
     int64_t moves_evaluated = 0;
+    /// True when the budget expired before greedy convergence. The dag is
+    /// still the best structure found so far — hill climbing is an anytime
+    /// algorithm, so expiry degrades quality, never validity.
+    bool timed_out = false;
   };
 
   explicit HillClimbingLearner(Options options) : options_(options) {}
 
   LearnResult Learn(const EncodedData& data) const;
+
+  /// Anytime variant: stops improving when `cancel` fires and returns the
+  /// current (always acyclic) structure with timed_out set.
+  LearnResult Learn(const EncodedData& data,
+                    const CancellationToken& cancel) const;
 
  private:
   Options options_;

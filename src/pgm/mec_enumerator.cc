@@ -52,10 +52,16 @@ struct EnumerationState {
   int64_t max_dags;
   std::vector<Dag>* out;
   std::set<std::string>* seen;
+  DeadlineChecker* deadline = nullptr;
+  bool timed_out = false;
 };
 
 void Recurse(Pdag graph, EnumerationState* state) {
   if (static_cast<int64_t>(state->out->size()) >= state->max_dags) return;
+  if (state->timed_out || state->deadline->Expired()) {
+    state->timed_out = true;
+    return;
+  }
   ApplyMeekRules(&graph);
   if (graph.HasDirectedCycle()) return;
 
@@ -90,12 +96,24 @@ void Recurse(Pdag graph, EnumerationState* state) {
 
 std::vector<Dag> MecEnumerator::Enumerate(const Pdag& cpdag) const {
   std::vector<Dag> out;
+  // Infallible with an infinite budget.
+  GUARDRAIL_CHECK_OK(Enumerate(cpdag, CancellationToken::Never(), &out));
+  return out;
+}
+
+Status MecEnumerator::Enumerate(const Pdag& cpdag,
+                                const CancellationToken& cancel,
+                                std::vector<Dag>* out) const {
+  out->clear();
   std::set<std::string> seen;
   VStructureSet reference = CpdagVStructures(cpdag);
-  EnumerationState state{&reference, options_.strict_v_structures,
-                         options_.max_dags, &out, &seen};
+  DeadlineChecker deadline(&cancel, /*stride=*/64);
+  EnumerationState state{&reference,        options_.strict_v_structures,
+                         options_.max_dags, out,
+                         &seen,             &deadline};
   Recurse(cpdag, &state);
-  return out;
+  if (state.timed_out) return cancel.CheckTimeout("mec enumeration");
+  return Status::OK();
 }
 
 int64_t MecEnumerator::CountMembers(const Pdag& cpdag) const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "pgm/dag.h"
 #include "pgm/pdag.h"
 
@@ -38,6 +39,14 @@ class MecEnumerator {
 
   /// All consistent DAG extensions of `cpdag` (up to max_dags).
   std::vector<Dag> Enumerate(const Pdag& cpdag) const;
+
+  /// Cancellable variant: the token is polled amortized inside the
+  /// orientation recursion. On expiry, returns Status::Timeout while `*out`
+  /// keeps the members found so far — an explicitly reported partial
+  /// enumeration (never a silent truncation) that the synthesizer's
+  /// degradation ladder can still arbitrate over.
+  Status Enumerate(const Pdag& cpdag, const CancellationToken& cancel,
+                   std::vector<Dag>* out) const;
 
   /// Number of members only (same bound applies).
   int64_t CountMembers(const Pdag& cpdag) const;

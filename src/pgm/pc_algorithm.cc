@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "common/logging.h"
 #include "pgm/meek_rules.h"
@@ -39,10 +40,20 @@ bool ForEachSubset(const std::vector<int32_t>& pool, int32_t k,
 }  // namespace
 
 PcResult PcAlgorithm::Run(const EncodedData& data) const {
+  Result<PcResult> result = Run(data, CancellationToken::Never());
+  // Infallible with an infinite budget.
+  return std::move(result).value();
+}
+
+Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
+                                  const CancellationToken& cancel) const {
   const int32_t n = data.num_variables();
   PcResult result;
   result.cpdag = Pdag::CompleteUndirected(n);
   GSquareTest test(&data, options_.ci_options);
+  // Each CI test is O(rows), so a small stride keeps the expiry latency low
+  // without measurable polling cost.
+  DeadlineChecker deadline(&cancel, /*stride=*/8);
 
   Pdag& g = result.cpdag;
 
@@ -65,8 +76,13 @@ PcResult PcAlgorithm::Run(const EncodedData& data) const {
         }
         if (static_cast<int32_t>(pool.size()) < level) continue;
         any_testable = true;
+        Status timeout = Status::OK();
         bool removed = ForEachSubset(
             pool, level, [&](const std::vector<int32_t>& subset) {
+              if (deadline.Expired()) {
+                timeout = cancel.CheckTimeout("pc skeleton");
+                return true;  // Break out of the subset enumeration.
+              }
               CiResult ci = test.Test(u, v, subset);
               if (!ci.reliable) ++result.num_unreliable_tests;
               if (ci.independent) {
@@ -78,6 +94,7 @@ PcResult PcAlgorithm::Run(const EncodedData& data) const {
               return false;
             });
         (void)removed;
+        if (!timeout.ok()) return timeout;
       }
     }
     for (const auto& [u, v] : to_remove) g.RemoveEdge(u, v);

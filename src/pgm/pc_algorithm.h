@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "pgm/ci_test.h"
 #include "pgm/pdag.h"
 
@@ -38,6 +39,13 @@ class PcAlgorithm {
   explicit PcAlgorithm(Options options) : options_(options) {}
 
   PcResult Run(const EncodedData& data) const;
+
+  /// Cancellable variant: the token is polled between CI tests (amortized);
+  /// expiry returns Status::Timeout. A half-finished skeleton is not a valid
+  /// CPDAG, so no partial result is produced — callers degrade to a cheaper
+  /// structure learner instead (see core::Synthesizer's ladder).
+  Result<PcResult> Run(const EncodedData& data,
+                       const CancellationToken& cancel) const;
 
  private:
   Options options_;

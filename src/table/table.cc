@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace guardrail {
@@ -20,6 +21,7 @@ Row Table::GetRow(RowIndex row) const {
 }
 
 Status Table::AppendRow(const Row& row) {
+  GUARDRAIL_FAILPOINT("table.append_row");
   if (static_cast<int32_t>(row.size()) != num_columns()) {
     return Status::InvalidArgument("row width mismatch");
   }
@@ -103,14 +105,20 @@ CsvDocument Table::ToCsv() const {
 }
 
 Result<Table> Table::FromCsv(const CsvDocument& doc) {
+  GUARDRAIL_FAILPOINT("table.from_csv");
   Schema schema;
   for (const auto& name : doc.header) {
     GUARDRAIL_RETURN_NOT_OK(schema.AddAttribute(Attribute(name)));
   }
   Table table(std::move(schema));
+  size_t row_number = 1;
   for (const auto& record : doc.rows) {
+    ++row_number;
     if (record.size() != doc.header.size()) {
-      return Status::InvalidArgument("CSV record width mismatch");
+      return Status::InvalidArgument(
+          "CSV record width mismatch at row " + std::to_string(row_number) +
+          ": " + std::to_string(record.size()) + " field(s), expected " +
+          std::to_string(doc.header.size()));
     }
     table.AppendRowLabels(record);
   }

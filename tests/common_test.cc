@@ -383,14 +383,59 @@ TEST(CsvTest, ParseCrlfAndNoTrailingNewline) {
 TEST(CsvTest, RejectsWidthMismatch) {
   auto doc = ParseCsv("a,b\n1,2,3\n");
   EXPECT_FALSE(doc.ok());
-  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+  // Errors carry 1-based row/column context for the operator.
+  EXPECT_NE(doc.status().message().find("row 2"), std::string::npos)
+      << doc.status().message();
 }
 
 TEST(CsvTest, RejectsUnterminatedQuote) {
-  EXPECT_FALSE(ParseCsv("a\n\"oops").ok());
+  auto doc = ParseCsv("a\n\"oops");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(CsvTest, RejectsEmpty) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+// Malformed-input table: every row is one adversarial document; all must be
+// rejected as kInvalidArgument with row/column context, never crash or parse.
+TEST(CsvTest, MalformedInputTable) {
+  struct Case {
+    const char* name;
+    std::string input;
+    const char* expect_context;  // Substring of the error message.
+  };
+  const Case kCases[] = {
+      {"unterminated quote", "a,b\n\"x,2\n", "row 2"},
+      {"unterminated quote at eof", "a\n\"", "row 2"},
+      {"quote opening mid-field", "a,b\nx\"y\",2\n", "column 1"},
+      {"garbage after closing quote", "a,b\n\"x\"y,2\n", "column 1"},
+      {"ragged row too long", "a,b\n1,2\n1,2,3\n", "row 3"},
+      {"ragged row too short", "a,b,c\n1,2\n", "row 2"},
+      {"embedded NUL", std::string("a,b\n1,2\0x\n", 9), "NUL"},
+      {"NUL in header", std::string("a\0b\n1\n", 6), "NUL"},
+      {"overlong field",
+       "a\n" + std::string(kMaxCsvFieldBytes + 1, 'x') + "\n", "exceeds"},
+      {"empty input", "", "empty"},
+  };
+  for (const Case& c : kCases) {
+    auto doc = ParseCsv(c.input);
+    ASSERT_FALSE(doc.ok()) << c.name;
+    EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_NE(doc.status().message().find(c.expect_context), std::string::npos)
+        << c.name << ": " << doc.status().message();
+  }
+}
+
+// Inputs that look suspicious but are well-formed RFC-4180.
+TEST(CsvTest, AcceptsEdgeCasesThatAreWellFormed) {
+  // CRLF line endings, quoted empty field, embedded newline in quotes.
+  auto doc = ParseCsv("a,b\r\n\"\",\"line1\nline2\"\r\n");
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "");
+  EXPECT_EQ(doc->rows[0][1], "line1\nline2");
+}
 
 TEST(CsvTest, WriteReadRoundTrip) {
   CsvDocument doc;

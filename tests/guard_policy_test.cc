@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ast.h"
+#include "core/guard.h"
+#include "table/table.h"
+
+// Adversarial-input audit of Guard::ProcessRow / ProcessTable across all
+// four ErrorPolicy paths: NULL determinants, NULL dependents, out-of-domain
+// codes, and rows narrower than the program's schema must never crash or
+// read out of bounds — they either evaluate benignly or surface a
+// well-formed non-OK Status.
+
+namespace guardrail {
+namespace core {
+namespace {
+
+// GIVEN det ON dep HAVING
+//   IF det = 0 THEN dep <- 0   (support `support0`, tolerates {0})
+//   IF det = 1 THEN dep <- 1   (support `support1`, tolerates {1})
+Program MakeProgram(int64_t support0, int64_t support1) {
+  Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  for (int i = 0; i < 2; ++i) {
+    Branch b;
+    b.condition.equalities = {{0, i}};
+    b.target = 1;
+    b.assignment = i;
+    b.support = i == 0 ? support0 : support1;
+    b.tolerated_values = {i};
+    stmt.branches.push_back(b);
+  }
+  Program program;
+  program.statements.push_back(stmt);
+  return program;
+}
+
+Schema MakeSchema() {
+  Attribute det("det");
+  det.GetOrInsert("d0");
+  det.GetOrInsert("d1");
+  Attribute dep("dep");
+  dep.GetOrInsert("v0");
+  dep.GetOrInsert("v1");
+  dep.GetOrInsert("v2");
+  return Schema({det, dep});
+}
+
+const std::vector<ErrorPolicy> kAllPolicies = {
+    ErrorPolicy::kRaise, ErrorPolicy::kIgnore, ErrorPolicy::kCoerce,
+    ErrorPolicy::kRectify};
+
+// A NULL determinant matches no branch, so no constraint fires: every policy
+// passes the row through unchanged rather than crashing or "repairing" it.
+TEST(GuardPolicyTest, NullDeterminantIsBenignUnderEveryPolicy) {
+  Program program = MakeProgram(10, 20);
+  Guard guard(&program);
+  Row row = {kNullValue, 2};
+  for (ErrorPolicy policy : kAllPolicies) {
+    auto out = guard.ProcessRow(row, policy);
+    ASSERT_TRUE(out.ok()) << ErrorPolicyName(policy);
+    EXPECT_EQ(*out, row) << ErrorPolicyName(policy);
+  }
+}
+
+// An out-of-domain determinant code likewise matches no branch.
+TEST(GuardPolicyTest, OutOfDomainDeterminantIsBenign) {
+  Program program = MakeProgram(10, 20);
+  Guard guard(&program);
+  Row row = {99, 0};
+  for (ErrorPolicy policy : kAllPolicies) {
+    auto out = guard.ProcessRow(row, policy);
+    ASSERT_TRUE(out.ok()) << ErrorPolicyName(policy);
+    EXPECT_EQ(*out, row) << ErrorPolicyName(policy);
+  }
+}
+
+// An out-of-domain (or NULL) *dependent* is a genuine violation: raise
+// errors, ignore passes through, coerce nulls the cell, rectify repairs it.
+TEST(GuardPolicyTest, OutOfDomainDependentFollowsPolicySemantics) {
+  Program program = MakeProgram(10, 5);
+  Guard guard(&program);
+  for (ValueId bad : {static_cast<ValueId>(99), kNullValue}) {
+    Row row = {0, bad};
+
+    auto raised = guard.ProcessRow(row, ErrorPolicy::kRaise);
+    ASSERT_FALSE(raised.ok());
+    EXPECT_EQ(raised.status().code(), StatusCode::kConstraintViolation);
+
+    auto ignored = guard.ProcessRow(row, ErrorPolicy::kIgnore);
+    ASSERT_TRUE(ignored.ok());
+    EXPECT_EQ(*ignored, row);
+
+    auto coerced = guard.ProcessRow(row, ErrorPolicy::kCoerce);
+    ASSERT_TRUE(coerced.ok());
+    EXPECT_EQ((*coerced)[1], kNullValue);
+
+    // No sibling branch assigns 99 / NULL, so hypothesis A (dependent is the
+    // error) wins and the cell is repaired to the fired assignment.
+    auto rectified = guard.ProcessRow(row, ErrorPolicy::kRectify);
+    ASSERT_TRUE(rectified.ok());
+    EXPECT_EQ((*rectified)[1], 0);
+  }
+}
+
+// MAP repair: when a sibling branch with *higher* support assigns exactly
+// the observed dependent value, the determinant is deemed corrupted and
+// repaired instead of the dependent.
+TEST(GuardPolicyTest, RectifyRepairsDeterminantWhenSiblingExplainsBetter) {
+  Program program = MakeProgram(/*support0=*/10, /*support1=*/20);
+  Guard guard(&program);
+  Row row = {0, 1};  // Fires branch det=0 (support 10); det=1 assigns the
+                     // observed value with support 20.
+  auto out = guard.ProcessRow(row, ErrorPolicy::kRectify);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (Row{1, 1}));
+
+  // Flip the supports: the dependent repair wins.
+  Program program2 = MakeProgram(/*support0=*/20, /*support1=*/10);
+  Guard guard2(&program2);
+  auto out2 = guard2.ProcessRow(row, ErrorPolicy::kRectify);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(*out2, (Row{0, 0}));
+}
+
+// A row narrower than the attributes the program references is an *input*
+// error, not a constraint violation: InvalidArgument under every policy,
+// never an out-of-bounds read.
+TEST(GuardPolicyTest, ShortRowIsInvalidArgumentUnderEveryPolicy) {
+  Program program = MakeProgram(10, 20);
+  Guard guard(&program);
+  for (const Row& row : {Row{}, Row{0}}) {
+    for (ErrorPolicy policy : kAllPolicies) {
+      auto out = guard.ProcessRow(row, policy);
+      ASSERT_FALSE(out.ok()) << ErrorPolicyName(policy);
+      EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument)
+          << ErrorPolicyName(policy);
+    }
+  }
+}
+
+// An empty program references no attributes, so even an empty row passes.
+TEST(GuardPolicyTest, EmptyProgramAcceptsAnyRow) {
+  Program program;
+  Guard guard(&program);
+  for (const Row& row : {Row{}, Row{kNullValue}, Row{1, 2, 3}}) {
+    for (ErrorPolicy policy : kAllPolicies) {
+      auto out = guard.ProcessRow(row, policy);
+      ASSERT_TRUE(out.ok()) << ErrorPolicyName(policy);
+      EXPECT_EQ(*out, row);
+    }
+  }
+}
+
+// ProcessTable on a table full of adversarial rows: lenient policies check
+// every row; flags and repairs line up row by row.
+TEST(GuardPolicyTest, ProcessTableHandlesAdversarialRows) {
+  Program program = MakeProgram(10, 20);
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow({0, 0}).ok());           // Clean.
+  ASSERT_TRUE(table.AppendRow({kNullValue, 2}).ok());  // NULL determinant.
+  ASSERT_TRUE(table.AppendRow({0, kNullValue}).ok());  // NULL dependent.
+  ASSERT_TRUE(table.AppendRow({1, 0}).ok());           // Violation.
+
+  for (ErrorPolicy policy :
+       {ErrorPolicy::kIgnore, ErrorPolicy::kCoerce, ErrorPolicy::kRectify}) {
+    Table working = table;
+    Guard guard(&program);
+    GuardOutcome outcome = guard.ProcessTable(&working, policy);
+    EXPECT_EQ(outcome.rows_checked, 4) << ErrorPolicyName(policy);
+    EXPECT_EQ(outcome.rows_flagged, 2) << ErrorPolicyName(policy);
+    EXPECT_EQ(outcome.rows_failed, 0) << ErrorPolicyName(policy);
+    EXPECT_TRUE(outcome.first_error.ok()) << ErrorPolicyName(policy);
+    EXPECT_EQ(outcome.flagged,
+              (std::vector<bool>{false, false, true, true}))
+        << ErrorPolicyName(policy);
+    // Rows 0 and 1 are untouched under every policy.
+    EXPECT_EQ(working.GetRow(0), (Row{0, 0}));
+    EXPECT_EQ(working.GetRow(1), (Row{kNullValue, 2}));
+  }
+
+  // kRaise stops at the first violating row.
+  Table working = table;
+  Guard guard(&program);
+  GuardOutcome outcome = guard.ProcessTable(&working, ErrorPolicy::kRaise);
+  EXPECT_EQ(outcome.rows_flagged, 1);
+  EXPECT_EQ(outcome.rows_checked, 3);  // Stopped at row index 2.
+}
+
+// Coerce nulls exactly the violating dependent cells; rectify repairs them.
+TEST(GuardPolicyTest, CoerceAndRectifyMutateOnlyViolatingCells) {
+  Program program = MakeProgram(10, 20);
+  Table table(MakeSchema());
+  ASSERT_TRUE(table.AppendRow({0, 2}).ok());
+  ASSERT_TRUE(table.AppendRow({1, 1}).ok());
+
+  Table coerced = table;
+  Guard guard(&program);
+  GuardOutcome c = guard.ProcessTable(&coerced, ErrorPolicy::kCoerce);
+  EXPECT_EQ(c.cells_repaired, 1);
+  EXPECT_EQ(coerced.GetRow(0), (Row{0, kNullValue}));
+  EXPECT_EQ(coerced.GetRow(1), (Row{1, 1}));
+
+  Table rectified = table;
+  GuardOutcome r = guard.ProcessTable(&rectified, ErrorPolicy::kRectify);
+  EXPECT_EQ(r.cells_repaired, 1);
+  EXPECT_EQ(rectified.GetRow(0), (Row{0, 0}));
+  EXPECT_EQ(rectified.GetRow(1), (Row{1, 1}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/ast.h"
+#include "core/guard.h"
+#include "core/serialization.h"
+#include "core/synthesizer.h"
+#include "table/dataset_repository.h"
+#include "table/table.h"
+
+// Robustness suite for the deadline/cancellation model, the graceful-
+// degradation ladder, and the failpoint harness (docs/ROBUSTNESS.md).
+
+namespace guardrail {
+namespace {
+
+// ------------------------------------------------------------- Deadline --
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, EarliestPicksTheTighterDeadline) {
+  Deadline inf = Deadline::Infinite();
+  Deadline soon = Deadline::AfterMillis(0);
+  EXPECT_TRUE(Deadline::Earliest(inf, soon).Expired());
+  EXPECT_TRUE(Deadline::Earliest(soon, inf).Expired());
+  EXPECT_FALSE(Deadline::Earliest(inf, inf).Expired());
+}
+
+TEST(CancellationTokenTest, CopiesShareTheCancelFlag) {
+  CancellationToken a = CancellationToken::Never();
+  CancellationToken b = a;
+  EXPECT_FALSE(a.Cancelled());
+  b.RequestCancel();
+  EXPECT_TRUE(a.Cancelled());
+  EXPECT_TRUE(b.Cancelled());
+}
+
+TEST(CancellationTokenTest, WithDeadlineTightensButKeepsTheFlag) {
+  CancellationToken outer = CancellationToken::Never();
+  CancellationToken stage = outer.WithDeadline(Deadline::AfterMillis(0));
+  EXPECT_TRUE(stage.Cancelled());   // Stage budget expired.
+  EXPECT_FALSE(outer.Cancelled());  // Outer token unaffected.
+  outer.RequestCancel();            // ...but the flag is shared downward.
+  CancellationToken stage2 =
+      outer.WithDeadline(Deadline::AfterSeconds(3600.0));
+  EXPECT_TRUE(stage2.Cancelled());
+}
+
+TEST(CancellationTokenTest, CheckTimeoutNamesTheStage) {
+  CancellationToken ok = CancellationToken::Never();
+  EXPECT_TRUE(ok.CheckTimeout("stage-x").ok());
+
+  CancellationToken expired = CancellationToken::WithBudgetMillis(0);
+  Status s = expired.CheckTimeout("stage-x");
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_NE(s.message().find("stage-x"), std::string::npos);
+}
+
+TEST(DeadlineCheckerTest, AmortizesAndLatches) {
+  CancellationToken token = CancellationToken::Never();
+  DeadlineChecker checker(&token, /*stride=*/4);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(checker.Expired());
+  token.RequestCancel();
+  // The cancellation becomes visible within one stride and then latches.
+  bool seen = false;
+  for (int i = 0; i < 8; ++i) seen = checker.Expired();
+  EXPECT_TRUE(seen);
+  EXPECT_TRUE(checker.Expired());
+  EXPECT_EQ(checker.Check("loop").code(), StatusCode::kTimeout);
+}
+
+// ------------------------------------------------------------ Failpoint --
+
+TEST(FailpointTest, ArmedPointFiresWithTheRequestedCode) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  {
+    ScopedFailpoint fp("test.point", 1.0, StatusCode::kIoError);
+    Status s = registry.Trip("test.point");
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    EXPECT_NE(s.message().find("test.point"), std::string::npos);
+    EXPECT_TRUE(registry.Trip("other.point").ok());
+  }
+  // RAII disarm.
+  EXPECT_TRUE(registry.Trip("test.point").ok());
+}
+
+TEST(FailpointTest, ZeroProbabilityNeverFires) {
+  ScopedFailpoint fp("test.never", 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(FailpointTrip("test.never").ok());
+  }
+}
+
+TEST(FailpointTest, FiringIsDeterministicPerSeed) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  auto sample = [&](uint64_t seed) {
+    registry.Arm("test.prob", 0.5, StatusCode::kInternal, seed);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(!registry.Trip("test.prob").ok());
+    }
+    registry.Disarm("test.prob");
+    return fires;
+  };
+  std::vector<bool> a = sample(7);
+  std::vector<bool> b = sample(7);
+  std::vector<bool> c = sample(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // Astronomically unlikely to collide.
+  // A 0.5 point must actually fire sometimes and pass sometimes.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FailpointTest, SpecGrammarArmsPoints) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  ASSERT_TRUE(
+      registry.ArmFromSpec("csv.parse, table.from_csv=0.5@io").ok());
+  auto armed = registry.ArmedNames();
+  EXPECT_EQ(armed, (std::vector<std::string>{"csv.parse", "table.from_csv"}));
+  EXPECT_EQ(registry.Trip("csv.parse").code(), StatusCode::kInternal);
+  registry.DisarmAll();
+
+  EXPECT_FALSE(registry.ArmFromSpec("p=notanumber").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("p=0.5@nosuchcode").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("=0.5").ok());
+  EXPECT_TRUE(registry.ArmedNames().empty());
+}
+
+TEST(FailpointTest, CsvSitesPropagateInjectedErrors) {
+  {
+    ScopedFailpoint fp("csv.parse", 1.0, StatusCode::kParseError);
+    EXPECT_EQ(ParseCsv("a\n1\n").status().code(), StatusCode::kParseError);
+  }
+  {
+    ScopedFailpoint fp("csv.open", 1.0, StatusCode::kIoError);
+    EXPECT_EQ(ReadCsvFile("/tmp/whatever.csv").status().code(),
+              StatusCode::kIoError);
+  }
+  {
+    ScopedFailpoint fp("csv.write", 1.0, StatusCode::kIoError);
+    CsvDocument doc;
+    doc.header = {"a"};
+    EXPECT_EQ(WriteCsvFile("/tmp/guardrail_fp.csv", doc).code(),
+              StatusCode::kIoError);
+  }
+  EXPECT_TRUE(ParseCsv("a\n1\n").ok());
+}
+
+TEST(FailpointTest, TableSitesPropagateInjectedErrors) {
+  CsvDocument doc;
+  doc.header = {"a"};
+  doc.rows = {{"1"}, {"2"}};
+  {
+    ScopedFailpoint fp("table.from_csv", 1.0, StatusCode::kInternal);
+    EXPECT_EQ(Table::FromCsv(doc).status().code(), StatusCode::kInternal);
+  }
+  auto table = Table::FromCsv(doc);
+  ASSERT_TRUE(table.ok());
+  {
+    ScopedFailpoint fp("table.append_row", 1.0, StatusCode::kResourceExhausted);
+    EXPECT_EQ(table->AppendRow({0}).code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_TRUE(table->AppendRow({0}).ok());
+}
+
+// Per-row fault isolation: with the interpreter failpoint firing
+// probabilistically, lenient policies skip failing rows and finish the
+// batch; kRaise surfaces the first failure immediately.
+TEST(FailpointTest, GuardIsolatesPerRowFailures) {
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch b;
+  b.condition.equalities = {{0, 0}};
+  b.target = 1;
+  b.assignment = 0;
+  stmt.branches.push_back(b);
+  program.statements.push_back(stmt);
+
+  Attribute det("det");
+  det.GetOrInsert("d0");
+  Attribute dep("dep");
+  dep.GetOrInsert("v0");
+  dep.GetOrInsert("v1");
+  Table table((Schema({det, dep})));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(table.AppendRow({0, i % 2}).ok());
+  }
+
+  core::Guard guard(&program);
+  for (core::ErrorPolicy policy :
+       {core::ErrorPolicy::kIgnore, core::ErrorPolicy::kCoerce,
+        core::ErrorPolicy::kRectify}) {
+    ScopedFailpoint fp("interpreter.check", 0.3, StatusCode::kInternal,
+                       /*seed=*/42);
+    Table working = table;
+    core::GuardOutcome outcome = guard.ProcessTable(&working, policy);
+    EXPECT_EQ(outcome.rows_checked, 200);
+    EXPECT_GT(outcome.rows_failed, 0) << core::ErrorPolicyName(policy);
+    EXPECT_LT(outcome.rows_failed, 200) << core::ErrorPolicyName(policy);
+    EXPECT_FALSE(outcome.first_error.ok());
+    EXPECT_EQ(outcome.first_error.code(), StatusCode::kInternal);
+    // Failed rows are left untouched; the batch still flagged the genuine
+    // violations among the surviving rows.
+    EXPECT_GT(outcome.rows_flagged, 0) << core::ErrorPolicyName(policy);
+  }
+  {
+    ScopedFailpoint fp("interpreter.check", 1.0, StatusCode::kInternal);
+    Table working = table;
+    core::GuardOutcome outcome =
+        guard.ProcessTable(&working, core::ErrorPolicy::kRaise);
+    EXPECT_EQ(outcome.rows_checked, 1);
+    EXPECT_EQ(outcome.rows_failed, 1);
+    EXPECT_FALSE(outcome.first_error.ok());
+  }
+}
+
+// ------------------------------------------------- Degradation ladder --
+
+TEST(DegradationTest, ZeroBudgetReturnsTrivialRungNotGarbage) {
+  DatasetBundle bundle = DatasetRepository::Build(2, /*row_limit=*/500);
+  core::SynthesisOptions options;
+  core::Synthesizer synthesizer(options);
+  Rng rng(1);
+  core::SynthesisReport report = synthesizer.Synthesize(
+      bundle.clean, &rng, CancellationToken::WithBudgetMillis(0));
+  EXPECT_EQ(report.rung, core::SynthesisRung::kTrivial);
+  EXPECT_TRUE(report.budget_expired);
+  EXPECT_FALSE(report.degradation_reason.empty());
+  EXPECT_TRUE(report.program.empty());
+  // The trivial floor is still a real artifact: one constraint per column.
+  ASSERT_EQ(report.domain_constraints.size(),
+            static_cast<size_t>(bundle.clean.num_columns()));
+  for (const auto& dc : report.domain_constraints) {
+    EXPECT_GT(dc.domain_size, 0);
+    EXPECT_GE(dc.mode, 0);
+    EXPECT_GT(dc.mode_support, 0);
+  }
+}
+
+TEST(DegradationTest, DomainConstraintsFlagOutOfDictionaryRows) {
+  DatasetBundle bundle = DatasetRepository::Build(2, /*row_limit=*/300);
+  auto constraints = core::BuildDomainConstraints(bundle.clean);
+  // Every clean row satisfies its own dictionary.
+  for (RowIndex r = 0; r < std::min<int64_t>(50, bundle.clean.num_rows());
+       ++r) {
+    EXPECT_TRUE(
+        core::DomainViolations(constraints, bundle.clean.GetRow(r)).empty());
+  }
+  Row bad = bundle.clean.GetRow(0);
+  bad[0] = 9999;
+  bad[1] = kNullValue;
+  auto violations = core::DomainViolations(constraints, bad);
+  EXPECT_EQ(violations, (std::vector<AttrIndex>{0, 1}));
+  // Short rows violate the constraints of the missing attributes.
+  Row shorty = {0};
+  EXPECT_EQ(core::DomainViolations(constraints, shorty).size(),
+            static_cast<size_t>(bundle.clean.num_columns()) - 1);
+}
+
+TEST(DegradationTest, UnlimitedBudgetMatchesTheLegacyPath) {
+  DatasetBundle bundle = DatasetRepository::Build(2, /*row_limit=*/1500);
+  core::SynthesisOptions options;
+  core::Synthesizer synthesizer(options);
+  Rng rng_a(7);
+  core::SynthesisReport legacy = synthesizer.Synthesize(bundle.clean, &rng_a);
+  Rng rng_b(7);
+  core::SynthesisReport budgeted = synthesizer.Synthesize(
+      bundle.clean, &rng_b, CancellationToken::Never());
+  EXPECT_EQ(legacy.program, budgeted.program);
+  EXPECT_EQ(budgeted.rung, core::SynthesisRung::kFullMec);
+  EXPECT_FALSE(budgeted.budget_expired);
+  EXPECT_TRUE(budgeted.degradation_reason.empty());
+}
+
+// Acceptance: a 50 ms budget on the largest dataset (Adult, 48842 rows)
+// returns a valid — possibly degraded — program, with the rung identified.
+TEST(DegradationTest, FiftyMillisOnLargestDatasetStaysValid) {
+  DatasetBundle bundle = DatasetRepository::Build(1);
+  ASSERT_GT(bundle.clean.num_rows(), 40000);
+  core::SynthesisOptions options;
+  core::Synthesizer synthesizer(options);
+  Rng rng(3);
+  core::SynthesisReport report = synthesizer.Synthesize(
+      bundle.clean, &rng, CancellationToken::WithBudgetMillis(50));
+  // Whatever rung we landed on, the artifact is well-formed.
+  EXPECT_STRNE(core::SynthesisRungName(report.rung), "unknown");
+  EXPECT_TRUE(
+      core::ValidateProgram(report.program, bundle.clean.schema()).ok());
+  if (report.rung != core::SynthesisRung::kFullMec) {
+    EXPECT_FALSE(report.degradation_reason.empty());
+    EXPECT_TRUE(report.budget_expired);
+  }
+  if (report.rung == core::SynthesisRung::kTrivial) {
+    EXPECT_EQ(report.domain_constraints.size(),
+              static_cast<size_t>(bundle.clean.num_columns()));
+  }
+}
+
+TEST(DegradationTest, CancelledMecEnumerationDegradesOrTimesOut) {
+  DatasetBundle bundle = DatasetRepository::Build(2, /*row_limit=*/800);
+  core::SynthesisOptions options;
+  core::Synthesizer synthesizer(options);
+  Rng rng(5);
+  // Learn a real CPDAG first (unlimited), then rerun Alg. 2 with an
+  // already-expired token: either a degraded report or a clean Timeout.
+  core::SynthesisReport full = synthesizer.Synthesize(bundle.clean, &rng);
+  CancellationToken expired = CancellationToken::WithBudgetMillis(0);
+  Result<core::SynthesisReport> r =
+      synthesizer.SynthesizeFromMec(full.cpdag, bundle.clean, expired);
+  if (r.ok()) {
+    EXPECT_TRUE(r->budget_expired);
+    EXPECT_NE(r->rung, core::SynthesisRung::kFullMec);
+  } else {
+    EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  }
+}
+
+// ------------------------------------------------------------- Chaos --
+
+// >= 200 randomized failpoint/deadline combinations through the whole
+// pipeline: CSV round trip -> table -> synthesis under budget -> program
+// serialization -> guard under every lenient policy. Invariants: no crash,
+// every failure a well-formed non-OK Status, every success a valid program.
+TEST(ChaosTest, RandomizedFailpointAndDeadlineCombinations) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  const int64_t trips_before = registry.trips_fired();
+
+  DatasetBundle bundle = DatasetRepository::Build(3, /*row_limit=*/250);
+  const std::string csv_text = WriteCsv(bundle.clean.ToCsv());
+
+  const std::vector<std::string> kPoints = {
+      "csv.parse",         "table.from_csv", "table.append_row",
+      "interpreter.check", "csv.write",      "csv.open",
+      "serialize.load",    "serialize.save"};
+  const std::vector<StatusCode> kCodes = {
+      StatusCode::kInternal, StatusCode::kIoError, StatusCode::kParseError,
+      StatusCode::kResourceExhausted, StatusCode::kInvalidArgument};
+  const std::vector<int64_t> kBudgetsMs = {-1, 0, 1, 2, 5, 10};  // -1 = inf.
+
+  auto expect_well_formed = [](const Status& s, int iter) {
+    ASSERT_FALSE(s.ok());
+    EXPECT_FALSE(s.message().empty()) << "iteration " << iter;
+    EXPECT_FALSE(s.ToString().empty()) << "iteration " << iter;
+  };
+
+  int completed = 0, failed = 0;
+  const int kIterations = 220;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    Rng rng(0xC4A05ULL + static_cast<uint64_t>(iter));
+    // Iteration 0 runs fault-free so the happy path is always in the mix.
+    if (iter > 0) {
+      size_t num_armed = rng.NextUint64() % (kPoints.size() + 1);
+      for (size_t i = 0; i < num_armed; ++i) {
+        const std::string& point =
+            kPoints[rng.NextUint64() % kPoints.size()];
+        double probability = 0.1 + 0.9 * rng.NextDouble();
+        StatusCode code = kCodes[rng.NextUint64() % kCodes.size()];
+        registry.Arm(point, probability, code,
+                     /*seed=*/static_cast<uint64_t>(iter));
+      }
+    }
+    int64_t budget_ms =
+        iter == 0 ? -1
+                  : kBudgetsMs[rng.NextUint64() % kBudgetsMs.size()];
+    CancellationToken cancel =
+        budget_ms < 0 ? CancellationToken::Never()
+                      : CancellationToken::WithBudgetMillis(budget_ms);
+
+    bool iteration_failed = false;
+    do {
+      // CSV ingest.
+      Result<CsvDocument> doc = ParseCsv(csv_text);
+      if (!doc.ok()) {
+        expect_well_formed(doc.status(), iter);
+        iteration_failed = true;
+        break;
+      }
+      Result<Table> table = Table::FromCsv(*doc);
+      if (!table.ok()) {
+        expect_well_formed(table.status(), iter);
+        iteration_failed = true;
+        break;
+      }
+
+      // Deadline-aware synthesis: always returns a report, never throws.
+      core::SynthesisOptions options;
+      core::Synthesizer synthesizer(options);
+      Rng synth_rng(11);
+      core::SynthesisReport report =
+          synthesizer.Synthesize(*table, &synth_rng, cancel);
+      EXPECT_STRNE(core::SynthesisRungName(report.rung), "unknown");
+      ASSERT_TRUE(
+          core::ValidateProgram(report.program, table->schema()).ok())
+          << "iteration " << iter;
+      if (report.rung != core::SynthesisRung::kFullMec) {
+        EXPECT_FALSE(report.degradation_reason.empty())
+            << "iteration " << iter;
+      }
+
+      // Serialization round trip.
+      std::string text =
+          core::SerializeProgram(report.program, table->schema());
+      Schema schema = table->schema();
+      Result<core::Program> reloaded =
+          core::DeserializeProgram(text, &schema);
+      if (!reloaded.ok()) {
+        expect_well_formed(reloaded.status(), iter);
+        iteration_failed = true;
+        break;
+      }
+
+      // Guard under every lenient policy: per-row isolation, full batch.
+      core::Guard guard(&*reloaded);
+      for (core::ErrorPolicy policy :
+           {core::ErrorPolicy::kIgnore, core::ErrorPolicy::kCoerce,
+            core::ErrorPolicy::kRectify}) {
+        Table working = *table;
+        core::GuardOutcome outcome = guard.ProcessTable(&working, policy);
+        EXPECT_EQ(outcome.rows_checked, table->num_rows())
+            << "iteration " << iter;
+        EXPECT_LE(outcome.rows_failed, outcome.rows_checked);
+        if (outcome.rows_failed > 0) {
+          expect_well_formed(outcome.first_error, iter);
+        } else {
+          EXPECT_TRUE(outcome.first_error.ok());
+        }
+      }
+    } while (false);
+
+    (iteration_failed ? failed : completed) += 1;
+    registry.DisarmAll();
+  }
+
+  // The harness genuinely exercised both worlds.
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(registry.trips_fired(), trips_before);
+}
+
+}  // namespace
+}  // namespace guardrail

@@ -43,6 +43,19 @@ grep -q "gibbon" "$DIR/dirty.log"
 "$BIN" check "$DIR/prog.grl" "$DIR/fixed.csv" | grep -q "0 violation"
 ! grep -q gibbon "$DIR/fixed.csv"
 
+# Deadline-aware synthesis: a generous budget on this tiny input stays on
+# the top rung (same program), and a zero budget still exits cleanly with a
+# trivial-rung artifact instead of hanging or crashing.
+"$BIN" synthesize "$DIR/data.csv" "$DIR/prog_budget.grl" 0.01 \
+  --time-budget-ms=10000 > "$DIR/synth_budget.log"
+# Comment lines embed the source path; the constraints themselves must match.
+grep -v '^#' "$DIR/prog.grl" > "$DIR/a.grl"
+grep -v '^#' "$DIR/prog_budget.grl" > "$DIR/b.grl"
+cmp "$DIR/a.grl" "$DIR/b.grl"
+"$BIN" synthesize "$DIR/data.csv" "$DIR/prog_zero.grl" 0.01 \
+  --time-budget-ms=0 > "$DIR/synth_zero.log"
+grep -q "degraded to rung" "$DIR/synth_zero.log"
+
 # Profile, query, explain all run.
 "$BIN" profile "$DIR/data.csv" | grep -q "card=3"
 "$BIN" query "$DIR/data.csv" "SELECT city, COUNT(*) AS n FROM t GROUP BY city ORDER BY n DESC, city LIMIT 1" | grep -q "Berkeley | 6"

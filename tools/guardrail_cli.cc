@@ -1,8 +1,10 @@
 // guardrail — command-line front end for the library.
 //
-//   guardrail synthesize <data.csv> <out.grl> [epsilon]
+//   guardrail synthesize <data.csv> <out.grl> [epsilon] [--time-budget-ms=N]
 //       Synthesize an integrity-constraint program from a CSV relation and
-//       save it as a reviewable text artifact.
+//       save it as a reviewable text artifact. With a time budget the
+//       synthesizer degrades gracefully (see docs/ROBUSTNESS.md) and reports
+//       which ladder rung produced the program.
 //   guardrail check <program.grl> <data.csv>
 //       Report rows violating the constraints (row numbers are 1-based data
 //       rows, header excluded). Exit code 3 when violations exist.
@@ -15,10 +17,14 @@
 //   guardrail explain "<SELECT ...>"
 //       Show the physical plan, including the predicate-pushdown split.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/deadline.h"
 #include "common/string_util.h"
 #include "core/guard.h"
 #include "core/normalize.h"
@@ -45,7 +51,7 @@ Result<Table> LoadCsvTable(const std::string& path) {
 }
 
 int CmdSynthesize(const std::string& data_path, const std::string& out_path,
-                  double epsilon) {
+                  double epsilon, int64_t time_budget_ms) {
   auto table = LoadCsvTable(data_path);
   if (!table.ok()) return Fail(table.status());
 
@@ -53,7 +59,13 @@ int CmdSynthesize(const std::string& data_path, const std::string& out_path,
   options.fill.epsilon = epsilon;
   core::Synthesizer synthesizer(options);
   Rng rng(0x6A1DULL);
-  core::SynthesisReport report = synthesizer.Synthesize(*table, &rng);
+  // Negative budget = flag absent = unlimited; 0 is a real (instantly
+  // expired) budget exercising the trivial rung.
+  CancellationToken cancel = time_budget_ms >= 0
+                                 ? CancellationToken::WithBudgetMillis(
+                                       time_budget_ms)
+                                 : CancellationToken::Never();
+  core::SynthesisReport report = synthesizer.Synthesize(*table, &rng, cancel);
   core::NormalizeProgram(&report.program);
 
   std::string comment = "synthesized from " + data_path + " (epsilon " +
@@ -68,6 +80,15 @@ int CmdSynthesize(const std::string& data_path, const std::string& out_path,
               report.coverage,
               static_cast<long long>(report.num_dags_enumerated),
               report.total_seconds);
+  if (report.rung != core::SynthesisRung::kFullMec) {
+    std::printf("degraded to rung '%s': %s\n",
+                core::SynthesisRungName(report.rung),
+                report.degradation_reason.c_str());
+    if (report.rung == core::SynthesisRung::kTrivial) {
+      std::printf("%zu per-attribute domain constraint(s) retained\n",
+                  report.domain_constraints.size());
+    }
+  }
   std::printf("written to %s\n", out_path.c_str());
   return 0;
 }
@@ -128,6 +149,13 @@ int CmdRepair(const std::string& program_path, const std::string& in_path,
               static_cast<long long>(outcome.rows_flagged),
               static_cast<long long>(outcome.cells_repaired),
               out_path.c_str());
+  if (outcome.rows_failed > 0) {
+    std::fprintf(stderr,
+                 "warning: %lld row(s) could not be evaluated and were left "
+                 "untouched (first error: %s)\n",
+                 static_cast<long long>(outcome.rows_failed),
+                 outcome.first_error.ToString().c_str());
+  }
   return 0;
 }
 
@@ -160,7 +188,8 @@ int CmdExplain(const std::string& sql) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  guardrail synthesize <data.csv> <out.grl> [epsilon]\n"
+               "  guardrail synthesize <data.csv> <out.grl> [epsilon]"
+               " [--time-budget-ms=N]\n"
                "  guardrail check <program.grl> <data.csv>\n"
                "  guardrail repair <program.grl> <in.csv> <out.csv>\n"
                "  guardrail profile <data.csv>\n"
@@ -171,19 +200,38 @@ int Usage() {
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  std::string command = argv[1];
-  if (command == "synthesize" && (argc == 4 || argc == 5)) {
+  // Extract long options (currently just --time-budget-ms) so flag order is
+  // free and the positional grammar below stays unchanged.
+  int64_t time_budget_ms = -1;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kBudget = "--time-budget-ms=";
+    if (arg.rfind(kBudget, 0) == 0) {
+      double ms = 0;
+      if (!ParseDouble(arg.substr(kBudget.size()), &ms) || ms < 0) {
+        return Usage();
+      }
+      time_budget_ms = static_cast<int64_t>(ms);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return Usage();
+    args.emplace_back(arg);
+  }
+  size_t n = args.size();
+  std::string command = n > 0 ? args[0] : "";
+  if (command == "synthesize" && (n == 3 || n == 4)) {
     double epsilon = 0.02;
-    if (argc == 5 && !ParseDouble(argv[4], &epsilon)) return Usage();
-    return CmdSynthesize(argv[2], argv[3], epsilon);
+    if (n == 4 && !ParseDouble(args[3], &epsilon)) return Usage();
+    return CmdSynthesize(args[1], args[2], epsilon, time_budget_ms);
   }
-  if (command == "check" && argc == 4) return CmdCheck(argv[2], argv[3]);
-  if (command == "repair" && argc == 5) {
-    return CmdRepair(argv[2], argv[3], argv[4]);
+  if (command == "check" && n == 3) return CmdCheck(args[1], args[2]);
+  if (command == "repair" && n == 4) {
+    return CmdRepair(args[1], args[2], args[3]);
   }
-  if (command == "profile" && argc == 3) return CmdProfile(argv[2]);
-  if (command == "query" && argc == 4) return CmdQuery(argv[2], argv[3]);
-  if (command == "explain" && argc == 3) return CmdExplain(argv[2]);
+  if (command == "profile" && n == 2) return CmdProfile(args[1]);
+  if (command == "query" && n == 3) return CmdQuery(args[1], args[2]);
+  if (command == "explain" && n == 2) return CmdExplain(args[1]);
   return Usage();
 }
 

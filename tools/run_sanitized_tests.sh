@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer + UBSan and runs it.
+#
+#   tools/run_sanitized_tests.sh [ctest-args...]
+#
+# Extra arguments are forwarded to ctest, e.g.
+#   tools/run_sanitized_tests.sh -R robustness_test
+# runs only the chaos/deadline/failpoint suite. The sanitized tree lives in
+# build-asan/ next to the regular build/ so the two never fight over caches.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DGUARDRAIL_SANITIZE=ON \
+  -DGUARDRAIL_BUILD_BENCHMARKS=OFF \
+  -DGUARDRAIL_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error: a sanitizer report is a test failure, not a warning.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "${build_dir}"
+exec ctest --output-on-failure "$@"
