@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "common/telemetry/telemetry.h"
 
 namespace guardrail {
 namespace bench {
@@ -66,6 +67,24 @@ exp::ExperimentConfig DefaultBenchConfig() {
 std::vector<int> BenchDatasetIds() {
   if (std::getenv("GUARDRAIL_BENCH_FAST") != nullptr) return {2, 4, 6};
   return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+}
+
+void EnableBenchTelemetry() { telemetry::EnableMetrics(true); }
+
+void ResetBenchTelemetry() {
+  telemetry::MetricsRegistry::Instance().ResetAll();
+  telemetry::ClearTrace();
+}
+
+int64_t CounterValue(std::string_view name) {
+  return telemetry::MetricsRegistry::Instance().CounterValue(name);
+}
+
+double SpanSeconds(std::string_view name) {
+  std::string counter = "span.";
+  counter += name;
+  counter += ".micros";
+  return static_cast<double>(CounterValue(counter)) / 1e6;
 }
 
 }  // namespace bench

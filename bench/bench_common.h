@@ -1,7 +1,9 @@
 #ifndef GUARDRAIL_BENCH_BENCH_COMMON_H_
 #define GUARDRAIL_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/pipeline.h"
@@ -39,6 +41,24 @@ exp::ExperimentConfig DefaultBenchConfig();
 /// Dataset ids to sweep (all 12 unless GUARDRAIL_BENCH_FAST is set, then a
 /// representative trio for smoke runs).
 std::vector<int> BenchDatasetIds();
+
+/// Turns on the telemetry metrics pillar for a bench run. Benches read their
+/// timings back through SpanSeconds/CounterValue so the numbers they print
+/// are the same measurements `--metrics-out` would export — not a second
+/// ad-hoc clock.
+void EnableBenchTelemetry();
+
+/// Zeroes all counters/histograms and clears the trace buffer (telemetry
+/// stays enabled). Call between per-dataset iterations so reads are
+/// per-iteration, not cumulative.
+void ResetBenchTelemetry();
+
+/// Current value of a telemetry counter (0 when never touched).
+int64_t CounterValue(std::string_view name);
+
+/// Accumulated wall-clock of the named span in seconds, i.e.
+/// `span.<name>.micros` / 1e6 (0.0 when the span never ran).
+double SpanSeconds(std::string_view name);
 
 }  // namespace bench
 }  // namespace guardrail

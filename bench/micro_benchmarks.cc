@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/partition.h"
+#include "common/telemetry/telemetry.h"
 #include "core/guard.h"
 #include "core/sketch_filler.h"
 #include "core/synthesizer.h"
@@ -148,6 +149,59 @@ void BM_SynthesizeFromMecWithCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SynthesizeFromMecWithCache)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------- telemetry --
+// These back the "disabled telemetry is near-free" acceptance bar: the
+// per-call cost with metrics off must be a single relaxed atomic load, so
+// BM_GuardProcessRow/0 (off) vs /1 (on) should differ by well under 2%.
+
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  telemetry::EnableMetrics(enabled);
+  for (auto _ : state) {
+    GUARDRAIL_COUNTER_INC("bench.telemetry_probe");
+  }
+  telemetry::EnableMetrics(false);
+  state.SetLabel(enabled ? "metrics-on" : "metrics-off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterInc)->Arg(0)->Arg(1);
+
+void BM_TelemetrySpan(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  telemetry::EnableTracing(enabled);
+  telemetry::EnableMetrics(enabled);
+  for (auto _ : state) {
+    telemetry::Span span("bench.span_probe");
+    benchmark::DoNotOptimize(span);
+  }
+  telemetry::EnableTracing(false);
+  telemetry::EnableMetrics(false);
+  telemetry::ClearTrace();
+  state.SetLabel(enabled ? "tracing-on" : "tracing-off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpan)->Arg(0)->Arg(1);
+
+void BM_GuardProcessRow(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  telemetry::EnableMetrics(enabled);
+  Table data = MakeBenchTable(8, 4000);
+  core::SynthesisOptions options;
+  core::Synthesizer synth(options);
+  Rng rng(5);
+  core::SynthesisReport report = synth.Synthesize(data, &rng);
+  core::Guard guard(&report.program);
+  Row row = data.GetRow(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        guard.ProcessRow(row, core::ErrorPolicy::kRaise));
+  }
+  telemetry::EnableMetrics(false);
+  state.SetLabel(enabled ? "metrics-on" : "metrics-off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardProcessRow)->Arg(0)->Arg(1);
 
 // ------------------------------------------------------- MEC enumeration --
 

@@ -13,10 +13,14 @@ namespace guardrail {
 namespace {
 
 int Run() {
+  // Timings are read back from the telemetry span counters, so this table
+  // prints the same measurements a `--metrics-out` export would contain.
+  bench::EnableBenchTelemetry();
   bench::TextTable table({"Dataset ID", "# Attr.", "Total Time (s)",
                           "Sampling", "Structure", "Enumeration", "Fill",
                           "Cache hit rate"});
   for (int id : bench::BenchDatasetIds()) {
+    bench::ResetBenchTelemetry();
     exp::ExperimentConfig config = bench::DefaultBenchConfig();
     config.train_model = false;
     auto prepared = exp::PrepareDataset(id, config);
@@ -25,18 +29,22 @@ int Run() {
                    prepared.status().ToString().c_str());
       return 1;
     }
-    const core::SynthesisReport& r = (*prepared)->synthesis;
-    double hits = static_cast<double>(r.cache_hits);
-    double lookups = hits + static_cast<double>(r.cache_misses);
+    double hits =
+        static_cast<double>(bench::CounterValue("sketch_filler.cache_hits"));
+    double lookups =
+        hits +
+        static_cast<double>(bench::CounterValue("sketch_filler.cache_misses"));
     table.AddRow({bench::FmtInt(id),
                   bench::FmtInt((*prepared)->bundle.spec.num_attributes),
-                  bench::Fmt(r.sampling_seconds + r.structure_seconds +
-                                 r.enumeration_seconds + r.fill_seconds,
+                  bench::Fmt(bench::SpanSeconds("aux_sample") +
+                                 bench::SpanSeconds("structure") +
+                                 bench::SpanSeconds("enumerate") +
+                                 bench::SpanSeconds("sketch_fill"),
                              4),
-                  bench::Fmt(r.sampling_seconds, 3),
-                  bench::Fmt(r.structure_seconds, 3),
-                  bench::Fmt(r.enumeration_seconds, 3),
-                  bench::Fmt(r.fill_seconds, 3),
+                  bench::Fmt(bench::SpanSeconds("aux_sample"), 3),
+                  bench::Fmt(bench::SpanSeconds("structure"), 3),
+                  bench::Fmt(bench::SpanSeconds("enumerate"), 3),
+                  bench::Fmt(bench::SpanSeconds("sketch_fill"), 3),
                   lookups > 0 ? bench::Fmt(hits / lookups) : "-"});
   }
   std::printf("Table 4: processing time for offline synthesis\n\n");

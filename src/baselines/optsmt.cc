@@ -41,7 +41,8 @@ OptSmtSynthesizer::ReportedResult OptSmtSynthesizer::Synthesize(
       for (int32_t i = 0; i < size; ++i) idx[static_cast<size_t>(i)] = i;
       while (true) {
         if (watch.ElapsedSeconds() > options_.time_budget_seconds ||
-            result.clauses_generated > options_.max_clauses) {
+            result.clauses_generated > options_.max_clauses ||
+            options_.cancel.Cancelled()) {
           result.timed_out = true;
           break;
         }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "core/ast.h"
 #include "table/table.h"
 
@@ -33,6 +34,10 @@ class OptSmtSynthesizer {
     double time_budget_seconds = 10.0;
     /// Clause-generation cap; exceeded -> timed_out result.
     int64_t max_clauses = 200000000;
+    /// External cancellation, checked alongside the wall-clock budget; when
+    /// it fires the search stops with timed_out = true (anytime semantics —
+    /// the best program found so far is still returned).
+    CancellationToken cancel = CancellationToken::Never();
   };
 
   struct ReportedResult {

@@ -26,7 +26,15 @@ std::vector<AttrIndex> MaskToAttrs(Mask mask) {
 }  // namespace
 
 Result<std::vector<Fd>> Tane::Discover(const Table& table) const {
+  return Discover(table, CancellationToken::Never());
+}
+
+Result<std::vector<Fd>> Tane::Discover(const Table& table,
+                                       const CancellationToken& cancel) const {
   const int32_t n = table.num_columns();
+  // Each lattice node costs at least a partition scan, so a small stride
+  // keeps expiry latency low without measurable polling cost.
+  DeadlineChecker deadline(&cancel, /*stride=*/8);
   if (n > 63) {
     return Status::InvalidArgument("TANE implementation supports <= 63 attrs");
   }
@@ -65,6 +73,7 @@ Result<std::vector<Fd>> Tane::Discover(const Table& table) const {
     }
 
     for (Mask x : level) {
+      GUARDRAIL_RETURN_NOT_OK(deadline.Check("tane dependency check"));
       Mask& cplus = level_rhs[x];
       Mask test_set = x & cplus;
       for (AttrIndex a : MaskToAttrs(test_set)) {
@@ -151,6 +160,7 @@ Result<std::vector<Fd>> Tane::Discover(const Table& table) const {
     prev_partitions = std::move(cur_partitions);
     cur_partitions.clear();
     for (Mask x : next_level) {
+      GUARDRAIL_RETURN_NOT_OK(deadline.Check("tane partition product"));
       // Split deterministically: strip the lowest attribute.
       AttrIndex lowest = MaskToAttrs(x).front();
       Mask rest = x & ~(1ULL << lowest);

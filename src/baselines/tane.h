@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/fd.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "table/table.h"
 
@@ -32,6 +33,11 @@ class Tane {
 
   /// Discovers minimal FDs over `table`.
   Result<std::vector<Fd>> Discover(const Table& table) const;
+
+  /// Cancellable discovery: checks `cancel` between lattice nodes and
+  /// returns Status::Timeout when the budget fires mid-search.
+  Result<std::vector<Fd>> Discover(const Table& table,
+                                   const CancellationToken& cancel) const;
 
  private:
   Options options_;

@@ -1,13 +1,33 @@
 #include "common/deadline.h"
 
+#include "common/telemetry/telemetry.h"
+
 namespace guardrail {
 
 Status CancellationToken::CheckTimeout(const char* stage) const {
   if (!Cancelled()) return Status::OK();
+  const bool explicit_cancel =
+      cancelled_->load(std::memory_order_relaxed);
+  GUARDRAIL_LOG(WARN) << (explicit_cancel ? "stage cancelled"
+                                          : "deadline expired")
+                      << telemetry::Kv("stage", stage);
+  // Two distinct macro sites: the counter pointer is cached per-site, so a
+  // single site with a ternary name would pin whichever name fired first.
+  if (explicit_cancel) {
+    GUARDRAIL_COUNTER_INC("deadline.cancellations_total");
+  } else {
+    GUARDRAIL_COUNTER_INC("deadline.expiries_total");
+  }
+  if (telemetry::TracingEnabled()) {
+    std::string args = "\"stage\": \"";
+    telemetry::AppendJsonEscaped(stage, &args);
+    args += "\", \"cancelled\": ";
+    args += explicit_cancel ? "true" : "false";
+    telemetry::InstantEvent("deadline.expired", args);
+  }
   return Status::Timeout(std::string(stage) +
-                         (cancelled_->load(std::memory_order_relaxed)
-                              ? ": cancelled"
-                              : ": deadline expired"));
+                         (explicit_cancel ? ": cancelled"
+                                          : ": deadline expired"));
 }
 
 }  // namespace guardrail

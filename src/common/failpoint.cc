@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/telemetry/telemetry.h"
 
 namespace guardrail {
 
@@ -150,7 +151,19 @@ Status FailpointRegistry::Trip(std::string_view name) {
     return Status::OK();
   }
   impl_->trips_fired.fetch_add(1, std::memory_order_relaxed);
-  return MakeInjected(armed.code, name);
+  Status injected = MakeInjected(armed.code, name);
+  GUARDRAIL_LOG(WARN) << "failpoint tripped"
+                      << telemetry::Kv("point", name)
+                      << telemetry::Kv("code",
+                                       StatusCodeToString(armed.code));
+  GUARDRAIL_COUNTER_INC("failpoint.trips_total");
+  if (telemetry::TracingEnabled()) {
+    std::string args = "\"point\": \"";
+    telemetry::AppendJsonEscaped(name, &args);
+    args += "\"";
+    telemetry::InstantEvent("failpoint.trip", args);
+  }
+  return injected;
 }
 
 std::vector<std::string> FailpointRegistry::ArmedNames() const {

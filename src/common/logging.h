@@ -6,6 +6,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/telemetry/log.h"  // IWYU pragma: export (GUARDRAIL_LOG)
+
 namespace guardrail {
 namespace internal_logging {
 

@@ -1,0 +1,156 @@
+#include "common/telemetry/log.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace guardrail {
+namespace telemetry {
+
+namespace {
+
+struct SinkState {
+  std::mutex mu;
+  LogSink sink;  // empty => default stderr sink
+};
+
+SinkState& Sink() {
+  static SinkState* state = new SinkState();
+  return *state;
+}
+
+// True when the value can go on the wire bare; otherwise it is quoted with
+// the same escaping msg= uses.
+bool IsBareValue(const std::string& value) {
+  if (value.empty()) return false;
+  for (char c : value) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '"' || c == '=' ||
+        c == '\\') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AppendQuoted(const std::string& text, std::string* out) {
+  *out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+  *out += '"';
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int32_t>(level), std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+std::string LogRecord::ToLine() const {
+  std::string out = "level=";
+  out += LogLevelName(level);
+  out += " src=";
+  out += Basename(file);
+  out += ':';
+  out += std::to_string(line);
+  out += " msg=";
+  AppendQuoted(message, &out);
+  for (const auto& [key, value] : fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    if (IsBareValue(value)) {
+      out += value;
+    } else {
+      AppendQuoted(value, &out);
+    }
+  }
+  return out;
+}
+
+void SetLogSink(LogSink sink) {
+  SinkState& state = Sink();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.sink = std::move(sink);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  record_.level = level;
+  record_.file = file;
+  record_.line = line;
+}
+
+LogMessage::~LogMessage() {
+  record_.message = message_.str();
+  SinkState& state = Sink();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.sink) {
+    state.sink(record_);
+    return;
+  }
+  std::string line = record_.ToLine();
+  std::fprintf(stderr, "[guardrail] %s\n", line.c_str());
+}
+
+}  // namespace telemetry
+}  // namespace guardrail

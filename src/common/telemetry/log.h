@@ -1,0 +1,130 @@
+#ifndef GUARDRAIL_COMMON_TELEMETRY_LOG_H_
+#define GUARDRAIL_COMMON_TELEMETRY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace guardrail {
+namespace telemetry {
+
+/// Severity ladder. The process-wide threshold (default kWarn, so steady
+/// state is quiet) suppresses everything below it; kOff silences logging
+/// entirely. The threshold check is a single relaxed atomic load, so a
+/// compiled-in DEBUG statement on a hot path costs a load and a branch.
+enum class LogLevel : int32_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+inline std::atomic<int32_t> g_log_level{static_cast<int32_t>(LogLevel::kWarn)};
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int32_t>(level) >=
+         g_log_level.load(std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Returns false on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+const char* LogLevelName(LogLevel level);
+
+/// A structured record as handed to sinks: the severity, the free-text
+/// message, and the key=value fields in order of attachment.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// The single-line rendering the default stderr sink emits:
+  ///   level=WARN src=file.cc:42 msg="..." key=value ...
+  std::string ToLine() const;
+};
+
+/// Replaces the stderr sink (pass nullptr to restore it). Used by tests to
+/// capture log events; the sink runs under the logging mutex, so it must not
+/// log or block.
+using LogSink = std::function<void(const LogRecord&)>;
+void SetLogSink(LogSink sink);
+
+/// A key=value field for the structured part of a log statement:
+///   GUARDRAIL_LOG(WARN) << "failpoint fired" << Kv("point", name);
+struct KvField {
+  std::string key;
+  std::string value;
+};
+
+template <typename T>
+KvField Kv(std::string_view key, const T& value) {
+  std::ostringstream stream;
+  stream << value;
+  return KvField{std::string(key), stream.str()};
+}
+
+inline KvField Kv(std::string_view key, bool value) {
+  return KvField{std::string(key), value ? "true" : "false"};
+}
+
+/// Accumulates one log statement and emits it on destruction. Message text
+/// streams in; KvField objects divert into the structured fields.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage& operator<<(KvField field) {
+    record_.fields.push_back({std::move(field.key), std::move(field.value)});
+    return *this;
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+ private:
+  LogRecord record_;
+  std::ostringstream message_;
+};
+
+}  // namespace telemetry
+}  // namespace guardrail
+
+namespace guardrail {
+namespace telemetry {
+namespace log_severity {
+// Severity tokens for the GUARDRAIL_LOG macro argument.
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARN = LogLevel::kWarn;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+}  // namespace log_severity
+}  // namespace telemetry
+}  // namespace guardrail
+
+/// Structured leveled logging: GUARDRAIL_LOG(INFO) << "msg" << Kv("k", v).
+/// Statements below the process log level cost one relaxed load + branch and
+/// never evaluate their operands.
+#define GUARDRAIL_LOG(severity)                                       \
+  if (!::guardrail::telemetry::LogEnabled(                            \
+          ::guardrail::telemetry::log_severity::severity)) {          \
+  } else                                                              \
+    ::guardrail::telemetry::LogMessage(                               \
+        ::guardrail::telemetry::log_severity::severity, __FILE__, __LINE__)
+
+#endif  // GUARDRAIL_COMMON_TELEMETRY_LOG_H_

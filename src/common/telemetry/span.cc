@@ -1,0 +1,183 @@
+#include "common/telemetry/span.h"
+
+#include <mutex>
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/telemetry.h"
+
+namespace guardrail {
+namespace telemetry {
+
+namespace {
+
+// Bounded so a long-running traced process cannot grow without limit; drops
+// are counted and reported rather than silently truncated.
+constexpr size_t kMaxTraceEvents = 1 << 20;
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEventRecord> events;
+  int64_t dropped = 0;
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+// Trace timestamps are micros since the first event of the process, which
+// keeps them small and stable across runs.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+void Append(TraceEventRecord record) {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxTraceEvents) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(std::move(record));
+}
+
+void AppendArgPrefix(const char* key, std::string* out) {
+  if (!out->empty()) *out += ", ";
+  *out += '"';
+  AppendJsonEscaped(key, out);
+  *out += "\": ";
+}
+
+}  // namespace
+
+Span::Span(const char* name, bool always_time) : name_(name) {
+  flags_ = LoadComponentFlags();
+  timing_ = always_time || flags_ != 0;
+  if (!timing_) return;
+  start_ = std::chrono::steady_clock::now();
+  if ((flags_ & kTracingBit) != 0) {
+    TraceEventRecord record;
+    record.name = name_;
+    record.phase = 'B';
+    record.ts_micros = NowMicros();
+    record.tid = CurrentTid();
+    Append(std::move(record));
+  }
+}
+
+Span::~Span() {
+  if (!timing_ || flags_ == 0) return;
+  int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  if ((flags_ & kTracingBit) != 0) {
+    TraceEventRecord record;
+    record.name = name_;
+    record.phase = 'E';
+    record.ts_micros = NowMicros();
+    record.tid = CurrentTid();
+    record.args_json = std::move(args_json_);
+    Append(std::move(record));
+  }
+  if ((flags_ & kMetricsBit) != 0) {
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    registry.GetCounter("span." + std::string(name_) + ".micros")->Add(micros);
+    registry.GetCounter("span." + std::string(name_) + ".count")->Increment();
+  }
+}
+
+void Span::AddArg(const char* key, std::string_view value) {
+  if ((flags_ & kTracingBit) == 0) return;
+  AppendArgPrefix(key, &args_json_);
+  args_json_ += '"';
+  AppendJsonEscaped(value, &args_json_);
+  args_json_ += '"';
+}
+
+void Span::AddArg(const char* key, int64_t value) {
+  if ((flags_ & kTracingBit) == 0) return;
+  AppendArgPrefix(key, &args_json_);
+  args_json_ += std::to_string(value);
+}
+
+void Span::AddArg(const char* key, bool value) {
+  if ((flags_ & kTracingBit) == 0) return;
+  AppendArgPrefix(key, &args_json_);
+  args_json_ += value ? "true" : "false";
+}
+
+double Span::ElapsedSeconds() const {
+  if (!timing_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void InstantEvent(const char* name, std::string_view args_json) {
+  if (!TracingEnabled()) return;
+  TraceEventRecord record;
+  record.name = name;
+  record.phase = 'i';
+  record.ts_micros = NowMicros();
+  record.tid = CurrentTid();
+  record.args_json = std::string(args_json);
+  Append(std::move(record));
+}
+
+std::vector<TraceEventRecord> SnapshotTraceEvents() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.events;
+}
+
+int64_t TraceEventsDropped() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.dropped;
+}
+
+std::string TraceToJson() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEventRecord& e : buffer.events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": \"";
+    AppendJsonEscaped(e.name, &out);
+    out += "\", \"ph\": \"";
+    out += e.phase;
+    out += "\", \"ts\": " + std::to_string(e.ts_micros) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void ClearTrace() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.clear();
+  buffer.dropped = 0;
+}
+
+}  // namespace telemetry
+}  // namespace guardrail

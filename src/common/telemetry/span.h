@@ -1,0 +1,85 @@
+#ifndef GUARDRAIL_COMMON_TELEMETRY_SPAN_H_
+#define GUARDRAIL_COMMON_TELEMETRY_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/telemetry/state.h"
+
+namespace guardrail {
+namespace telemetry {
+
+/// One begin/end/instant record in the in-memory trace buffer, mirroring the
+/// Chrome trace_event phases ('B' duration-begin, 'E' duration-end,
+/// 'i' instant). Nesting is implicit in the per-thread B/E ordering, exactly
+/// as chrome://tracing / Perfetto reconstruct it.
+struct TraceEventRecord {
+  const char* name = "";
+  char phase = 'B';
+  int64_t ts_micros = 0;
+  uint32_t tid = 0;
+  /// Pre-rendered JSON object body ("\"k\": \"v\", ...") or empty.
+  std::string args_json;
+};
+
+/// RAII scoped timer: emits a B event on construction and an E event (with
+/// any accumulated args) on destruction when tracing is on, and folds its
+/// duration into the `span.<name>.micros` / `span.<name>.count` counters
+/// when metrics are on. With everything disabled the constructor is a single
+/// relaxed atomic load and a branch — cheap enough for inner pipeline
+/// stages, though per-row work should use counters, not spans.
+///
+/// `always_time` additionally keeps the wall-clock measurement alive even
+/// with telemetry off, so code that needs the elapsed time for its own
+/// reporting (SynthesisReport's per-stage seconds) can read ElapsedSeconds()
+/// and telemetry exports agree with the report by construction.
+class Span {
+ public:
+  explicit Span(const char* name, bool always_time = false);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value to the span's end event (no-op unless tracing).
+  void AddArg(const char* key, std::string_view value);
+  void AddArg(const char* key, int64_t value);
+  void AddArg(const char* key, bool value);
+
+  /// Seconds since construction; 0.0 unless timing is active (telemetry on
+  /// or always_time requested).
+  double ElapsedSeconds() const;
+
+ private:
+  const char* name_;
+  uint32_t flags_ = 0;
+  bool timing_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  std::string args_json_;
+};
+
+/// Appends an instant event to the trace (no-op unless tracing). Used for
+/// point-in-time facts worth seeing on the timeline: deadline expiries,
+/// failpoint fires, degradation-rung transitions.
+void InstantEvent(const char* name, std::string_view args_json = {});
+
+/// Snapshot of the trace buffer (oldest first) plus how many events were
+/// dropped after the buffer cap was hit.
+std::vector<TraceEventRecord> SnapshotTraceEvents();
+int64_t TraceEventsDropped();
+
+/// Renders the buffer as a Chrome trace_event JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}), loadable in
+/// chrome://tracing and Perfetto.
+std::string TraceToJson();
+
+/// Clears the trace buffer (events and drop count).
+void ClearTrace();
+
+}  // namespace telemetry
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_TELEMETRY_SPAN_H_

@@ -1,0 +1,38 @@
+#ifndef GUARDRAIL_COMMON_TELEMETRY_STATE_H_
+#define GUARDRAIL_COMMON_TELEMETRY_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace guardrail {
+namespace telemetry {
+
+/// Which telemetry pillars are live. Kept in one process-wide atomic so the
+/// disabled fast path — the common case on the guard / CI-test hot loops —
+/// is a single relaxed load and a predictable branch.
+enum ComponentFlags : uint32_t {
+  kMetricsBit = 1u << 0,
+  kTracingBit = 1u << 1,
+};
+
+inline std::atomic<uint32_t> g_component_flags{0};
+
+inline uint32_t LoadComponentFlags() {
+  return g_component_flags.load(std::memory_order_relaxed);
+}
+
+inline bool MetricsEnabled() {
+  return (LoadComponentFlags() & kMetricsBit) != 0;
+}
+
+inline bool TracingEnabled() {
+  return (LoadComponentFlags() & kTracingBit) != 0;
+}
+
+void EnableMetrics(bool enabled);
+void EnableTracing(bool enabled);
+
+}  // namespace telemetry
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_TELEMETRY_STATE_H_

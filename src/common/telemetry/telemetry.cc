@@ -1,0 +1,101 @@
+#include "common/telemetry/telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace guardrail {
+namespace telemetry {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents,
+                 const char* what) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError(std::string("cannot open ") + what + " output '" +
+                           path + "' for writing");
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  int close_rc = std::fclose(file);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IoError(std::string("short write to ") + what +
+                           " output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+Status WriteTrace(const std::string& path) {
+  return WriteFile(path, TraceToJson(), "trace");
+}
+
+Status WriteMetrics(const std::string& path) {
+  return WriteFile(path, MetricsRegistry::Instance().ToJson(), "metrics");
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("GUARDRAIL_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) SetLogLevel(level);
+}
+
+void EnableMetrics(bool enabled) {
+  if (enabled) {
+    g_component_flags.fetch_or(kMetricsBit, std::memory_order_relaxed);
+  } else {
+    g_component_flags.fetch_and(~kMetricsBit, std::memory_order_relaxed);
+  }
+}
+
+void EnableTracing(bool enabled) {
+  if (enabled) {
+    g_component_flags.fetch_or(kTracingBit, std::memory_order_relaxed);
+  } else {
+    g_component_flags.fetch_and(~kTracingBit, std::memory_order_relaxed);
+  }
+}
+
+void ResetAllForTest() {
+  EnableMetrics(false);
+  EnableTracing(false);
+  MetricsRegistry::Instance().ResetAll();
+  ClearTrace();
+  SetLogSink(nullptr);
+  SetLogLevel(LogLevel::kWarn);
+}
+
+}  // namespace telemetry
+}  // namespace guardrail

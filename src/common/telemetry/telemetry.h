@@ -1,0 +1,48 @@
+#ifndef GUARDRAIL_COMMON_TELEMETRY_TELEMETRY_H_
+#define GUARDRAIL_COMMON_TELEMETRY_TELEMETRY_H_
+
+/// Facade for the telemetry subsystem. Pulling in this header gives the
+/// three pillars:
+///   - spans + instant events (span.h) exported as Chrome trace_event JSON,
+///   - counters + histograms (metrics.h) exported as a JSON document,
+///   - structured leveled logging (log.h).
+/// Enablement is per-pillar (EnableMetrics / EnableTracing in state.h);
+/// everything compiles to a relaxed atomic load + branch when off.
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/telemetry/log.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/span.h"
+#include "common/telemetry/state.h"
+
+namespace guardrail {
+namespace telemetry {
+
+/// Appends `text` to `*out` with JSON string escaping (quotes, backslashes,
+/// control characters) but without the surrounding quotes.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Writes the trace buffer as Chrome trace_event JSON to `path`
+/// (chrome://tracing / Perfetto compatible). Fails with kIoError when the
+/// file cannot be written.
+Status WriteTrace(const std::string& path);
+
+/// Writes all metrics as a JSON document to `path`.
+Status WriteMetrics(const std::string& path);
+
+/// Applies GUARDRAIL_LOG_LEVEL from the environment if set and parseable.
+/// Called once from CLI/test main paths; safe to call repeatedly.
+void InitLogLevelFromEnv();
+
+/// Resets all mutable telemetry state: zeroes every metric, clears the trace
+/// buffer, disables both pillars, and restores the default log sink/level.
+/// Test-only — production code never unwinds telemetry.
+void ResetAllForTest();
+
+}  // namespace telemetry
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_TELEMETRY_TELEMETRY_H_

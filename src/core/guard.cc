@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry/metrics.h"
+
 namespace guardrail {
 namespace core {
 
@@ -78,17 +80,24 @@ void Guard::RectifyViolation(const Violation& violation, Row* row) const {
 }
 
 Result<Row> Guard::ProcessRow(const Row& row, ErrorPolicy policy) const {
+  // This is the serving hot path: counters only (one relaxed load + branch
+  // per macro when telemetry is off), never spans or logs per row.
+  GUARDRAIL_COUNTER_INC("guard.rows_checked");
   GUARDRAIL_ASSIGN_OR_RETURN(std::vector<Violation> violations,
                              interpreter_.CheckedCheck(row));
+  GUARDRAIL_HISTOGRAM_RECORD("guard.violations_per_row",
+                             static_cast<int64_t>(violations.size()));
   if (violations.empty()) return row;
   switch (policy) {
     case ErrorPolicy::kRaise:
+      GUARDRAIL_COUNTER_INC("guard.rows_raised");
       return Status::ConstraintViolation(
           "row violates " + std::to_string(violations.size()) +
           " integrity constraint(s)");
     case ErrorPolicy::kIgnore:
       return row;
     case ErrorPolicy::kCoerce: {
+      GUARDRAIL_COUNTER_INC("guard.rows_coerced");
       Row out = row;
       for (const auto& v : violations) {
         out[static_cast<size_t>(v.attribute)] = kNullValue;
@@ -96,6 +105,7 @@ Result<Row> Guard::ProcessRow(const Row& row, ErrorPolicy policy) const {
       return out;
     }
     case ErrorPolicy::kRectify: {
+      GUARDRAIL_COUNTER_INC("guard.rows_rectified");
       Row out = row;
       for (const auto& v : violations) RectifyViolation(v, &out);
       return out;
@@ -111,6 +121,11 @@ GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
     Row row = table->GetRow(r);
     Result<std::vector<Violation>> checked = interpreter_.CheckedCheck(row);
     ++outcome.rows_checked;
+    GUARDRAIL_COUNTER_INC("guard.rows_checked");
+    if (checked.ok()) {
+      GUARDRAIL_HISTOGRAM_RECORD("guard.violations_per_row",
+                                 static_cast<int64_t>(checked->size()));
+    }
     if (!checked.ok()) {
       ++outcome.rows_failed;
       if (outcome.first_error.ok()) outcome.first_error = checked.status();
@@ -125,16 +140,19 @@ GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
     outcome.flagged[static_cast<size_t>(r)] = true;
     switch (policy) {
       case ErrorPolicy::kRaise:
+        GUARDRAIL_COUNTER_INC("guard.rows_raised");
         return outcome;
       case ErrorPolicy::kIgnore:
         break;
       case ErrorPolicy::kCoerce:
+        GUARDRAIL_COUNTER_INC("guard.rows_coerced");
         for (const auto& v : violations) {
           table->Set(r, v.attribute, kNullValue);
           ++outcome.cells_repaired;
         }
         break;
       case ErrorPolicy::kRectify: {
+        GUARDRAIL_COUNTER_INC("guard.rows_rectified");
         for (const auto& v : violations) RectifyViolation(v, &row);
         for (AttrIndex c = 0; c < table->num_columns(); ++c) {
           if (table->Get(r, c) != row[static_cast<size_t>(c)]) {

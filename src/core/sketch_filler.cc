@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/telemetry/metrics.h"
 
 namespace guardrail {
 namespace core {
@@ -133,7 +134,11 @@ Result<std::optional<Statement>> FillStatementSketch(
     stmt.branches.push_back(std::move(branch));
   }
 
-  if (stmt.branches.empty()) return std::optional<Statement>();
+  if (stmt.branches.empty()) {
+    GUARDRAIL_COUNTER_INC("sketch_filler.statements_bottom");
+    return std::optional<Statement>();
+  }
+  GUARDRAIL_COUNTER_INC("sketch_filler.statements_filled");
   return std::optional<Statement>(std::move(stmt));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/telemetry/telemetry.h"
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/nontriviality.h"
@@ -127,40 +128,47 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
   report.cpdag = cpdag;
 
   StopWatch total_watch;
-  StopWatch watch;
-  pgm::MecEnumerator::Options enum_options;
-  enum_options.max_dags = options_.max_dags;
-  // Finite-sample PC can orient conflicting colliders into a directed
-  // cycle; repair before enumerating.
-  pgm::Pdag working = cpdag;
-  pgm::RepairCpdagCycles(&working);
-  pgm::MecEnumerator enumerator(enum_options);
   std::vector<pgm::Dag> dags;
   bool enumeration_cut_short = false;
-  Status enum_status = enumerator.Enumerate(working, cancel, &dags);
-  if (!enum_status.ok()) {
-    // Budget expired mid-enumeration; whatever members surfaced so far are
-    // still valid candidates for Alg. 2's arbitration.
-    enumeration_cut_short = true;
-  } else if (dags.empty()) {
-    // Finite-sample PC output occasionally admits no consistent extension
-    // (conflicting colliders). Relax the v-structure validation so Alg. 2's
-    // coverage selection can still arbitrate between acyclic orientations.
-    enum_options.strict_v_structures = false;
-    pgm::MecEnumerator relaxed(enum_options);
-    if (!relaxed.Enumerate(working, cancel, &dags).ok()) {
+  {
+    // The stage span always times (it feeds enumeration_seconds even with
+    // telemetry off); the enumerator emits its own nested "mec_enumerate"
+    // span per call.
+    telemetry::Span enum_span("enumerate", /*always_time=*/true);
+    pgm::MecEnumerator::Options enum_options;
+    enum_options.max_dags = options_.max_dags;
+    // Finite-sample PC can orient conflicting colliders into a directed
+    // cycle; repair before enumerating.
+    pgm::Pdag working = cpdag;
+    pgm::RepairCpdagCycles(&working);
+    pgm::MecEnumerator enumerator(enum_options);
+    Status enum_status = enumerator.Enumerate(working, cancel, &dags);
+    if (!enum_status.ok()) {
+      // Budget expired mid-enumeration; whatever members surfaced so far are
+      // still valid candidates for Alg. 2's arbitration.
       enumeration_cut_short = true;
+    } else if (dags.empty()) {
+      // Finite-sample PC output occasionally admits no consistent extension
+      // (conflicting colliders). Relax the v-structure validation so Alg. 2's
+      // coverage selection can still arbitrate between acyclic orientations.
+      enum_options.strict_v_structures = false;
+      pgm::MecEnumerator relaxed(enum_options);
+      if (!relaxed.Enumerate(working, cancel, &dags).ok()) {
+        enumeration_cut_short = true;
+      }
     }
+    if (dags.empty()) {
+      // Last resort: one greedy acyclic orientation (bounded, uncancelled).
+      dags.push_back(pgm::BestEffortExtension(working));
+    }
+    enum_span.AddArg("dags", static_cast<int64_t>(dags.size()));
+    enum_span.AddArg("cut_short", enumeration_cut_short);
+    report.enumeration_seconds = enum_span.ElapsedSeconds();
   }
-  if (dags.empty()) {
-    // Last resort: one greedy acyclic orientation (bounded, uncancelled).
-    dags.push_back(pgm::BestEffortExtension(working));
-  }
-  report.enumeration_seconds = watch.ElapsedSeconds();
   report.num_dags_enumerated = static_cast<int64_t>(dags.size());
 
   // Alg. 2: fill the sketch of each member DAG; keep max coverage.
-  watch.Restart();
+  telemetry::Span fill_span("sketch_fill", /*always_time=*/true);
   StatementCache cache;
   Program best_program;
   ProgramSketch best_sketch;
@@ -194,11 +202,16 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
       best_sketch = std::move(sketch);
     }
   }
+  GUARDRAIL_COUNTER_ADD("sketch_filler.cache_hits", cache.hits());
+  GUARDRAIL_COUNTER_ADD("sketch_filler.cache_misses", cache.misses());
+  fill_span.AddArg("dags_filled", static_cast<int64_t>(dags_filled));
+  fill_span.AddArg("cache_hits", cache.hits());
+  fill_span.AddArg("cache_misses", cache.misses());
   if (dags_filled == 0) {
     return Status::Timeout(
         "sketch filling: budget exhausted before any DAG could be filled");
   }
-  report.fill_seconds = watch.ElapsedSeconds();
+  report.fill_seconds = fill_span.ElapsedSeconds();
   report.cache_hits = cache.hits();
   report.cache_misses = cache.misses();
   report.program = std::move(best_program);
@@ -224,7 +237,7 @@ Result<SynthesisReport> Synthesizer::FillSingleDag(
   SynthesisReport report;
   report.cpdag = pgm::Pdag::FromDag(dag);
   report.num_dags_enumerated = 1;
-  StopWatch watch;
+  telemetry::Span fill_span("sketch_fill", /*always_time=*/true);
   ProgramSketch sketch = SketchFromDag(dag);
   Program program;
   for (const auto& stmt_sketch : sketch.statements) {
@@ -234,7 +247,8 @@ Result<SynthesisReport> Synthesizer::FillSingleDag(
     if (stmt.has_value()) program.statements.push_back(std::move(*stmt));
     ++report.cache_misses;
   }
-  report.fill_seconds = watch.ElapsedSeconds();
+  GUARDRAIL_COUNTER_ADD("sketch_filler.cache_misses", report.cache_misses);
+  report.fill_seconds = fill_span.ElapsedSeconds();
   report.coverage = ProgramCoverage(program, data);
   report.program = std::move(program);
   report.chosen_sketch = std::move(sketch);
@@ -247,8 +261,30 @@ SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng) const {
 
 SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng,
                                         const CancellationToken& cancel) const {
+  // Root span. `always_time` keeps the wall clock live with telemetry off so
+  // report.total_seconds and the exported span come from the same
+  // measurement.
+  telemetry::Span span("synthesize", /*always_time=*/true);
+  SynthesisReport report = SynthesizeImpl(data, rng, cancel);
+  report.total_seconds = span.ElapsedSeconds();
+  span.AddArg("rung", SynthesisRungName(report.rung));
+  span.AddArg("budget_expired", report.budget_expired);
+  span.AddArg("ci_tests", report.num_ci_tests);
+  span.AddArg("dags", report.num_dags_enumerated);
+  GUARDRAIL_COUNTER_INC("synthesize.runs_total");
+  if (report.budget_expired) {
+    GUARDRAIL_COUNTER_INC("synthesize.degraded_total");
+    GUARDRAIL_LOG(WARN) << "synthesis degraded"
+                        << telemetry::Kv("rung",
+                                         SynthesisRungName(report.rung))
+                        << telemetry::Kv("reason", report.degradation_reason);
+  }
+  return report;
+}
+
+SynthesisReport Synthesizer::SynthesizeImpl(
+    const Table& data, Rng* rng, const CancellationToken& cancel) const {
   StopWatch total_watch;
-  StopWatch watch;
   SynthesisReport report;
 
   // The ladder's floor never fails: one cheap pass, no deadline checks.
@@ -270,66 +306,81 @@ SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng,
   }
 
   pgm::EncodedData encoded;
-  if (options_.use_auxiliary_sampler) {
-    encoded = pgm::SampleAuxiliaryDistribution(data, options_.aux, rng);
-  } else {
-    encoded = pgm::EncodeIdentity(data);
+  {
+    telemetry::Span sample_span("aux_sample", /*always_time=*/true);
+    if (options_.use_auxiliary_sampler) {
+      encoded = pgm::SampleAuxiliaryDistribution(data, options_.aux, rng);
+    } else {
+      encoded = pgm::EncodeIdentity(data);
+    }
+    sample_span.AddArg("variables",
+                       static_cast<int64_t>(encoded.num_variables()));
+    GUARDRAIL_COUNTER_ADD("aux.variables_sampled", encoded.num_variables());
+    report.sampling_seconds = sample_span.ElapsedSeconds();
   }
-  report.sampling_seconds = watch.ElapsedSeconds();
   if (cancel.Cancelled()) {
     return degrade_to_trivial("budget expired during auxiliary sampling");
   }
 
-  watch.Restart();
   pgm::Pdag cpdag;
   std::string structure_note;
   bool structure_expired = false;
-  if (options_.structure_method == StructureMethod::kHillClimbing) {
-    pgm::HillClimbingLearner learner(options_.hill_climbing);
-    pgm::HillClimbingLearner::LearnResult learned =
-        learner.Learn(encoded, SubBudget(cancel, 0.5));
-    cpdag = pgm::Pdag::FromDag(learned.dag);
-    if (learned.timed_out) {
-      structure_expired = true;
-      structure_note = "hill climbing stopped early at iteration " +
-                       std::to_string(learned.iterations);
-    }
-  } else {
-    pgm::PcAlgorithm pc(options_.pc);
-    // PC gets half the remaining budget so the fallback rungs keep the rest.
-    Result<pgm::PcResult> pc_result = pc.Run(encoded, SubBudget(cancel, 0.5));
-    if (pc_result.ok()) {
-      cpdag = std::move(pc_result->cpdag);
-      report.num_ci_tests = pc_result->num_ci_tests;
-    } else {
-      // Rung kHillClimb: a half-finished PC skeleton is unusable, but the
-      // anytime hill climber always has *some* DAG to offer.
+  // When PC blows its budget slice the ladder drops to rung kHillClimb; the
+  // learned fallback DAG is kept here so its single-DAG fill runs *after*
+  // the structure span has closed (fill time is not structure time).
+  std::optional<pgm::HillClimbingLearner::LearnResult> pc_fallback;
+  {
+    telemetry::Span structure_span("structure", /*always_time=*/true);
+    if (options_.structure_method == StructureMethod::kHillClimbing) {
       pgm::HillClimbingLearner learner(options_.hill_climbing);
       pgm::HillClimbingLearner::LearnResult learned =
           learner.Learn(encoded, SubBudget(cancel, 0.5));
-      report.structure_seconds = watch.ElapsedSeconds();
-      Result<SynthesisReport> filled =
-          FillSingleDag(learned.dag, data, cancel);
-      if (!filled.ok()) {
-        return degrade_to_trivial(
-            "pc and the hill-climbing fallback both exceeded the budget (" +
-            filled.status().message() + ")");
+      cpdag = pgm::Pdag::FromDag(learned.dag);
+      if (learned.timed_out) {
+        structure_expired = true;
+        structure_note = "hill climbing stopped early at iteration " +
+                         std::to_string(learned.iterations);
       }
-      SynthesisReport out = std::move(*filled);
-      out.rung = SynthesisRung::kHillClimb;
-      out.budget_expired = true;
-      out.degradation_reason =
-          "pc structure learning exceeded its budget slice; fell back to "
-          "anytime hill climbing (" +
-          std::to_string(learned.iterations) + " iteration(s))";
-      out.sampling_seconds = report.sampling_seconds;
-      out.structure_seconds = report.structure_seconds;
-      out.num_ci_tests = report.num_ci_tests;
-      out.total_seconds = total_watch.ElapsedSeconds();
-      return out;
+    } else {
+      pgm::PcAlgorithm pc(options_.pc);
+      // PC gets half the remaining budget so the fallback rungs keep the
+      // rest.
+      Result<pgm::PcResult> pc_result =
+          pc.Run(encoded, SubBudget(cancel, 0.5));
+      if (pc_result.ok()) {
+        cpdag = std::move(pc_result->cpdag);
+        report.num_ci_tests = pc_result->num_ci_tests;
+      } else {
+        // Rung kHillClimb: a half-finished PC skeleton is unusable, but the
+        // anytime hill climber always has *some* DAG to offer.
+        pgm::HillClimbingLearner learner(options_.hill_climbing);
+        pc_fallback = learner.Learn(encoded, SubBudget(cancel, 0.5));
+      }
     }
+    structure_span.AddArg("fell_back", pc_fallback.has_value());
+    report.structure_seconds = structure_span.ElapsedSeconds();
   }
-  report.structure_seconds = watch.ElapsedSeconds();
+  if (pc_fallback.has_value()) {
+    Result<SynthesisReport> filled =
+        FillSingleDag(pc_fallback->dag, data, cancel);
+    if (!filled.ok()) {
+      return degrade_to_trivial(
+          "pc and the hill-climbing fallback both exceeded the budget (" +
+          filled.status().message() + ")");
+    }
+    SynthesisReport out = std::move(*filled);
+    out.rung = SynthesisRung::kHillClimb;
+    out.budget_expired = true;
+    out.degradation_reason =
+        "pc structure learning exceeded its budget slice; fell back to "
+        "anytime hill climbing (" +
+        std::to_string(pc_fallback->iterations) + " iteration(s))";
+    out.sampling_seconds = report.sampling_seconds;
+    out.structure_seconds = report.structure_seconds;
+    out.num_ci_tests = report.num_ci_tests;
+    out.total_seconds = total_watch.ElapsedSeconds();
+    return out;
+  }
 
   Result<SynthesisReport> inner = SynthesizeFromMec(cpdag, data, cancel);
   if (!inner.ok()) {

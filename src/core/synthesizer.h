@@ -165,6 +165,11 @@ class Synthesizer {
       const CancellationToken& cancel) const;
 
  private:
+  /// The ladder body; Synthesize wraps it in the root "synthesize" telemetry
+  /// span and stamps total_seconds from that span's clock.
+  SynthesisReport SynthesizeImpl(const Table& data, Rng* rng,
+                                 const CancellationToken& cancel) const;
+
   /// Rung kHillClimb / kSingleDag helper: fill the sketch of one DAG.
   Result<SynthesisReport> FillSingleDag(const pgm::Dag& dag, const Table& data,
                                         const CancellationToken& cancel) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry/telemetry.h"
 #include "ml/decision_tree.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
@@ -106,6 +107,9 @@ Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
   if (train.num_rows() < 10) {
     return Status::InvalidArgument("too little data for AutoML");
   }
+  telemetry::Span span("automl");
+  span.AddArg("label_column", static_cast<int64_t>(label_column));
+  span.AddArg("train_rows", static_cast<int64_t>(train.num_rows()));
   Rng rng(options_.seed);
   auto [fit_split, val_split] =
       train.Split(1.0 - options_.validation_fraction, &rng);
@@ -125,6 +129,7 @@ Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
     if (options_.cancel.Cancelled()) break;
     Result<std::unique_ptr<Model>> model =
         trainer->Train(fit_split, label_column);
+    GUARDRAIL_COUNTER_INC("automl.candidates_trained");
     if (!model.ok()) continue;
     double accuracy = (*model)->Accuracy(val_split);
     // Weight models by validation accuracy; drop clearly broken ones.
@@ -132,6 +137,9 @@ Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
     members.push_back(std::move(*model));
     weights.push_back(accuracy * accuracy);  // Emphasize the better models.
   }
+  GUARDRAIL_COUNTER_ADD("automl.members_kept",
+                        static_cast<int64_t>(members.size()));
+  span.AddArg("members", static_cast<int64_t>(members.size()));
   if (members.empty()) {
     GUARDRAIL_RETURN_NOT_OK(options_.cancel.CheckTimeout("automl training"));
     return Status::Internal("no ensemble member trained successfully");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 
 namespace guardrail {
 namespace pgm {
@@ -62,6 +63,8 @@ HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
 HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
     const EncodedData& data, const CancellationToken& cancel) const {
   const int32_t n = data.num_variables();
+  telemetry::Span span("hill_climb");
+  span.AddArg("num_variables", static_cast<int64_t>(n));
   BicScorer scorer(&data);
   WorkingGraph graph(n);
 
@@ -194,6 +197,11 @@ HillClimbingLearner::LearnResult HillClimbingLearner::Learn(
     result.iterations = iter + 1;
   }
 
+  GUARDRAIL_COUNTER_ADD("hill_climb.moves_evaluated", result.moves_evaluated);
+  GUARDRAIL_COUNTER_ADD("hill_climb.iterations", result.iterations);
+  span.AddArg("iterations", static_cast<int64_t>(result.iterations));
+  span.AddArg("moves_evaluated", result.moves_evaluated);
+  span.AddArg("timed_out", result.timed_out);
   result.dag = graph.ToDag();
   GUARDRAIL_CHECK(result.dag.IsAcyclic());
   result.score = 0.0;

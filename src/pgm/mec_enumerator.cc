@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 #include "pgm/meek_rules.h"
 
 namespace guardrail {
@@ -105,6 +106,7 @@ Status MecEnumerator::Enumerate(const Pdag& cpdag,
                                 const CancellationToken& cancel,
                                 std::vector<Dag>* out) const {
   out->clear();
+  telemetry::Span span("mec_enumerate");
   std::set<std::string> seen;
   VStructureSet reference = CpdagVStructures(cpdag);
   DeadlineChecker deadline(&cancel, /*stride=*/64);
@@ -112,6 +114,10 @@ Status MecEnumerator::Enumerate(const Pdag& cpdag,
                          options_.max_dags, out,
                          &seen,             &deadline};
   Recurse(cpdag, &state);
+  GUARDRAIL_COUNTER_ADD("mec.dags_enumerated",
+                        static_cast<int64_t>(out->size()));
+  span.AddArg("dags", static_cast<int64_t>(out->size()));
+  span.AddArg("timed_out", state.timed_out);
   if (state.timed_out) return cancel.CheckTimeout("mec enumeration");
   return Status::OK();
 }

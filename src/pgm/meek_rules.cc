@@ -1,5 +1,7 @@
 #include "pgm/meek_rules.h"
 
+#include "common/telemetry/metrics.h"
+
 namespace guardrail {
 namespace pgm {
 
@@ -70,6 +72,7 @@ int ApplyMeekRules(Pdag* graph) {
       }
     }
   }
+  GUARDRAIL_COUNTER_ADD("meek.edges_oriented", oriented);
   return oriented;
 }
 

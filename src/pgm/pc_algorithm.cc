@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/telemetry/telemetry.h"
 #include "pgm/meek_rules.h"
 
 namespace guardrail {
@@ -48,6 +49,8 @@ PcResult PcAlgorithm::Run(const EncodedData& data) const {
 Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
                                   const CancellationToken& cancel) const {
   const int32_t n = data.num_variables();
+  telemetry::Span span("pc");
+  span.AddArg("num_variables", static_cast<int64_t>(n));
   PcResult result;
   result.cpdag = Pdag::CompleteUndirected(n);
   GSquareTest test(&data, options_.ci_options);
@@ -63,6 +66,14 @@ Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
     // independent of edge-processing order.
     std::vector<std::vector<int32_t>> frozen_adj(static_cast<size_t>(n));
     for (int32_t u = 0; u < n; ++u) frozen_adj[static_cast<size_t>(u)] = g.AdjacentNodes(u);
+
+    // Per-level CI-test counter. The name is dynamic, so resolve it once per
+    // level instead of going through the macro's per-site cache.
+    telemetry::Counter* level_counter =
+        telemetry::MetricsEnabled()
+            ? telemetry::MetricsRegistry::Instance().GetCounter(
+                  "pc.level" + std::to_string(level) + ".ci_tests")
+            : nullptr;
 
     bool any_testable = false;
     std::vector<std::pair<int32_t, int32_t>> to_remove;
@@ -84,7 +95,12 @@ Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
                 return true;  // Break out of the subset enumeration.
               }
               CiResult ci = test.Test(u, v, subset);
-              if (!ci.reliable) ++result.num_unreliable_tests;
+              GUARDRAIL_COUNTER_INC("pc.ci_tests_total");
+              if (level_counter != nullptr) level_counter->Increment();
+              if (!ci.reliable) {
+                ++result.num_unreliable_tests;
+                GUARDRAIL_COUNTER_INC("pc.unreliable_tests_total");
+              }
               if (ci.independent) {
                 auto key = std::minmax(u, v);
                 result.sepsets[{key.first, key.second}] = subset;
@@ -118,6 +134,7 @@ Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
         // Orient into a collider, but never reverse an existing orientation.
         if (g.HasUndirectedEdge(u, w)) g.Orient(u, w);
         if (g.HasUndirectedEdge(v, w)) g.Orient(v, w);
+        GUARDRAIL_COUNTER_INC("pc.v_structures_oriented");
       }
     }
   }
@@ -126,6 +143,8 @@ Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
   ApplyMeekRules(&g);
 
   result.num_ci_tests = test.num_tests_run();
+  span.AddArg("ci_tests", result.num_ci_tests);
+  span.AddArg("unreliable_tests", result.num_unreliable_tests);
   return result;
 }
 

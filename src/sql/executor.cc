@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/telemetry/telemetry.h"
 #include "common/timer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -140,7 +141,10 @@ class Evaluator {
         StopWatch watch;
         Result<Row> processed =
             exec_->guard_->ProcessRow(raw_row_, exec_->guard_policy_);
-        exec_->stats_.guard_seconds += watch.ElapsedSeconds();
+        double guard_seconds = watch.ElapsedSeconds();
+        exec_->stats_.guard_seconds += guard_seconds;
+        GUARDRAIL_COUNTER_ADD("sql.guard_micros",
+                              static_cast<int64_t>(guard_seconds * 1e6));
         if (!processed.ok()) return processed.status();
         if (!(processed.value() == raw_row_)) {
           ++exec_->stats_.rows_guard_flagged;
@@ -241,8 +245,12 @@ class Evaluator {
       GUARDRAIL_ASSIGN_OR_RETURN(Row input, GuardedRow());
       StopWatch watch;
       ValueId label = model->Predict(input);
-      exec_->stats_.inference_seconds += watch.ElapsedSeconds();
+      double inference_seconds = watch.ElapsedSeconds();
+      exec_->stats_.inference_seconds += inference_seconds;
+      GUARDRAIL_COUNTER_ADD("sql.inference_micros",
+                            static_cast<int64_t>(inference_seconds * 1e6));
       ++exec_->stats_.predictions_made;
+      GUARDRAIL_COUNTER_INC("sql.predictions");
       if (label == kNullValue) return SqlValue::MakeNull();
       return SqlValue::String(
           table_->schema().attribute(model->label_column()).label(label));
@@ -289,6 +297,11 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
     return Status::NotFound("unregistered table '" + stmt.table_name + "'");
   }
   const Table* table = table_it->second;
+  telemetry::Span span("sql.execute");
+  span.AddArg("table", stmt.table_name);
+  // The guard and model calls inside the scan are O(columns) each, so a
+  // small stride keeps expiry latency low at negligible polling cost.
+  DeadlineChecker deadline(&cancel_, /*stride=*/32);
 
   // Column headers.
   QueryResult result;
@@ -312,7 +325,9 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
   if (!has_aggregates) {
     // Plain scan-filter-project.
     for (RowIndex r = 0; r < table->num_rows(); ++r) {
+      GUARDRAIL_RETURN_NOT_OK(deadline.Check("sql scan"));
       ++stats_.rows_scanned;
+      GUARDRAIL_COUNTER_INC("sql.rows_scanned");
       eval.BeginRow(r);
       bool pass = true;
       for (const Expr* conjunct : filter.base_conjuncts) {
@@ -364,7 +379,9 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
   std::map<std::string, Group> groups;
 
   for (RowIndex r = 0; r < table->num_rows(); ++r) {
+    GUARDRAIL_RETURN_NOT_OK(deadline.Check("sql aggregation scan"));
     ++stats_.rows_scanned;
+    GUARDRAIL_COUNTER_INC("sql.rows_scanned");
     eval.BeginRow(r);
     bool pass = true;
     for (const Expr* conjunct : filter.base_conjuncts) {

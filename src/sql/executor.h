@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/guard.h"
 #include "ml/model.h"
@@ -57,6 +58,13 @@ class Executor {
   /// `policy` before any model sees it. Pass nullptr to disable.
   void SetGuard(const core::Guard* guard, core::ErrorPolicy policy);
 
+  /// Installs a cancellation token honored by subsequent Execute calls: the
+  /// scan checks it per row (amortized) and returns Status::Timeout when it
+  /// fires. Defaults to never-cancelled.
+  void SetCancellation(CancellationToken cancel) {
+    cancel_ = std::move(cancel);
+  }
+
   /// Parses and executes `sql`.
   Result<QueryResult> Execute(std::string_view sql);
   Result<QueryResult> Execute(const SelectStatement& stmt);
@@ -72,6 +80,7 @@ class Executor {
   std::unordered_map<std::string, const ml::Model*> models_;
   const core::Guard* guard_ = nullptr;
   core::ErrorPolicy guard_policy_ = core::ErrorPolicy::kIgnore;
+  CancellationToken cancel_ = CancellationToken::Never();
   ExecStats stats_;
 };
 

@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "baselines/optsmt.h"
+#include "baselines/tane.h"
 #include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/telemetry/telemetry.h"
 #include "core/ast.h"
 #include "core/guard.h"
 #include "core/serialization.h"
@@ -461,6 +464,74 @@ TEST(ChaosTest, RandomizedFailpointAndDeadlineCombinations) {
   EXPECT_GT(completed, 0);
   EXPECT_GT(failed, 0);
   EXPECT_GT(registry.trips_fired(), trips_before);
+}
+
+// -------------------------------------------- Failpoint observability --
+
+// Every injected fault must be visible in the structured log as a WARN
+// event naming the failpoint — operators diagnosing a chaos run grep for
+// `point=` rather than reverse-engineering error propagation.
+TEST(FailpointTest, TripsEmitWarnLogEventsNamingThePoint) {
+  std::vector<telemetry::LogRecord> captured;
+  telemetry::SetLogSink(
+      [&captured](const telemetry::LogRecord& r) { captured.push_back(r); });
+  {
+    ScopedFailpoint fp("test.logged_point", 1.0, StatusCode::kIoError);
+    EXPECT_FALSE(FailpointTrip("test.logged_point").ok());
+  }
+  telemetry::SetLogSink(nullptr);
+  bool found = false;
+  for (const telemetry::LogRecord& r : captured) {
+    if (r.level != telemetry::LogLevel::kWarn) continue;
+    for (const auto& [key, value] : r.fields) {
+      if (key == "point" && value == "test.logged_point") found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no WARN log event named the tripped failpoint";
+}
+
+TEST(FailpointTest, UntrippedPointsLogNothing) {
+  std::vector<telemetry::LogRecord> captured;
+  telemetry::SetLogSink(
+      [&captured](const telemetry::LogRecord& r) { captured.push_back(r); });
+  {
+    ScopedFailpoint fp("test.silent_point", 0.0);
+    EXPECT_TRUE(FailpointTrip("test.silent_point").ok());
+  }
+  telemetry::SetLogSink(nullptr);
+  for (const telemetry::LogRecord& r : captured) {
+    for (const auto& [key, value] : r.fields) {
+      EXPECT_FALSE(key == "point" && value == "test.silent_point");
+    }
+  }
+}
+
+// -------------------------------------- Baseline/SQL cancellation --
+
+TEST(BaselineCancellationTest, TaneHonorsExpiredBudget) {
+  DatasetBundle bundle = DatasetRepository::Build(2, /*row_limit=*/400);
+  baselines::Tane tane({});
+  auto unlimited = tane.Discover(bundle.clean, CancellationToken::Never());
+  ASSERT_TRUE(unlimited.ok());
+  auto cancelled = tane.Discover(bundle.clean,
+                                 CancellationToken::WithBudgetMillis(0));
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kTimeout);
+  // The plain overload is the cancellable one with an infinite budget.
+  auto plain = tane.Discover(bundle.clean);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->size(), unlimited->size());
+}
+
+TEST(BaselineCancellationTest, OptSmtStopsWithTimedOutOnCancel) {
+  DatasetBundle bundle = DatasetRepository::Build(2, /*row_limit=*/400);
+  baselines::OptSmtSynthesizer::Options options;
+  options.cancel = CancellationToken::WithBudgetMillis(0);
+  baselines::OptSmtSynthesizer synthesizer(options);
+  // Anytime semantics: an expired token stops the search early with
+  // timed_out = true rather than erroring out.
+  auto result = synthesizer.Synthesize(bundle.clean);
+  EXPECT_TRUE(result.timed_out);
 }
 
 }  // namespace

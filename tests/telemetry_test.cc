@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/telemetry/telemetry.h"
+
+// Tests for the telemetry subsystem (docs/OBSERVABILITY.md): counters and
+// histograms, the span trace buffer, structured logging, and the JSON
+// exporters. The exported documents are validated with a small in-test JSON
+// syntax checker so the suite stays dependency-free.
+
+namespace guardrail {
+namespace telemetry {
+namespace {
+
+// --------------------------------------------------- minimal JSON checker --
+// Recursive-descent syntax validator for RFC 8259 JSON. Accepts exactly one
+// top-level value; returns false on any syntax error or trailing garbage.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !IsHex(text_[pos_])) return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!IsDigit(Peek())) return false;
+    while (IsDigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsHex(char c) {
+    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetAllForTest(); }
+  void TearDown() override { ResetAllForTest(); }
+};
+
+// ---------------------------------------------------------------- metrics --
+
+TEST_F(TelemetryTest, CounterStartsAtZeroAndAccumulates) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("test.counter");
+  EXPECT_EQ(c->Value(), 0);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42);
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.counter"), 42);
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.never_touched"), 0);
+}
+
+TEST_F(TelemetryTest, RegistryReturnsStablePointers) {
+  Counter* a = MetricsRegistry::Instance().GetCounter("test.stable");
+  Counter* b = MetricsRegistry::Instance().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  MetricsRegistry::Instance().ResetAll();
+  EXPECT_EQ(b->Value(), 0);  // Reset zeroes, never invalidates.
+}
+
+TEST_F(TelemetryTest, ConcurrentIncrementsLoseNoUpdates) {
+  EnableMetrics(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        GUARDRAIL_COUNTER_INC("test.concurrent");
+        GUARDRAIL_HISTOGRAM_RECORD("test.concurrent_hist", i % 8);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.concurrent"),
+            int64_t{kThreads} * kPerThread);
+  Histogram* h =
+      MetricsRegistry::Instance().GetHistogram("test.concurrent_hist");
+  EXPECT_EQ(h->count(), int64_t{kThreads} * kPerThread);
+}
+
+TEST_F(TelemetryTest, MacrosAreInertWhileMetricsDisabled) {
+  ASSERT_FALSE(MetricsEnabled());
+  GUARDRAIL_COUNTER_INC("test.disabled");
+  GUARDRAIL_HISTOGRAM_RECORD("test.disabled_hist", 3);
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.disabled"), 0);
+  // The name must not even have been registered: the macro body never runs.
+  for (const std::string& name : MetricsRegistry::Instance().CounterNames()) {
+    EXPECT_NE(name, "test.disabled");
+  }
+}
+
+TEST_F(TelemetryTest, DisabledMacroCostIsBounded) {
+  // The disabled path is one relaxed load + branch; 10M iterations should be
+  // far under a second on any hardware. A generous bound keeps this
+  // deterministic while still catching an accidental mutex or allocation on
+  // the disabled path (which would be ~100x slower).
+  ASSERT_FALSE(MetricsEnabled());
+  constexpr int64_t kIters = 10'000'000;
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < kIters; ++i) {
+    GUARDRAIL_COUNTER_INC("test.overhead_probe");
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 2.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsPowersOfTwo) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram("test.hist");
+  h->Record(0);   // bucket 0 (bound 1)
+  h->Record(1);   // bucket 0
+  h->Record(2);   // bucket 1 (bound 2)
+  h->Record(3);   // bucket 2 (bound 4)
+  h->Record(100);  // bucket 7 (bound 128)
+  EXPECT_EQ(h->count(), 5);
+  EXPECT_EQ(h->sum(), 106);
+  EXPECT_EQ(h->bucket(0), 2);
+  EXPECT_EQ(h->bucket(1), 1);
+  EXPECT_EQ(h->bucket(2), 1);
+  EXPECT_EQ(h->bucket(7), 1);
+  EXPECT_EQ(Histogram::BucketBound(3), 8);
+}
+
+TEST_F(TelemetryTest, MetricsJsonIsValid) {
+  EnableMetrics(true);
+  GUARDRAIL_COUNTER_ADD("test.json_counter", 5);
+  GUARDRAIL_HISTOGRAM_RECORD("test.json_hist", 9);
+  std::string json = MetricsRegistry::Instance().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"test.json_counter\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------------ spans --
+
+TEST_F(TelemetryTest, SpanNestingIsWellFormed) {
+  EnableTracing(true);
+  {
+    Span outer("outer");
+    outer.AddArg("k", std::string_view("v"));
+    {
+      Span inner("inner");
+      inner.AddArg("n", int64_t{7});
+    }
+    { Span sibling("sibling"); }
+  }
+  std::vector<TraceEventRecord> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 6u);
+  // Same thread throughout, so B/E must pair LIFO like a balanced bracket
+  // sequence — this is exactly what Perfetto requires to build the tree.
+  std::vector<std::string> stack;
+  for (const TraceEventRecord& e : events) {
+    EXPECT_EQ(e.tid, events[0].tid);
+    if (e.phase == 'B') {
+      stack.emplace_back(e.name);
+    } else {
+      ASSERT_EQ(e.phase, 'E');
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  // End events carry the attached args.
+  EXPECT_NE(events[2].args_json.find("\"n\": 7"), std::string::npos);
+  // Timestamps are monotone non-decreasing within the thread.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_micros, events[i - 1].ts_micros);
+  }
+}
+
+TEST_F(TelemetryTest, SpanFeedsDurationCounters) {
+  EnableMetrics(true);
+  { Span span("unit_test_stage"); }
+  { Span span("unit_test_stage"); }
+  EXPECT_EQ(
+      MetricsRegistry::Instance().CounterValue("span.unit_test_stage.count"),
+      2);
+  EXPECT_GE(
+      MetricsRegistry::Instance().CounterValue("span.unit_test_stage.micros"),
+      0);
+}
+
+TEST_F(TelemetryTest, SpanElapsedSecondsRespectsAlwaysTime) {
+  ASSERT_FALSE(TracingEnabled());
+  Span untimed("untimed");
+  EXPECT_EQ(untimed.ElapsedSeconds(), 0.0);
+  Span timed("timed", /*always_time=*/true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(timed.ElapsedSeconds(), 0.0);
+  // always_time does not write trace events while tracing is off.
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+}
+
+TEST_F(TelemetryTest, InstantEventsAppearInTrace) {
+  EnableTracing(true);
+  InstantEvent("something_happened", "\"why\": \"testing\"");
+  std::vector<TraceEventRecord> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_STREQ(events[0].name, "something_happened");
+}
+
+TEST_F(TelemetryTest, TraceJsonIsValidChromeFormat) {
+  EnableTracing(true);
+  {
+    Span outer("pipeline");
+    outer.AddArg("quoted", std::string_view("needs \"escaping\"\n"));
+    { Span inner("stage"); }
+    InstantEvent("marker");
+  }
+  std::string json = TraceToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SpansFromMultipleThreadsKeepDistinctTids) {
+  EnableTracing(true);
+  std::thread a([] { Span s("thread_a"); });
+  std::thread b([] { Span s("thread_b"); });
+  a.join();
+  b.join();
+  std::vector<TraceEventRecord> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 4u);
+  uint32_t tid_a = 0, tid_b = 0;
+  for (const TraceEventRecord& e : events) {
+    if (std::string_view(e.name) == "thread_a") tid_a = e.tid;
+    if (std::string_view(e.name) == "thread_b") tid_b = e.tid;
+  }
+  EXPECT_NE(tid_a, tid_b);
+}
+
+// ------------------------------------------------------------ JSON escape --
+
+TEST_F(TelemetryTest, AppendJsonEscapedHandlesSpecials) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\nd\te\x01" "f", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+  std::string quoted = "\"" + out + "\"";
+  EXPECT_TRUE(JsonChecker(quoted).Valid()) << quoted;
+}
+
+// ---------------------------------------------------------------- logging --
+
+TEST_F(TelemetryTest, LogSinkReceivesStructuredFields) {
+  std::vector<LogRecord> captured;
+  SetLogSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  GUARDRAIL_LOG(WARN) << "something broke" << Kv("point", "pc.level0")
+                      << Kv("count", 3);
+  SetLogSink(nullptr);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].message, "something broke");
+  ASSERT_EQ(captured[0].fields.size(), 2u);
+  EXPECT_EQ(captured[0].fields[0].first, "point");
+  EXPECT_EQ(captured[0].fields[0].second, "pc.level0");
+  EXPECT_EQ(captured[0].fields[1].second, "3");
+}
+
+TEST_F(TelemetryTest, LogLevelThresholdFilters) {
+  std::vector<LogRecord> captured;
+  SetLogSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  SetLogLevel(LogLevel::kWarn);
+  GUARDRAIL_LOG(DEBUG) << "hidden";
+  GUARDRAIL_LOG(INFO) << "hidden too";
+  GUARDRAIL_LOG(ERROR) << "visible";
+  SetLogLevel(LogLevel::kOff);
+  GUARDRAIL_LOG(ERROR) << "silenced";
+  SetLogSink(nullptr);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].message, "visible");
+}
+
+TEST_F(TelemetryTest, LogLineRenderingQuotesWhereNeeded) {
+  LogRecord record;
+  record.level = LogLevel::kWarn;
+  record.file = "some/dir/file.cc";
+  record.line = 42;
+  record.message = "bad thing";
+  record.fields = {{"stage", "pc"}, {"detail", "has spaces"}};
+  std::string line = record.ToLine();
+  EXPECT_NE(line.find("level=WARN"), std::string::npos) << line;
+  EXPECT_NE(line.find("src=file.cc:42"), std::string::npos) << line;
+  EXPECT_NE(line.find("msg=\"bad thing\""), std::string::npos) << line;
+  EXPECT_NE(line.find("stage=pc"), std::string::npos) << line;
+  EXPECT_NE(line.find("detail=\"has spaces\""), std::string::npos) << line;
+}
+
+TEST_F(TelemetryTest, ParseLogLevelAcceptsAliases) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace guardrail

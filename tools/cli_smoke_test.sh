@@ -60,4 +60,30 @@ grep -q "degraded to rung" "$DIR/synth_zero.log"
 "$BIN" profile "$DIR/data.csv" | grep -q "card=3"
 "$BIN" query "$DIR/data.csv" "SELECT city, COUNT(*) AS n FROM t GROUP BY city ORDER BY n DESC, city LIMIT 1" | grep -q "Berkeley | 6"
 "$BIN" explain "SELECT a FROM t WHERE ML_PREDICT('m')='x' AND a='y'" | grep -q "Filter\[pre-inference\]"
+
+# Telemetry export: --trace-out / --metrics-out produce valid JSON
+# (docs/OBSERVABILITY.md) and the trace contains the nested pipeline spans.
+"$BIN" synthesize "$DIR/data.csv" "$DIR/prog_tel.grl" 0.01 \
+  --trace-out="$DIR/trace.json" --metrics-out="$DIR/metrics.json" \
+  --log-level=warn > "$DIR/synth_tel.log"
+python3 -m json.tool "$DIR/trace.json" > /dev/null
+python3 -m json.tool "$DIR/metrics.json" > /dev/null
+grep -q '"name": "synthesize"' "$DIR/trace.json"
+grep -q '"name": "pc"' "$DIR/trace.json"
+grep -q '"name": "sketch_fill"' "$DIR/trace.json"
+# PC must have run real CI tests on this input; the cache counters must at
+# least be present (hits can legitimately be zero on a tiny MEC).
+grep -q '"pc.ci_tests_total": [1-9]' "$DIR/metrics.json"
+grep -q '"sketch_filler.cache_misses"' "$DIR/metrics.json"
+grep -q '"sketch_filler.cache_hits"' "$DIR/metrics.json"
+# A query run exports sql.rows_scanned.
+"$BIN" query "$DIR/data.csv" "SELECT COUNT(*) AS n FROM t" \
+  --metrics-out="$DIR/qmetrics.json" > /dev/null
+python3 -m json.tool "$DIR/qmetrics.json" > /dev/null
+grep -q '"sql.rows_scanned": 16' "$DIR/qmetrics.json"
+# An unknown log level is a usage error.
+if "$BIN" profile "$DIR/data.csv" --log-level=shouty > /dev/null 2>&1; then
+  echo "expected usage failure for bad log level" >&2
+  exit 1
+fi
 echo "cli smoke OK"

@@ -16,6 +16,13 @@
 //       Run a SQL query against the CSV (table name: t).
 //   guardrail explain "<SELECT ...>"
 //       Show the physical plan, including the predicate-pushdown split.
+//
+// Global flags (any command):
+//   --trace-out=FILE    Write a Chrome trace_event JSON timeline of the run
+//                       (load in chrome://tracing or https://ui.perfetto.dev).
+//   --metrics-out=FILE  Write all telemetry counters/histograms as JSON.
+//   --log-level=LEVEL   debug|info|warn|error|off (default warn; the
+//                       GUARDRAIL_LOG_LEVEL env var is the fallback).
 
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +33,7 @@
 
 #include "common/deadline.h"
 #include "common/string_util.h"
+#include "common/telemetry/telemetry.h"
 #include "core/guard.h"
 #include "core/normalize.h"
 #include "core/printer.h"
@@ -166,11 +174,16 @@ int CmdProfile(const std::string& data_path) {
   return 0;
 }
 
-int CmdQuery(const std::string& data_path, const std::string& sql) {
+int CmdQuery(const std::string& data_path, const std::string& sql,
+             int64_t time_budget_ms) {
   auto table = LoadCsvTable(data_path);
   if (!table.ok()) return Fail(table.status());
   sql::Executor executor;
   executor.RegisterTable("t", &*table);
+  if (time_budget_ms >= 0) {
+    executor.SetCancellation(
+        CancellationToken::WithBudgetMillis(time_budget_ms));
+  }
   auto result = executor.Execute(sql);
   if (!result.ok()) return Fail(result.status());
   std::fputs(result->ToString().c_str(), stdout);
@@ -193,20 +206,34 @@ int Usage() {
                "  guardrail check <program.grl> <data.csv>\n"
                "  guardrail repair <program.grl> <in.csv> <out.csv>\n"
                "  guardrail profile <data.csv>\n"
-               "  guardrail query <data.csv> \"<SELECT ...>\"\n"
-               "  guardrail explain \"<SELECT ...>\"\n");
+               "  guardrail query <data.csv> \"<SELECT ...>\""
+               " [--time-budget-ms=N]\n"
+               "  guardrail explain \"<SELECT ...>\"\n"
+               "global flags:\n"
+               "  --trace-out=FILE    write a Chrome trace_event JSON timeline"
+               " (chrome://tracing, Perfetto)\n"
+               "  --metrics-out=FILE  write telemetry counters/histograms as"
+               " JSON\n"
+               "  --log-level=LEVEL   debug|info|warn|error|off (default"
+               " warn)\n");
   return 1;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  // Extract long options (currently just --time-budget-ms) so flag order is
-  // free and the positional grammar below stays unchanged.
+  telemetry::InitLogLevelFromEnv();
+  // Extract long options so flag order is free and the positional grammar
+  // below stays unchanged.
   int64_t time_budget_ms = -1;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     constexpr std::string_view kBudget = "--time-budget-ms=";
+    constexpr std::string_view kTraceOut = "--trace-out=";
+    constexpr std::string_view kMetricsOut = "--metrics-out=";
+    constexpr std::string_view kLogLevel = "--log-level=";
     if (arg.rfind(kBudget, 0) == 0) {
       double ms = 0;
       if (!ParseDouble(arg.substr(kBudget.size()), &ms) || ms < 0) {
@@ -215,24 +242,62 @@ int Main(int argc, char** argv) {
       time_budget_ms = static_cast<int64_t>(ms);
       continue;
     }
+    if (arg.rfind(kTraceOut, 0) == 0) {
+      trace_out = std::string(arg.substr(kTraceOut.size()));
+      if (trace_out.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kMetricsOut, 0) == 0) {
+      metrics_out = std::string(arg.substr(kMetricsOut.size()));
+      if (metrics_out.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kLogLevel, 0) == 0) {
+      telemetry::LogLevel level;
+      if (!telemetry::ParseLogLevel(arg.substr(kLogLevel.size()), &level)) {
+        return Usage();
+      }
+      telemetry::SetLogLevel(level);
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) return Usage();
     args.emplace_back(arg);
   }
+  if (!trace_out.empty()) telemetry::EnableTracing(true);
+  if (!metrics_out.empty()) telemetry::EnableMetrics(true);
+
   size_t n = args.size();
   std::string command = n > 0 ? args[0] : "";
+  int rc;
   if (command == "synthesize" && (n == 3 || n == 4)) {
     double epsilon = 0.02;
     if (n == 4 && !ParseDouble(args[3], &epsilon)) return Usage();
-    return CmdSynthesize(args[1], args[2], epsilon, time_budget_ms);
+    rc = CmdSynthesize(args[1], args[2], epsilon, time_budget_ms);
+  } else if (command == "check" && n == 3) {
+    rc = CmdCheck(args[1], args[2]);
+  } else if (command == "repair" && n == 4) {
+    rc = CmdRepair(args[1], args[2], args[3]);
+  } else if (command == "profile" && n == 2) {
+    rc = CmdProfile(args[1]);
+  } else if (command == "query" && n == 3) {
+    rc = CmdQuery(args[1], args[2], time_budget_ms);
+  } else if (command == "explain" && n == 2) {
+    rc = CmdExplain(args[1]);
+  } else {
+    return Usage();
   }
-  if (command == "check" && n == 3) return CmdCheck(args[1], args[2]);
-  if (command == "repair" && n == 4) {
-    return CmdRepair(args[1], args[2], args[3]);
+
+  // Telemetry files are written even when the command failed — a failing run
+  // is exactly when the trace is most interesting.
+  if (!trace_out.empty()) {
+    Status st = telemetry::WriteTrace(trace_out);
+    if (!st.ok()) return Fail(st);
   }
-  if (command == "profile" && n == 2) return CmdProfile(args[1]);
-  if (command == "query" && n == 3) return CmdQuery(args[1], args[2]);
-  if (command == "explain" && n == 2) return CmdExplain(args[1]);
-  return Usage();
+  if (!metrics_out.empty()) {
+    Status st = telemetry::WriteMetrics(metrics_out);
+    if (!st.ok()) return Fail(st);
+  }
+  return rc;
 }
 
 }  // namespace
