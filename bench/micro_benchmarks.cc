@@ -80,6 +80,39 @@ void BM_GSquareTest(benchmark::State& state) {
 }
 BENCHMARK(BM_GSquareTest)->Arg(1000)->Arg(10000);
 
+// Dense-vs-hash CI-kernel ablation: the same G² test with the dense strata
+// array (small conditioning-set cardinality products index a flat counts
+// buffer) against the hash-map fallback (max_dense_cells = 0 disables the
+// dense gate). The two paths produce identical verdicts; the delta is pure
+// kernel cost. range(0) is the conditioning-set size.
+void BM_GSquareKernel(benchmark::State& state, int64_t max_dense_cells) {
+  Table data = MakeBenchTable(8, 20000);
+  pgm::EncodedData encoded = pgm::EncodeIdentity(data);
+  pgm::GSquareTest::Options options;
+  options.max_dense_cells = max_dense_cells;
+  pgm::GSquareTest test(&encoded, options);
+  std::vector<int32_t> cond;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cond.push_back(static_cast<int32_t>(2 + i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test.Test(0, 1, cond));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+
+void BM_GSquareKernelDense(benchmark::State& state) {
+  BM_GSquareKernel(state, /*max_dense_cells=*/int64_t{1} << 20);
+  state.SetLabel("dense");
+}
+BENCHMARK(BM_GSquareKernelDense)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GSquareKernelHash(benchmark::State& state) {
+  BM_GSquareKernel(state, /*max_dense_cells=*/0);
+  state.SetLabel("hash");
+}
+BENCHMARK(BM_GSquareKernelHash)->Arg(1)->Arg(2)->Arg(3);
+
 void BM_AuxiliarySampling(benchmark::State& state) {
   Table data = MakeBenchTable(10, state.range(0));
   pgm::AuxiliarySamplerOptions opt;

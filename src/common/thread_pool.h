@@ -1,0 +1,120 @@
+#ifndef GUARDRAIL_COMMON_THREAD_POOL_H_
+#define GUARDRAIL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace guardrail {
+
+/// A fixed-size pool of workers with per-worker task deques and work
+/// stealing: a worker drains its own deque front-first and, when empty,
+/// steals from the back of a sibling's deque. Submission round-robins across
+/// deques so independent call sites spread naturally; stealing rebalances
+/// when task costs are skewed.
+///
+/// The pool is a pure executor — it never blocks a caller. Fork/join
+/// parallelism is layered on top by ParallelFor, whose calling thread
+/// participates in the loop body, so nesting a ParallelFor inside a pool
+/// task cannot deadlock even when every worker is busy: the caller simply
+/// runs all chunks itself.
+///
+/// Destruction drains every queued task before joining the workers, so a
+/// submitted task always runs exactly once.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` workers (0 is valid: Submit still accepts tasks,
+  /// they are executed by the destructor's drain or by ParallelFor callers).
+  explicit ThreadPool(int num_workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for asynchronous execution. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Default worker parallelism for this process: the GUARDRAIL_THREADS
+  /// environment variable when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  static int DefaultThreads();
+
+  /// The process-wide pool shared by the synthesis pipeline. Created on
+  /// first use with DefaultThreads() - 1 workers (ParallelFor callers
+  /// participate, so k workers give k+1-way parallelism).
+  static ThreadPool& Shared();
+
+  /// Resizes the shared pool to `num_workers` (recreating it if it already
+  /// exists with a different size). Call before or between pipeline runs,
+  /// not concurrently with them.
+  static void SetSharedWorkers(int num_workers);
+
+ private:
+  void WorkerLoop(size_t worker_index);
+
+  /// Pops a task for `worker_index`, preferring its own deque and stealing
+  /// from siblings otherwise. Requires mu_ held. Returns false if every
+  /// deque is empty.
+  bool NextTask(size_t worker_index, std::function<void()>* task);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t next_queue_ = 0;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+};
+
+/// Effective parallelism for a component-level `num_threads` option:
+/// positive values are taken literally, 0 (the "default" sentinel) resolves
+/// to ThreadPool::DefaultThreads().
+int ResolveThreads(int num_threads);
+
+struct ParallelForOptions {
+  /// Maximum concurrent executors including the calling thread; <= 0 means
+  /// pool workers + 1. The value never changes the result, only the
+  /// schedule: with max_parallelism 1 (or an empty pool) the loop runs
+  /// inline on the caller.
+  int max_parallelism = 0;
+  /// Lower bound on items per scheduling chunk, for bodies so cheap that
+  /// per-item dispatch would dominate.
+  int64_t min_items_per_chunk = 1;
+  /// Cooperative cancellation: polled amortized between loop iterations by
+  /// every executor. Once observed, no further bodies start and ParallelFor
+  /// returns the token's timeout status.
+  const CancellationToken* cancel = nullptr;
+  /// How many iterations may run between cancellation polls.
+  uint32_t cancel_stride = 64;
+};
+
+/// Runs body(i) for every i in [0, num_items), distributing contiguous
+/// chunks over the calling thread plus up to max_parallelism - 1 pool
+/// workers. Determinism contract: the set of (i -> body(i)) executions is
+/// independent of thread count and scheduling; bodies communicate results
+/// only through their own index-i slot in caller-owned storage, so any
+/// thread count yields bit-identical output. Bodies for distinct i run
+/// concurrently and must not touch shared mutable state without their own
+/// synchronization.
+///
+/// Returns OK after all bodies ran; on cancellation, skips remaining bodies
+/// (already-started chunks stop at the next poll) and returns the token's
+/// Status::Timeout. The caller must then treat result slots as
+/// partially-filled.
+Status ParallelFor(ThreadPool* pool, int64_t num_items,
+                   const std::function<void(int64_t)>& body,
+                   const ParallelForOptions& options = ParallelForOptions());
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_THREAD_POOL_H_

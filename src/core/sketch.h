@@ -1,6 +1,8 @@
 #ifndef GUARDRAIL_CORE_SKETCH_H_
 #define GUARDRAIL_CORE_SKETCH_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,22 @@ struct StatementSketch {
   bool operator<(const StatementSketch& other) const {
     if (dependent != other.dependent) return dependent < other.dependent;
     return determinants < other.determinants;
+  }
+};
+
+/// FNV-1a over (dependent, determinants) — the statement cache's key hash.
+/// Usable as the Hash template argument of unordered containers.
+struct StatementSketchHash {
+  size_t operator()(const StatementSketch& sketch) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      h = (h ^ v) * 1099511628211ULL;
+    };
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(sketch.dependent)));
+    for (AttrIndex a : sketch.determinants) {
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(a)) + 1);
+    }
+    return static_cast<size_t>(h);
   }
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/telemetry/metrics.h"
+#include "common/thread_pool.h"
 
 namespace guardrail {
 namespace core {
@@ -21,40 +22,22 @@ struct ConditionGroup {
   int64_t support = 0;
 };
 
-}  // namespace
+/// Rows per scan shard. The shard count is a pure function of the row count
+/// (never of the thread count), so the shard-merge order — and with it the
+/// grouped result — is identical whether 1 or 16 threads execute the scan.
+constexpr int64_t kFillShardRows = 8192;
 
-std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
-                                             const Table& data,
-                                             const FillOptions& options) {
-  Result<std::optional<Statement>> filled =
-      FillStatementSketch(sketch, data, options, CancellationToken::Never());
-  // Infallible with an infinite budget.
-  return std::move(filled).value();
-}
-
-Result<std::optional<Statement>> FillStatementSketch(
-    const StatementSketch& sketch, const Table& data,
-    const FillOptions& options, const CancellationToken& cancel) {
-  GUARDRAIL_CHECK(!sketch.determinants.empty());
+/// Groups rows [begin, end) by their determinant combination into `groups`.
+/// Key material (radices / FNV overflow fallback) is precomputed by the
+/// caller and shared read-only across shards.
+Status ScanRowsIntoGroups(const StatementSketch& sketch, const Table& data,
+                          const std::vector<uint64_t>& radices, bool overflow,
+                          int64_t begin, int64_t end,
+                          const CancellationToken& cancel,
+                          std::unordered_map<uint64_t, ConditionGroup>* groups) {
   DeadlineChecker deadline(&cancel, /*stride=*/1024);
-  // One pass over the data groups rows by their determinant combination —
-  // this materializes exactly the warranted conditions comb(det) of
-  // Alg. 1 line 11 (the Cartesian product restricted to observed support).
-  std::unordered_map<uint64_t, ConditionGroup> groups;
-  std::vector<uint64_t> radices;
-  radices.reserve(sketch.determinants.size());
-  bool overflow = false;
-  uint64_t space = 1;
-  for (AttrIndex a : sketch.determinants) {
-    uint64_t card = static_cast<uint64_t>(
-        std::max(1, data.schema().attribute(a).domain_size()));
-    radices.push_back(card);
-    if (space > (1ULL << 62) / card) overflow = true;
-    space *= card;
-  }
-
   std::vector<ValueId> combo(sketch.determinants.size());
-  for (RowIndex r = 0; r < data.num_rows(); ++r) {
+  for (RowIndex r = begin; r < end; ++r) {
     GUARDRAIL_RETURN_NOT_OK(deadline.Check("sketch fill"));
     bool has_null = false;
     uint64_t key = overflow ? 1469598103934665603ULL : 0;
@@ -74,10 +57,90 @@ Result<std::optional<Statement>> FillStatementSketch(
     if (has_null) continue;
     ValueId dep = data.Get(r, sketch.dependent);
     if (dep == kNullValue) continue;
-    ConditionGroup& group = groups[key];
+    ConditionGroup& group = (*groups)[key];
     if (group.support == 0) group.determinant_values = combo;
     ++group.dependent_histogram[dep];
     ++group.support;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::optional<Statement> FillStatementSketch(const StatementSketch& sketch,
+                                             const Table& data,
+                                             const FillOptions& options) {
+  Result<std::optional<Statement>> filled =
+      FillStatementSketch(sketch, data, options, CancellationToken::Never());
+  // Infallible with an infinite budget.
+  return std::move(filled).value();
+}
+
+Result<std::optional<Statement>> FillStatementSketch(
+    const StatementSketch& sketch, const Table& data,
+    const FillOptions& options, const CancellationToken& cancel) {
+  GUARDRAIL_CHECK(!sketch.determinants.empty());
+  // One pass over the data groups rows by their determinant combination —
+  // this materializes exactly the warranted conditions comb(det) of
+  // Alg. 1 line 11 (the Cartesian product restricted to observed support).
+  std::vector<uint64_t> radices;
+  radices.reserve(sketch.determinants.size());
+  bool overflow = false;
+  uint64_t space = 1;
+  for (AttrIndex a : sketch.determinants) {
+    uint64_t card = static_cast<uint64_t>(
+        std::max(1, data.schema().attribute(a).domain_size()));
+    radices.push_back(card);
+    if (space > (1ULL << 62) / card) overflow = true;
+    space *= card;
+  }
+
+  const int64_t num_rows = data.num_rows();
+  const int64_t num_shards =
+      std::max<int64_t>(1, (num_rows + kFillShardRows - 1) / kFillShardRows);
+  std::unordered_map<uint64_t, ConditionGroup> groups;
+  const int parallelism = ResolveThreads(options.num_threads);
+  if (num_shards == 1 || parallelism <= 1) {
+    GUARDRAIL_RETURN_NOT_OK(ScanRowsIntoGroups(
+        sketch, data, radices, overflow, 0, num_rows, cancel, &groups));
+  } else {
+    // Sharded scan: each fixed row range groups into its own map, then the
+    // maps merge serially in shard order. Counts add commutatively, so the
+    // merged groups match the single-pass scan exactly.
+    std::vector<std::unordered_map<uint64_t, ConditionGroup>> shard_groups(
+        static_cast<size_t>(num_shards));
+    std::vector<Status> shard_status(static_cast<size_t>(num_shards),
+                                     Status::OK());
+    ParallelForOptions pf;
+    pf.max_parallelism = parallelism;
+    pf.cancel = &cancel;
+    Status pf_status = ParallelFor(
+        &ThreadPool::Shared(), num_shards,
+        [&](int64_t s) {
+          int64_t begin = s * kFillShardRows;
+          int64_t end = std::min(begin + kFillShardRows, num_rows);
+          shard_status[static_cast<size_t>(s)] = ScanRowsIntoGroups(
+              sketch, data, radices, overflow, begin, end, cancel,
+              &shard_groups[static_cast<size_t>(s)]);
+        },
+        pf);
+    GUARDRAIL_RETURN_NOT_OK(pf_status);
+    for (const Status& status : shard_status) {
+      GUARDRAIL_RETURN_NOT_OK(status);
+    }
+    for (auto& shard : shard_groups) {
+      for (auto& [key, src] : shard) {
+        ConditionGroup& dst = groups[key];
+        if (dst.support == 0) {
+          dst = std::move(src);
+          continue;
+        }
+        for (const auto& [value, count] : src.dependent_histogram) {
+          dst.dependent_histogram[value] += count;
+        }
+        dst.support += src.support;
+      }
+    }
   }
 
   // Order groups by descending support so the cap keeps the highest-impact

@@ -24,6 +24,12 @@ struct FillOptions {
   /// determinant values); statements with more distinct combinations are
   /// truncated to the most frequent ones.
   int64_t max_conditions_per_statement = 4096;
+  /// Parallelism for the row-grouping scan (0 = hardware concurrency via
+  /// ThreadPool::DefaultThreads(), 1 = serial). The scan is sharded into
+  /// fixed row ranges whose count depends only on the data size — never on
+  /// the thread count — and shard results merge by commutative count
+  /// addition, so the filled statement is identical for any setting.
+  int num_threads = 0;
 };
 
 /// Fills a single statement sketch (Alg. 1, FillStmtSketch): enumerates the

@@ -1,9 +1,16 @@
 #include "core/synthesizer.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "common/telemetry/telemetry.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/nontriviality.h"
@@ -16,36 +23,81 @@ namespace {
 
 /// Statement-level cache (Sec. 7): DAGs in one MEC share most parent sets,
 /// so FillStmtSketch results are memoized on (determinants, dependent).
+///
+/// Concurrency: lookups go through a mutex-striped shard table (the shard
+/// mutex guards only the hash map, never a fill), and each entry carries its
+/// own state machine so a statement shared by several concurrently-filling
+/// DAGs is filled exactly once — later callers block on the entry until the
+/// first fill lands, then read the memoized result.
 class StatementCache {
  public:
   /// nullptr means the sketch filled to bottom. Timeouts are propagated and
   /// never cached (the entry may still be fillable by a later caller with a
-  /// fresh budget).
+  /// fresh budget): a failed fill resets the entry and wakes one waiter to
+  /// retry.
   Result<const Statement*> GetOrFill(const StatementSketch& sketch,
                                      const Table& data,
                                      const FillOptions& options,
                                      const CancellationToken& cancel) {
-    auto it = cache_.find(sketch);
-    if (it != cache_.end()) {
-      ++hits_;
-      return it->second.has_value() ? &*it->second : nullptr;
+    Shard& shard =
+        shards_[StatementSketchHash()(sketch) % shards_.size()];
+    std::shared_ptr<Entry> entry;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      std::shared_ptr<Entry>& slot = shard.map[sketch];
+      if (slot == nullptr) slot = std::make_shared<Entry>();
+      entry = slot;
     }
-    GUARDRAIL_ASSIGN_OR_RETURN(std::optional<Statement> filled,
-                               FillStatementSketch(sketch, data, options,
-                                                   cancel));
-    ++misses_;
-    auto [pos, inserted] = cache_.emplace(sketch, std::move(filled));
-    (void)inserted;
-    return pos->second.has_value() ? &*pos->second : nullptr;
+
+    std::unique_lock<std::mutex> lock(entry->mu);
+    for (;;) {
+      if (entry->state == Entry::State::kDone) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry->value.has_value() ? &*entry->value : nullptr;
+      }
+      if (entry->state == Entry::State::kUnfilled) break;
+      entry->cv.wait(lock);
+    }
+    entry->state = Entry::State::kFilling;
+    lock.unlock();
+
+    Result<std::optional<Statement>> filled =
+        FillStatementSketch(sketch, data, options, cancel);
+
+    lock.lock();
+    if (!filled.ok()) {
+      entry->state = Entry::State::kUnfilled;
+      entry->cv.notify_all();
+      return filled.status();
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    entry->value = std::move(*filled);
+    entry->state = Entry::State::kDone;
+    entry->cv.notify_all();
+    return entry->value.has_value() ? &*entry->value : nullptr;
   }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  std::map<StatementSketch, std::optional<Statement>> cache_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  struct Entry {
+    enum class State { kUnfilled, kFilling, kDone };
+    std::mutex mu;
+    std::condition_variable cv;
+    State state = State::kUnfilled;
+    std::optional<Statement> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<StatementSketch, std::shared_ptr<Entry>,
+                       StatementSketchHash>
+        map;
+  };
+
+  std::array<Shard, 16> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 /// A token whose deadline spends at most `fraction` of what remains on
@@ -167,39 +219,69 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
   }
   report.num_dags_enumerated = static_cast<int64_t>(dags.size());
 
-  // Alg. 2: fill the sketch of each member DAG; keep max coverage.
+  // Alg. 2: fill the sketch of each member DAG; keep max coverage. The
+  // per-DAG fills run concurrently — the statement cache guarantees each
+  // shared statement is filled exactly once — and the winner is selected in
+  // a serial DAG-ordered pass, so the chosen program is identical for any
+  // thread count.
   telemetry::Span fill_span("sketch_fill", /*always_time=*/true);
   StatementCache cache;
+  struct DagFill {
+    bool attempted = false;
+    bool complete = false;
+    Program program;
+    ProgramSketch sketch;
+    double coverage = -1.0;
+  };
+  std::vector<DagFill> fills(dags.size());
+  {
+    ParallelForOptions pf;
+    pf.max_parallelism = ResolveThreads(options_.num_threads);
+    pf.cancel = &cancel;
+    // Bodies are whole-DAG fills (many row scans each); poll every body.
+    pf.cancel_stride = 1;
+    Status fill_status = ParallelFor(
+        &ThreadPool::Shared(), static_cast<int64_t>(dags.size()),
+        [&](int64_t i) {
+          DagFill& out = fills[static_cast<size_t>(i)];
+          out.attempted = true;
+          out.sketch = SketchFromDag(dags[static_cast<size_t>(i)]);
+          out.complete = true;
+          for (const auto& stmt_sketch : out.sketch.statements) {
+            Result<const Statement*> stmt =
+                cache.GetOrFill(stmt_sketch, data, options_.fill, cancel);
+            if (!stmt.ok()) {
+              out.complete = false;
+              return;
+            }
+            if (*stmt != nullptr) out.program.statements.push_back(**stmt);
+          }
+          out.coverage = ProgramCoverage(out.program, data);
+        },
+        pf);
+    // A cancelled loop is not an error here: cut-short DAGs surface as
+    // !attempted in the selection pass below.
+    (void)fill_status;
+  }
+
   Program best_program;
   ProgramSketch best_sketch;
   double best_coverage = -1.0;
   size_t dags_filled = 0;
   bool fill_cut_short = false;
-  for (const pgm::Dag& dag : dags) {
-    ProgramSketch sketch = SketchFromDag(dag);
-    Program program;
-    bool complete = true;
-    for (const auto& stmt_sketch : sketch.statements) {
-      Result<const Statement*> stmt =
-          cache.GetOrFill(stmt_sketch, data, options_.fill, cancel);
-      if (!stmt.ok()) {
-        complete = false;
-        break;
-      }
-      if (*stmt != nullptr) program.statements.push_back(**stmt);
-    }
-    if (!complete) {
+  for (DagFill& fill : fills) {
+    if (!fill.attempted || !fill.complete) {
       // A half-filled program would understate coverage; drop it and stop —
-      // the budget is gone.
+      // the budget is gone. (Later DAGs may have finished, but the serial
+      // ladder stops at the first casualty and so does this merge.)
       fill_cut_short = true;
       break;
     }
     ++dags_filled;
-    double coverage = ProgramCoverage(program, data);
-    if (coverage > best_coverage) {
-      best_coverage = coverage;
-      best_program = std::move(program);
-      best_sketch = std::move(sketch);
+    if (fill.coverage > best_coverage) {
+      best_coverage = fill.coverage;
+      best_program = std::move(fill.program);
+      best_sketch = std::move(fill.sketch);
     }
   }
   GUARDRAIL_COUNTER_ADD("sketch_filler.cache_hits", cache.hits());
@@ -239,14 +321,43 @@ Result<SynthesisReport> Synthesizer::FillSingleDag(
   report.num_dags_enumerated = 1;
   telemetry::Span fill_span("sketch_fill", /*always_time=*/true);
   ProgramSketch sketch = SketchFromDag(dag);
+  // Fill the statements concurrently into per-index slots, then assemble the
+  // program in sketch order — same bytes as the serial loop.
+  struct StmtFill {
+    bool attempted = false;
+    Status status = Status::OK();
+    std::optional<Statement> stmt;
+  };
+  std::vector<StmtFill> slots(sketch.statements.size());
+  ParallelForOptions pf;
+  pf.max_parallelism = ResolveThreads(options_.num_threads);
+  pf.cancel = &cancel;
+  pf.cancel_stride = 1;
+  Status pf_status = ParallelFor(
+      &ThreadPool::Shared(), static_cast<int64_t>(sketch.statements.size()),
+      [&](int64_t i) {
+        StmtFill& slot = slots[static_cast<size_t>(i)];
+        slot.attempted = true;
+        Result<std::optional<Statement>> filled = FillStatementSketch(
+            sketch.statements[static_cast<size_t>(i)], data, options_.fill,
+            cancel);
+        if (filled.ok()) {
+          slot.stmt = std::move(*filled);
+        } else {
+          slot.status = filled.status();
+        }
+      },
+      pf);
   Program program;
-  for (const auto& stmt_sketch : sketch.statements) {
-    GUARDRAIL_ASSIGN_OR_RETURN(
-        std::optional<Statement> stmt,
-        FillStatementSketch(stmt_sketch, data, options_.fill, cancel));
-    if (stmt.has_value()) program.statements.push_back(std::move(*stmt));
+  for (StmtFill& slot : slots) {
+    if (!slot.attempted) return cancel.CheckTimeout("sketch fill");
+    GUARDRAIL_RETURN_NOT_OK(slot.status);
+    if (slot.stmt.has_value()) {
+      program.statements.push_back(std::move(*slot.stmt));
+    }
     ++report.cache_misses;
   }
+  (void)pf_status;  // Skipped statements already reported per-slot above.
   GUARDRAIL_COUNTER_ADD("sketch_filler.cache_misses", report.cache_misses);
   report.fill_seconds = fill_span.ElapsedSeconds();
   report.coverage = ProgramCoverage(program, data);

@@ -36,6 +36,14 @@ enum class StructureMethod {
 struct SynthesisOptions {
   FillOptions fill;
   StructureMethod structure_method = StructureMethod::kPc;
+  /// Worker parallelism for the whole pipeline: PC's per-level CI tests, the
+  /// concurrent MEC sketch fill, and the row-grouping scans. 0 resolves to
+  /// ThreadPool::DefaultThreads() (hardware concurrency, or the
+  /// GUARDRAIL_THREADS env var); 1 runs fully serial. Forwarded to
+  /// pc.num_threads / fill.num_threads when those are left at their 0
+  /// default. The synthesized program is byte-identical for every setting
+  /// (see docs/PARALLELISM.md for the determinism argument).
+  int num_threads = 0;
   /// Learn the PGM on the auxiliary (binary indicator) sample instead of the
   /// raw data (Sec. 4.6); the Table 8 ablation flips this off.
   bool use_auxiliary_sampler = true;
@@ -135,7 +143,16 @@ struct SynthesisReport {
 /// sketch filling -> coverage-maximizing selection (Alg. 2).
 class Synthesizer {
  public:
-  explicit Synthesizer(SynthesisOptions options) : options_(options) {}
+  explicit Synthesizer(SynthesisOptions options) : options_(options) {
+    // Pipeline-wide parallelism flows into the stages that did not set
+    // their own (0 = "inherit").
+    if (options_.pc.num_threads == 0) {
+      options_.pc.num_threads = options_.num_threads;
+    }
+    if (options_.fill.num_threads == 0) {
+      options_.fill.num_threads = options_.num_threads;
+    }
+  }
 
   /// Synthesizes the integrity-constraint program from `data`. `rng` drives
   /// the auxiliary sampler's pairing shuffle only; with

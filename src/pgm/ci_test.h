@@ -1,6 +1,7 @@
 #ifndef GUARDRAIL_PGM_CI_TEST_H_
 #define GUARDRAIL_PGM_CI_TEST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct CiResult {
 
 /// G-squared (likelihood-ratio) conditional-independence test on categorical
 /// data, the standard test driving the PC algorithm.
+///
+/// Test() is safe to call concurrently from multiple threads on the same
+/// instance: the contingency scratch lives in thread-local storage (reused
+/// across calls, so the steady state allocates nothing) and the test counter
+/// is a relaxed atomic.
 class GSquareTest {
  public:
   struct Options {
@@ -34,19 +40,28 @@ class GSquareTest {
     /// Power heuristic: require at least this many samples per degree of
     /// freedom (bnlearn-style); otherwise the test is unreliable.
     double min_samples_per_dof = 5.0;
+    /// When the conditioning-set cardinality product times kx*ky stays at or
+    /// under this many cells, strata live in one dense array indexed by the
+    /// radix key (the common case: one row pass, no hashing); larger
+    /// products fall back to a hash map keyed by the same radix encoding.
+    /// Both paths visit strata in ascending key order, so the G² floating
+    /// sum — and hence the verdict — does not depend on which path ran.
+    int64_t max_dense_cells = int64_t{1} << 20;
   };
 
   GSquareTest(const EncodedData* data, Options options);
 
-  /// Tests x independent-of y given the conditioning set z.
+  /// Tests x independent-of y given the conditioning set z. Thread-safe.
   CiResult Test(int32_t x, int32_t y, const std::vector<int32_t>& z) const;
 
-  int64_t num_tests_run() const { return num_tests_; }
+  int64_t num_tests_run() const {
+    return num_tests_.load(std::memory_order_relaxed);
+  }
 
  private:
   const EncodedData* data_;
   Options options_;
-  mutable int64_t num_tests_ = 0;
+  mutable std::atomic<int64_t> num_tests_{0};
 };
 
 }  // namespace pgm

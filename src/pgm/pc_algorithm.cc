@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/telemetry/telemetry.h"
+#include "common/thread_pool.h"
 #include "pgm/meek_rules.h"
 
 namespace guardrail {
@@ -38,6 +39,23 @@ bool ForEachSubset(const std::vector<int32_t>& pool, int32_t k,
   }
 }
 
+/// One ordered pair (u, v) scheduled for this level's adjacency search,
+/// carrying its frozen conditioning pool adj(u) \ {v}.
+struct PairTask {
+  int32_t u = 0;
+  int32_t v = 0;
+  std::vector<int32_t> pool;
+};
+
+/// What one pair's subset search produced. Written only by the task that
+/// owns the slot; read by the serial merge phase after the level's barrier.
+struct PairOutcome {
+  bool independent = false;
+  std::vector<int32_t> sepset;
+  int64_t unreliable_tests = 0;
+  bool timed_out = false;
+};
+
 }  // namespace
 
 PcResult PcAlgorithm::Run(const EncodedData& data) const {
@@ -54,16 +72,19 @@ Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
   PcResult result;
   result.cpdag = Pdag::CompleteUndirected(n);
   GSquareTest test(&data, options_.ci_options);
-  // Each CI test is O(rows), so a small stride keeps the expiry latency low
-  // without measurable polling cost.
-  DeadlineChecker deadline(&cancel, /*stride=*/8);
 
   Pdag& g = result.cpdag;
+  ThreadPool& pool_exec = ThreadPool::Shared();
+  const int parallelism = ResolveThreads(options_.num_threads);
 
-  // ---- Phase 1: skeleton discovery (PC-stable). ----
+  // ---- Phase 1: skeleton discovery (PC-stable, level-parallel). ----
+  // PC-stable freezes each level's adjacency sets, which makes every pair's
+  // subset search independent of the others within the level — exactly the
+  // property that lets the (x, y, S) CI tests fan out across threads. Edge
+  // removals are committed afterwards in a serial pair-ordered merge, so the
+  // skeleton, the sepsets, and the test counters are bit-identical for any
+  // thread count (including the serial 1-thread schedule).
   for (int32_t level = 0; level <= options_.max_condition_size; ++level) {
-    // PC-stable: freeze the adjacency sets for this level so the outcome is
-    // independent of edge-processing order.
     std::vector<std::vector<int32_t>> frozen_adj(static_cast<size_t>(n));
     for (int32_t u = 0; u < n; ++u) frozen_adj[static_cast<size_t>(u)] = g.AdjacentNodes(u);
 
@@ -75,46 +96,76 @@ Result<PcResult> PcAlgorithm::Run(const EncodedData& data,
                   "pc.level" + std::to_string(level) + ".ci_tests")
             : nullptr;
 
-    bool any_testable = false;
-    std::vector<std::pair<int32_t, int32_t>> to_remove;
+    // Task list in the canonical serial order (u ascending, then adj order);
+    // the merge below walks the same order.
+    std::vector<PairTask> tasks;
     for (int32_t u = 0; u < n; ++u) {
       for (int32_t v : frozen_adj[static_cast<size_t>(u)]) {
-        if (!g.IsAdjacent(u, v)) continue;  // Removed earlier this level.
         // Conditioning candidates: adj(u) \ {v}.
         std::vector<int32_t> pool;
         for (int32_t w : frozen_adj[static_cast<size_t>(u)]) {
           if (w != v) pool.push_back(w);
         }
         if (static_cast<int32_t>(pool.size()) < level) continue;
-        any_testable = true;
-        Status timeout = Status::OK();
-        bool removed = ForEachSubset(
-            pool, level, [&](const std::vector<int32_t>& subset) {
-              if (deadline.Expired()) {
-                timeout = cancel.CheckTimeout("pc skeleton");
-                return true;  // Break out of the subset enumeration.
-              }
-              CiResult ci = test.Test(u, v, subset);
-              GUARDRAIL_COUNTER_INC("pc.ci_tests_total");
-              if (level_counter != nullptr) level_counter->Increment();
-              if (!ci.reliable) {
-                ++result.num_unreliable_tests;
-                GUARDRAIL_COUNTER_INC("pc.unreliable_tests_total");
-              }
-              if (ci.independent) {
-                auto key = std::minmax(u, v);
-                result.sepsets[{key.first, key.second}] = subset;
-                to_remove.emplace_back(u, v);
-                return true;
-              }
-              return false;
-            });
-        (void)removed;
-        if (!timeout.ok()) return timeout;
+        tasks.push_back(PairTask{u, v, std::move(pool)});
       }
     }
-    for (const auto& [u, v] : to_remove) g.RemoveEdge(u, v);
-    if (!any_testable) break;
+    if (tasks.empty()) break;
+
+    std::vector<PairOutcome> outcomes(tasks.size());
+    ParallelForOptions pf;
+    pf.max_parallelism = parallelism;
+    pf.cancel = &cancel;
+    // Each CI test is O(rows), so a small poll stride keeps the expiry
+    // latency low without measurable cost.
+    pf.cancel_stride = 1;
+    Status pf_status = ParallelFor(
+        &pool_exec, static_cast<int64_t>(tasks.size()),
+        [&](int64_t i) {
+          const PairTask& task = tasks[static_cast<size_t>(i)];
+          PairOutcome& out = outcomes[static_cast<size_t>(i)];
+          DeadlineChecker deadline(&cancel, /*stride=*/8);
+          ForEachSubset(
+              task.pool, level, [&](const std::vector<int32_t>& subset) {
+                if (deadline.Expired()) {
+                  out.timed_out = true;
+                  return true;  // Break out of the subset enumeration.
+                }
+                CiResult ci = test.Test(task.u, task.v, subset);
+                GUARDRAIL_COUNTER_INC("pc.ci_tests_total");
+                if (level_counter != nullptr) level_counter->Increment();
+                if (!ci.reliable) {
+                  ++out.unreliable_tests;
+                  GUARDRAIL_COUNTER_INC("pc.unreliable_tests_total");
+                }
+                if (ci.independent) {
+                  out.independent = true;
+                  out.sepset = subset;
+                  return true;
+                }
+                return false;
+              });
+        },
+        pf);
+    if (!pf_status.ok()) return pf_status;
+
+    // Serial merge in task order, replicating the serial algorithm's
+    // deferred-removal semantics: every independent pair records its sepset
+    // (a later ordered pair overwrites an earlier one for the same edge, as
+    // the serial map assignment did) and removals take effect only after
+    // the level — RemoveEdge is idempotent, so duplicates are harmless.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const PairTask& task = tasks[i];
+      const PairOutcome& out = outcomes[i];
+      if (out.timed_out) return cancel.CheckTimeout("pc skeleton");
+      result.num_unreliable_tests += out.unreliable_tests;
+      if (!out.independent) continue;
+      auto key = std::minmax(task.u, task.v);
+      result.sepsets[{key.first, key.second}] = out.sepset;
+    }
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (outcomes[i].independent) g.RemoveEdge(tasks[i].u, tasks[i].v);
+    }
   }
 
   // ---- Phase 2: v-structure orientation. ----

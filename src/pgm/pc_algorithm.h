@@ -34,6 +34,13 @@ class PcAlgorithm {
     GSquareTest::Options ci_options;
     /// Maximum conditioning-set size.
     int32_t max_condition_size = 3;
+    /// Parallelism for the per-level CI tests (0 = hardware concurrency via
+    /// ThreadPool::DefaultThreads(), 1 = serial). Within each PC-stable
+    /// level every ordered pair's subset search runs as an independent task
+    /// against the frozen adjacency sets; edge removals and sepsets are then
+    /// committed in a serial pair-ordered merge, so the learned skeleton —
+    /// and every counter in PcResult — is identical for any setting.
+    int num_threads = 0;
   };
 
   explicit PcAlgorithm(Options options) : options_(options) {}

@@ -1,0 +1,125 @@
+// The parallel synthesis engine's hard requirement: the synthesized program
+// is byte-identical no matter how many threads execute the pipeline. These
+// tests run the full synthesizer serially and with 8-way parallelism (the
+// shared pool is resized so real worker threads exist even on 1-core CI
+// boxes) and compare the serialized programs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/normalize.h"
+#include "core/serialization.h"
+#include "core/synthesizer.h"
+#include "table/sem_generator.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+namespace {
+
+struct DatasetSpec {
+  const char* name;
+  int32_t nodes;
+  int32_t min_card;
+  int32_t max_card;
+  int64_t rows;
+  uint64_t sem_seed;
+  uint64_t data_seed;
+};
+
+Table MakeDataset(const DatasetSpec& spec) {
+  RandomSemOptions opt;
+  opt.num_nodes = spec.nodes;
+  opt.min_cardinality = spec.min_card;
+  opt.max_cardinality = spec.max_card;
+  Rng sem_rng(spec.sem_seed);
+  SemModel sem = BuildRandomSem(opt, &sem_rng);
+  Rng data_rng(spec.data_seed);
+  return sem.Sample(spec.rows, &data_rng);
+}
+
+/// Synthesizes with `num_threads` and returns the normalized serialized
+/// program plus the CI-test count (which must also match: the parallel PC
+/// merge replays the serial schedule exactly).
+struct RunResult {
+  std::string program_text;
+  int64_t num_ci_tests = 0;
+  int64_t num_dags = 0;
+};
+
+RunResult RunSynthesis(const Table& data, int num_threads) {
+  // Size the shared pool for real concurrency: the caller participates in
+  // ParallelFor, so N-way parallelism needs N-1 workers.
+  ThreadPool::SetSharedWorkers(num_threads > 1 ? num_threads - 1 : 0);
+  SynthesisOptions options;
+  options.num_threads = num_threads;
+  Synthesizer synth(options);
+  Rng rng(11);  // Same seed both runs; only the aux pairing shuffle uses it.
+  SynthesisReport report = synth.Synthesize(data, &rng);
+  NormalizeProgram(&report.program);
+  RunResult result;
+  result.program_text =
+      SerializeProgram(report.program, data.schema(), /*comment=*/"");
+  result.num_ci_tests = report.num_ci_tests;
+  result.num_dags = report.num_dags_enumerated;
+  return result;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Restore the default-sized shared pool for the rest of the process.
+    ThreadPool::SetSharedWorkers(ThreadPool::DefaultThreads() - 1);
+  }
+};
+
+TEST_F(DeterminismTest, ProgramBytesIdenticalAcrossThreadCounts) {
+  const DatasetSpec specs[] = {
+      {"chain-ish small", 6, 3, 5, 3000, 0xA11CE, 0x1},
+      {"wider domains", 8, 4, 7, 4000, 0xB0B, 0x2},
+      {"many attributes", 10, 2, 4, 2500, 0xC4A7, 0x3},
+  };
+  for (const DatasetSpec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    Table data = MakeDataset(spec);
+    RunResult serial = RunSynthesis(data, /*num_threads=*/1);
+    RunResult parallel = RunSynthesis(data, /*num_threads=*/8);
+    EXPECT_EQ(serial.program_text, parallel.program_text);
+    EXPECT_EQ(serial.num_ci_tests, parallel.num_ci_tests);
+    EXPECT_EQ(serial.num_dags, parallel.num_dags);
+    // The program should be non-trivial on at least these SEM datasets;
+    // an empty-vs-empty comparison would be a vacuous pass.
+    EXPECT_FALSE(serial.program_text.empty());
+  }
+}
+
+TEST_F(DeterminismTest, RepeatedParallelRunsAreStable) {
+  // Flakes in parallel determinism often need several runs to surface; hammer
+  // one dataset a few times against the serial baseline.
+  Table data = MakeDataset({"repeat", 7, 3, 6, 3500, 0xD06, 0x4});
+  RunResult serial = RunSynthesis(data, /*num_threads=*/1);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(round);
+    RunResult parallel = RunSynthesis(data, /*num_threads=*/8);
+    EXPECT_EQ(serial.program_text, parallel.program_text);
+    EXPECT_EQ(serial.num_ci_tests, parallel.num_ci_tests);
+  }
+}
+
+TEST_F(DeterminismTest, ThreadCountFourMatchesToo) {
+  // Guard against a scheme that happens to coincide at 1 and 8 but drifts at
+  // intermediate widths (e.g. shard counts derived from the thread count).
+  Table data = MakeDataset({"mid-width", 6, 3, 5, 3000, 0xA11CE, 0x1});
+  RunResult serial = RunSynthesis(data, /*num_threads=*/1);
+  RunResult four = RunSynthesis(data, /*num_threads=*/4);
+  EXPECT_EQ(serial.program_text, four.program_text);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace guardrail

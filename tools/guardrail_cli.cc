@@ -18,6 +18,10 @@
 //       Show the physical plan, including the predicate-pushdown split.
 //
 // Global flags (any command):
+//   --threads=N         Worker parallelism for synthesis (default: hardware
+//                       concurrency, or the GUARDRAIL_THREADS env var). The
+//                       synthesized program is byte-identical for any N;
+//                       see docs/PARALLELISM.md.
 //   --trace-out=FILE    Write a Chrome trace_event JSON timeline of the run
 //                       (load in chrome://tracing or https://ui.perfetto.dev).
 //   --metrics-out=FILE  Write all telemetry counters/histograms as JSON.
@@ -33,6 +37,7 @@
 
 #include "common/deadline.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/telemetry/telemetry.h"
 #include "core/guard.h"
 #include "core/normalize.h"
@@ -59,12 +64,13 @@ Result<Table> LoadCsvTable(const std::string& path) {
 }
 
 int CmdSynthesize(const std::string& data_path, const std::string& out_path,
-                  double epsilon, int64_t time_budget_ms) {
+                  double epsilon, int64_t time_budget_ms, int num_threads) {
   auto table = LoadCsvTable(data_path);
   if (!table.ok()) return Fail(table.status());
 
   core::SynthesisOptions options;
   options.fill.epsilon = epsilon;
+  options.num_threads = num_threads;
   core::Synthesizer synthesizer(options);
   Rng rng(0x6A1DULL);
   // Negative budget = flag absent = unlimited; 0 is a real (instantly
@@ -202,7 +208,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  guardrail synthesize <data.csv> <out.grl> [epsilon]"
-               " [--time-budget-ms=N]\n"
+               " [--time-budget-ms=N] [--threads=N]\n"
                "  guardrail check <program.grl> <data.csv>\n"
                "  guardrail repair <program.grl> <in.csv> <out.csv>\n"
                "  guardrail profile <data.csv>\n"
@@ -210,6 +216,8 @@ int Usage() {
                " [--time-budget-ms=N]\n"
                "  guardrail explain \"<SELECT ...>\"\n"
                "global flags:\n"
+               "  --threads=N         worker parallelism for synthesize"
+               " (default: hardware concurrency)\n"
                "  --trace-out=FILE    write a Chrome trace_event JSON timeline"
                " (chrome://tracing, Perfetto)\n"
                "  --metrics-out=FILE  write telemetry counters/histograms as"
@@ -225,15 +233,28 @@ int Main(int argc, char** argv) {
   // Extract long options so flag order is free and the positional grammar
   // below stays unchanged.
   int64_t time_budget_ms = -1;
+  int num_threads = 0;  // 0 = ThreadPool::DefaultThreads().
   std::string trace_out;
   std::string metrics_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     constexpr std::string_view kBudget = "--time-budget-ms=";
+    constexpr std::string_view kThreads = "--threads=";
     constexpr std::string_view kTraceOut = "--trace-out=";
     constexpr std::string_view kMetricsOut = "--metrics-out=";
     constexpr std::string_view kLogLevel = "--log-level=";
+    if (arg.rfind(kThreads, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kThreads.size()), &parsed) || parsed < 1) {
+        return Usage();
+      }
+      num_threads = static_cast<int>(parsed);
+      // The caller participates in every parallel loop, so N-way
+      // parallelism needs N - 1 pool workers.
+      ThreadPool::SetSharedWorkers(num_threads - 1);
+      continue;
+    }
     if (arg.rfind(kBudget, 0) == 0) {
       double ms = 0;
       if (!ParseDouble(arg.substr(kBudget.size()), &ms) || ms < 0) {
@@ -272,7 +293,8 @@ int Main(int argc, char** argv) {
   if (command == "synthesize" && (n == 3 || n == 4)) {
     double epsilon = 0.02;
     if (n == 4 && !ParseDouble(args[3], &epsilon)) return Usage();
-    rc = CmdSynthesize(args[1], args[2], epsilon, time_budget_ms);
+    rc = CmdSynthesize(args[1], args[2], epsilon, time_budget_ms,
+                       num_threads);
   } else if (command == "check" && n == 3) {
     rc = CmdCheck(args[1], args[2]);
   } else if (command == "repair" && n == 4) {

@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Builds the test suite under AddressSanitizer + UBSan and runs it.
+# Builds the test suite under a sanitizer and runs it.
 #
-#   tools/run_sanitized_tests.sh [ctest-args...]
+#   tools/run_sanitized_tests.sh [asan|tsan] [ctest-args...]
 #
-# Extra arguments are forwarded to ctest, e.g.
-#   tools/run_sanitized_tests.sh -R robustness_test
-# runs only the chaos/deadline/failpoint suite. The sanitized tree lives in
-# build-asan/ next to the regular build/ so the two never fight over caches.
+# The first argument selects the sanitizer (default: asan). Remaining
+# arguments are forwarded to ctest, e.g.
+#   tools/run_sanitized_tests.sh asan -R robustness_test
+# runs only the chaos/deadline/failpoint suite under ASan, and
+#   tools/run_sanitized_tests.sh tsan -R "thread_pool_test|determinism_test"
+# races the parallel synthesis engine under ThreadSanitizer. Each mode gets
+# its own build tree (build-asan/ or build-tsan/) next to the regular build/
+# so the three never fight over caches.
 set -euo pipefail
 
+mode="asan"
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  mode="$1"
+  shift
+fi
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${repo_root}/build-asan"
+build_dir="${repo_root}/build-${mode}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
-  -DGUARDRAIL_SANITIZE=ON \
+  -DGUARDRAIL_SANITIZE="${mode}" \
   -DGUARDRAIL_BUILD_BENCHMARKS=OFF \
   -DGUARDRAIL_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)"
@@ -21,6 +31,7 @@ cmake --build "${build_dir}" -j "$(nproc)"
 # halt_on_error: a sanitizer report is a test failure, not a warning.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cd "${build_dir}"
 exec ctest --output-on-failure "$@"
