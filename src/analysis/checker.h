@@ -1,0 +1,93 @@
+#ifndef GUARDRAIL_ANALYSIS_CHECKER_H_
+#define GUARDRAIL_ANALYSIS_CHECKER_H_
+
+#include <cstdint>
+
+#include "analysis/diagnostics.h"
+#include "core/ast.h"
+#include "core/guard.h"
+#include "pgm/ci_test.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace analysis {
+
+/// Configuration of the pass pipeline. Passes 1-3 need only the schema;
+/// passes 4-5 are skipped when no data table is supplied.
+struct AnalysisOptions {
+  /// Pass 1: type/domain checking — structural validity plus every condition
+  /// literal and assignment lying in the attribute's observed domain with a
+  /// label type consistent with the column.
+  bool check_types = true;
+  /// Pass 2: satisfiability and dead-branch detection — conflicting
+  /// conjunctions, duplicate/shadowed branches, zero-support conditions.
+  bool check_satisfiability = true;
+  /// Pass 3: intra-program contradiction detection — two statements forcing
+  /// different values on the same attribute over a satisfiable row region.
+  bool check_contradictions = true;
+  /// Pass 4: non-triviality audit — empirical LNT/GNT (Defs. 4.1-4.2, reusing
+  /// core/nontriviality) and Alg. 1 warranted-condition well-formedness plus
+  /// epsilon-validity. Needs data; the LNT/GNT part runs G-squared CI tests,
+  /// so deployment hot paths may prefer to disable it.
+  bool check_nontriviality = true;
+  /// Sub-switch of pass 4: run the G-squared LNT/GNT tests. Off leaves the
+  /// cheap Alg. 1 branch invariants (GRL403-405) in place — the
+  /// configuration the synthesizer's release-mode invariant check uses.
+  bool check_lnt_gnt = true;
+  /// Pass 5: coverage-hole reporting — observed determinant regions no
+  /// branch covers. Needs data.
+  bool check_coverage = true;
+
+  /// Branch tolerance for the epsilon-validity re-check (Eqn. 3); mirror the
+  /// FillOptions::epsilon the program was synthesized with.
+  double epsilon = 0.02;
+  /// Branches below this support draw a warning (mirror
+  /// FillOptions::min_branch_support).
+  int64_t min_branch_support = 5;
+  /// Coverage holes are reported only when the uncovered determinant
+  /// combination is witnessed by at least this many rows.
+  int64_t coverage_hole_min_support = 1;
+  /// Per-statement cap on individually reported holes; the pass adds a
+  /// summary diagnostic naming how many were elided (never a silent cut).
+  int64_t max_holes_per_statement = 8;
+  /// The enforcement scheme the coverage pass annotates holes with: under
+  /// kRaise / kRectify a hole silently admits exactly the errors the guard
+  /// exists to stop, so holes escalate from info to warning.
+  core::ErrorPolicy scheme = core::ErrorPolicy::kRaise;
+  /// CI-test configuration for the LNT/GNT audit (raw-data tests).
+  pgm::GSquareTest::Options ci;
+};
+
+/// Static analyzer over Guardrail DSL programs: runs the configured pass
+/// pipeline and returns every finding, sorted deterministically. The
+/// analyzer never mutates the program and never aborts on malformed input —
+/// structurally broken programs come back as error diagnostics, which is the
+/// point.
+class Analyzer {
+ public:
+  Analyzer() = default;
+  explicit Analyzer(AnalysisOptions options) : options_(options) {}
+
+  /// Schema-only analysis: passes 1-3. Use when no sample of the relation is
+  /// at hand (e.g. vetting a program before attaching it to a query plan).
+  DiagnosticReport Analyze(const core::Program& program,
+                           const Schema& schema) const;
+
+  /// Full analysis: passes 1-3 plus the data-dependent audits 4-5.
+  DiagnosticReport Analyze(const core::Program& program, const Schema& schema,
+                           const Table& data) const;
+
+  const AnalysisOptions& options() const { return options_; }
+
+ private:
+  DiagnosticReport Run(const core::Program& program, const Schema& schema,
+                       const Table* data) const;
+
+  AnalysisOptions options_;
+};
+
+}  // namespace analysis
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ANALYSIS_CHECKER_H_

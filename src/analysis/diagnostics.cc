@@ -1,0 +1,92 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/telemetry/telemetry.h"
+
+namespace guardrail {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+int64_t DiagnosticReport::CountAtSeverity(Severity severity) const {
+  int64_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+void DiagnosticReport::Sort() {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.statement_index, a.branch_index, a.code,
+                              a.attribute, a.message) <
+                     std::tie(b.statement_index, b.branch_index, b.code,
+                              b.attribute, b.message);
+            });
+}
+
+std::string DiagnosticReport::ToText() const {
+  if (diagnostics.empty()) return "no diagnostics\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += SeverityName(d.severity);
+    out += ' ';
+    out += d.code;
+    if (d.statement_index >= 0) {
+      out += " [stmt " + std::to_string(d.statement_index);
+      if (d.branch_index >= 0) {
+        out += " branch " + std::to_string(d.branch_index);
+      }
+      out += "]";
+    }
+    if (!d.attribute.empty()) out += " (" + d.attribute + ")";
+    out += ": " + d.message + "\n";
+  }
+  out += std::to_string(CountAtSeverity(Severity::kError)) + " error(s), " +
+         std::to_string(CountAtSeverity(Severity::kWarning)) +
+         " warning(s), " + std::to_string(CountAtSeverity(Severity::kInfo)) +
+         " info\n";
+  return out;
+}
+
+std::string DiagnosticReport::ToJson() const {
+  std::string out = "{\"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"code\": \"";
+    telemetry::AppendJsonEscaped(d.code, &out);
+    out += "\", \"severity\": \"";
+    out += SeverityName(d.severity);
+    out += "\", \"statement\": " + std::to_string(d.statement_index);
+    out += ", \"branch\": " + std::to_string(d.branch_index);
+    out += ", \"attribute\": \"";
+    telemetry::AppendJsonEscaped(d.attribute, &out);
+    out += "\", \"message\": \"";
+    telemetry::AppendJsonEscaped(d.message, &out);
+    out += "\"}";
+  }
+  out += "], \"counts\": {\"error\": " +
+         std::to_string(CountAtSeverity(Severity::kError)) +
+         ", \"warning\": " + std::to_string(CountAtSeverity(Severity::kWarning)) +
+         ", \"info\": " + std::to_string(CountAtSeverity(Severity::kInfo)) +
+         "}}";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace guardrail

@@ -1,0 +1,80 @@
+#ifndef GUARDRAIL_ANALYSIS_DIAGNOSTICS_H_
+#define GUARDRAIL_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace guardrail {
+namespace analysis {
+
+/// Severity policy (docs/ANALYSIS.md):
+///   kError   — the program is unsafe to enforce: it will flag or repair rows
+///              the data-generating process considers legitimate, or it is
+///              structurally broken. Deployment surfaces (the SQL planner,
+///              SynthesisOptions::verify_programs) reject on error.
+///   kWarning — the program is enforceable but a synthesis invariant slipped
+///              (dead branch, failed non-triviality, under-supported branch);
+///              worth a human look before trusting the guard.
+///   kInfo    — advisory facts about enforcement behavior (coverage holes
+///              under a permissive scheme).
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityName(Severity severity);
+
+/// One finding of the static analyzer. `code` is stable and machine-readable
+/// (catalog in docs/ANALYSIS.md): GRL1xx type/domain, GRL2xx satisfiability,
+/// GRL3xx contradiction, GRL4xx non-triviality, GRL5xx coverage.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kInfo;
+  /// Location within the program; -1 means "whole program" / "whole
+  /// statement" respectively.
+  int32_t statement_index = -1;
+  int32_t branch_index = -1;
+  /// Name of the attribute the finding concerns, or empty.
+  std::string attribute;
+  std::string message;
+
+  bool operator==(const Diagnostic& other) const {
+    return code == other.code && severity == other.severity &&
+           statement_index == other.statement_index &&
+           branch_index == other.branch_index &&
+           attribute == other.attribute && message == other.message;
+  }
+};
+
+/// The analyzer's output: every finding, plus which passes ran.
+struct DiagnosticReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Names of the passes that executed, in pipeline order.
+  std::vector<std::string> passes_run;
+
+  bool empty() const { return diagnostics.empty(); }
+  int64_t CountAtSeverity(Severity severity) const;
+  bool HasErrors() const { return CountAtSeverity(Severity::kError) > 0; }
+
+  void Add(Diagnostic diagnostic) {
+    diagnostics.push_back(std::move(diagnostic));
+  }
+
+  /// Deterministic order: (statement, branch, code, attribute, message).
+  /// Both renderers require a sorted report; Analyzer::Analyze returns one.
+  void Sort();
+
+  /// Human-readable rendering, one line per diagnostic:
+  ///   error GRL102 [stmt 0 branch 1] (city): value code 7 ...
+  std::string ToText() const;
+
+  /// Stable machine-readable rendering (golden-file tested; keep field order
+  /// and spacing unchanged):
+  ///   {"diagnostics": [{"code": ..., "severity": ..., "statement": N,
+  ///     "branch": N, "attribute": ..., "message": ...}, ...],
+  ///    "counts": {"error": N, "warning": N, "info": N}}
+  std::string ToJson() const;
+};
+
+}  // namespace analysis
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ANALYSIS_DIAGNOSTICS_H_

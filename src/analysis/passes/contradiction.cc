@@ -1,0 +1,124 @@
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/passes/passes.h"
+
+namespace guardrail {
+namespace analysis {
+
+namespace {
+
+/// Merges two sorted equality conjunctions. Returns false when they bind the
+/// same attribute to different values (the joint region is empty); otherwise
+/// fills `out` with the union of constraints.
+bool MergeConditions(const core::Condition& a, const core::Condition& b,
+                     std::vector<std::pair<AttrIndex, ValueId>>* out) {
+  out->clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.equalities.size() && j < b.equalities.size()) {
+    const auto& ea = a.equalities[i];
+    const auto& eb = b.equalities[j];
+    if (ea.first < eb.first) {
+      out->push_back(ea);
+      ++i;
+    } else if (eb.first < ea.first) {
+      out->push_back(eb);
+      ++j;
+    } else {
+      if (ea.second != eb.second) return false;
+      out->push_back(ea);
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.equalities.begin() + static_cast<long>(i),
+              a.equalities.end());
+  out->insert(out->end(), b.equalities.begin() + static_cast<long>(j),
+              b.equalities.end());
+  return true;
+}
+
+/// True when `cond` holds everywhere in the (satisfiable) region described by
+/// the sorted constraint set `region`: every equality of `cond` is one of the
+/// region's constraints.
+bool ConditionImpliedByRegion(
+    const core::Condition& cond,
+    const std::vector<std::pair<AttrIndex, ValueId>>& region) {
+  size_t j = 0;
+  for (const auto& eq : cond.equalities) {
+    while (j < region.size() && region[j].first < eq.first) ++j;
+    if (j >= region.size() || region[j] != eq) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// Whether an earlier branch of `stmt` preempts `branch_index` throughout
+/// `region`: under first-match-wins the branch only fires on rows no earlier
+/// branch matches, so if some earlier branch matches *everywhere* in the
+/// region, this branch never fires there.
+bool PreemptedInRegion(
+    const core::Statement& stmt, size_t branch_index,
+    const std::vector<std::pair<AttrIndex, ValueId>>& region) {
+  for (size_t e = 0; e < branch_index; ++e) {
+    if (ConditionImpliedByRegion(stmt.branches[e].condition, region)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunContradictionPass(const PassContext& ctx, DiagnosticReport* report) {
+  const core::Program& program = *ctx.program;
+  const Schema& schema = *ctx.schema;
+  std::vector<std::pair<AttrIndex, ValueId>> region;
+
+  for (size_t s1 = 0; s1 < program.statements.size(); ++s1) {
+    const core::Statement& stmt1 = program.statements[s1];
+    for (size_t s2 = s1 + 1; s2 < program.statements.size(); ++s2) {
+      const core::Statement& stmt2 = program.statements[s2];
+      if (stmt1.dependent != stmt2.dependent) continue;
+
+      bool reported_pair = false;
+      for (size_t b1 = 0; b1 < stmt1.branches.size() && !reported_pair; ++b1) {
+        const core::Branch& br1 = stmt1.branches[b1];
+        for (size_t b2 = 0; b2 < stmt2.branches.size(); ++b2) {
+          const core::Branch& br2 = stmt2.branches[b2];
+          if (br1.assignment == br2.assignment) continue;
+          if (!MergeConditions(br1.condition, br2.condition, &region)) {
+            continue;  // Jointly unsatisfiable; no shared row region.
+          }
+          // Both branches must actually fire somewhere in the region:
+          // first-match-wins can hand the region to an earlier branch.
+          if (PreemptedInRegion(stmt1, b1, region) ||
+              PreemptedInRegion(stmt2, b2, region)) {
+            continue;
+          }
+          const std::string dep_name =
+              stmt1.dependent >= 0 && stmt1.dependent < schema.num_attributes()
+                  ? schema.attribute(stmt1.dependent).name()
+                  : std::string();
+          report->Add(
+              {"GRL301", Severity::kError, static_cast<int32_t>(s1),
+               static_cast<int32_t>(b1), dep_name,
+               "contradicts statement " + std::to_string(s2) + " branch " +
+                   std::to_string(b2) +
+                   ": both fire on a satisfiable row region but force "
+                   "different values on '" +
+                   dep_name + "'; every such row violates one of them"});
+          // One witness per statement pair keeps the report readable (a
+          // conflicting statement pair usually disagrees on many branches).
+          reported_pair = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace guardrail

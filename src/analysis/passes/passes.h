@@ -1,0 +1,77 @@
+#ifndef GUARDRAIL_ANALYSIS_PASSES_PASSES_H_
+#define GUARDRAIL_ANALYSIS_PASSES_PASSES_H_
+
+/// Internal pass interface of the static analyzer. Each pass is a free
+/// function appending findings to the report; the checker owns ordering,
+/// telemetry, and the final sort. To add a pass: implement it here (one file
+/// under passes/), give its diagnostics a fresh GRLxxx range, register it in
+/// checker.cc, and document it in docs/ANALYSIS.md.
+
+#include "analysis/checker.h"
+#include "analysis/diagnostics.h"
+#include "core/ast.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace analysis {
+
+/// Everything a pass may look at. `data` is null for schema-only analysis;
+/// data-dependent passes are not invoked without it.
+struct PassContext {
+  const core::Program* program = nullptr;
+  const Schema* schema = nullptr;
+  const Table* data = nullptr;
+  const AnalysisOptions* options = nullptr;
+};
+
+/// True when every attribute the branch references exists as a column of
+/// `data`. Data-dependent passes must check this before computing branch
+/// statistics: Table::Get is unchecked, and the analyzer's whole job is to
+/// survive corrupted programs (pass 1 reports the bad index separately).
+inline bool BranchIndexableOnData(const core::Branch& branch,
+                                  const Table& data) {
+  auto in_range = [&](AttrIndex a) {
+    return a >= 0 && a < data.num_columns();
+  };
+  if (!in_range(branch.target)) return false;
+  for (const auto& [attr, value] : branch.condition.equalities) {
+    (void)value;
+    if (!in_range(attr)) return false;
+  }
+  return true;
+}
+
+/// Pass 1 (GRL1xx): structural validity and type/domain checking. Every
+/// attribute index in range, every literal inside its attribute's domain and
+/// type-consistent with the column, conditions sorted and confined to the
+/// GIVEN clause. When this pass reports errors the later passes still run —
+/// they index-check defensively — but their findings on a broken program are
+/// best-effort.
+void RunTypeDomainPass(const PassContext& ctx, DiagnosticReport* report);
+
+/// Pass 2 (GRL2xx): satisfiability and dead branches. Conflicting
+/// equalities, duplicate conditions, branches shadowed by an earlier
+/// more-general branch, and (with data) branches no observed row can fire.
+void RunSatisfiabilityPass(const PassContext& ctx, DiagnosticReport* report);
+
+/// Pass 3 (GRL3xx): intra-program contradictions. Two statements that force
+/// conflicting values on the same attribute for a jointly satisfiable row
+/// region — such rows violate at least one statement no matter their value.
+void RunContradictionPass(const PassContext& ctx, DiagnosticReport* report);
+
+/// Pass 4 (GRL4xx, needs data): non-triviality audit. Empirical LNT/GNT of
+/// the statement set (Defs. 4.1-4.2) plus the Alg. 1 branch invariants:
+/// warranted conditions bind the full determinant set, branches are
+/// epsilon-valid and sufficiently supported.
+void RunNonTrivialityPass(const PassContext& ctx, DiagnosticReport* report);
+
+/// Pass 5 (GRL5xx, needs data): coverage holes. Observed determinant-value
+/// combinations no branch covers, annotated with the enforcement scheme that
+/// makes the hole dangerous.
+void RunCoveragePass(const PassContext& ctx, DiagnosticReport* report);
+
+}  // namespace analysis
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_ANALYSIS_PASSES_PASSES_H_

@@ -1,0 +1,103 @@
+#include <string>
+#include <vector>
+
+#include "analysis/passes/passes.h"
+#include "core/metrics.h"
+
+namespace guardrail {
+namespace analysis {
+
+namespace {
+
+/// True when every equality of `sub` appears in `super` (both sorted by
+/// attribute, the AST invariant). An earlier branch whose condition is a
+/// subset of a later branch's condition matches every row the later one
+/// does, so the later branch is dead under first-match-wins.
+bool ConditionSubset(const core::Condition& sub, const core::Condition& super) {
+  size_t j = 0;
+  for (const auto& eq : sub.equalities) {
+    while (j < super.equalities.size() && super.equalities[j].first < eq.first) {
+      ++j;
+    }
+    if (j >= super.equalities.size() || super.equalities[j] != eq) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// Self-conflict: the same attribute constrained to two different values.
+/// Constructible only through corruption (Condition keeps attributes unique),
+/// which is exactly what the analyzer exists to catch.
+bool SelfConflicting(const core::Condition& condition) {
+  for (size_t i = 1; i < condition.equalities.size(); ++i) {
+    if (condition.equalities[i].first == condition.equalities[i - 1].first &&
+        condition.equalities[i].second != condition.equalities[i - 1].second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunSatisfiabilityPass(const PassContext& ctx, DiagnosticReport* report) {
+  const core::Program& program = *ctx.program;
+  const Schema& schema = *ctx.schema;
+
+  for (size_t si = 0; si < program.statements.size(); ++si) {
+    const core::Statement& stmt = program.statements[si];
+    const int32_t stmt_index = static_cast<int32_t>(si);
+    const std::string dep_name =
+        stmt.dependent >= 0 && stmt.dependent < schema.num_attributes()
+            ? schema.attribute(stmt.dependent).name()
+            : std::string();
+
+    for (size_t bi = 0; bi < stmt.branches.size(); ++bi) {
+      const core::Branch& branch = stmt.branches[bi];
+      const int32_t branch_index = static_cast<int32_t>(bi);
+
+      if (SelfConflicting(branch.condition)) {
+        report->Add({"GRL201", Severity::kError, stmt_index, branch_index,
+                     dep_name,
+                     "condition constrains one attribute to two different "
+                     "values; no row can satisfy it"});
+        continue;  // Shadowing/support of an unsatisfiable branch is moot.
+      }
+
+      // First-match-wins: an earlier branch with a subset condition fires on
+      // every row this branch would, so this branch is unreachable.
+      for (size_t ei = 0; ei < bi; ++ei) {
+        const core::Branch& earlier = stmt.branches[ei];
+        if (SelfConflicting(earlier.condition)) continue;
+        if (!ConditionSubset(earlier.condition, branch.condition)) continue;
+        const bool identical = earlier.condition == branch.condition;
+        const bool same_effect = earlier.assignment == branch.assignment;
+        report->Add(
+            {identical ? "GRL203" : "GRL202", Severity::kWarning, stmt_index,
+             branch_index, dep_name,
+             std::string(identical ? "duplicate condition: " : "shadowed: ") +
+                 "branch " + std::to_string(ei) +
+                 (identical ? " has the identical condition"
+                            : "'s more general condition matches first") +
+                 (same_effect ? " (same assignment; dead but harmless)"
+                              : " with a different assignment; this branch "
+                                "never fires")});
+        break;  // One witness is enough.
+      }
+
+      if (ctx.data != nullptr && BranchIndexableOnData(branch, *ctx.data)) {
+        core::BranchStats stats = core::ComputeBranchStats(branch, *ctx.data);
+        if (stats.support == 0) {
+          report->Add({"GRL204", Severity::kWarning, stmt_index, branch_index,
+                       dep_name,
+                       "no observed row satisfies this branch's condition "
+                       "(support 0); the branch is unexercisable on the "
+                       "analyzed data"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace guardrail

@@ -1,0 +1,204 @@
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/passes/passes.h"
+#include "common/string_util.h"
+
+namespace guardrail {
+namespace analysis {
+
+namespace {
+
+bool AttrInRange(const Schema& schema, AttrIndex attr) {
+  return attr >= 0 && attr < schema.num_attributes();
+}
+
+std::string AttrName(const Schema& schema, AttrIndex attr) {
+  return AttrInRange(schema, attr) ? schema.attribute(attr).name()
+                                   : std::string();
+}
+
+/// Lazily computed per-attribute facts: which codes the data actually
+/// witnesses (the schema domain can be wider — parsing a program extends it
+/// for literals unseen in the sample) and whether every witnessed label
+/// parses as a number (the column's inferred type).
+class DomainFacts {
+ public:
+  DomainFacts(const Schema& schema, const Table* data)
+      : schema_(schema), data_(data) {}
+
+  bool Observed(AttrIndex attr, ValueId value) {
+    if (data_ == nullptr) return true;  // No sample: schema domain rules.
+    return Facts(attr).observed.count(value) > 0;
+  }
+
+  bool NumericColumn(AttrIndex attr) { return Facts(attr).numeric; }
+
+ private:
+  struct AttrFacts {
+    std::unordered_set<ValueId> observed;
+    bool numeric = false;
+  };
+
+  AttrFacts& Facts(AttrIndex attr) {
+    auto it = cache_.find(attr);
+    if (it != cache_.end()) return it->second;
+    AttrFacts facts;
+    if (data_ != nullptr && attr < data_->num_columns()) {
+      for (ValueId v : data_->column(attr)) {
+        if (v != kNullValue) facts.observed.insert(v);
+      }
+    }
+    facts.numeric = !facts.observed.empty();
+    for (ValueId v : facts.observed) {
+      double unused;
+      if (!ParseDouble(schema_.attribute(attr).label(v), &unused)) {
+        facts.numeric = false;
+        break;
+      }
+    }
+    return cache_.emplace(attr, std::move(facts)).first->second;
+  }
+
+  const Schema& schema_;
+  const Table* data_;
+  std::unordered_map<AttrIndex, AttrFacts> cache_;
+};
+
+}  // namespace
+
+void RunTypeDomainPass(const PassContext& ctx, DiagnosticReport* report) {
+  const core::Program& program = *ctx.program;
+  const Schema& schema = *ctx.schema;
+  DomainFacts facts(schema, ctx.data);
+
+  auto check_value = [&](AttrIndex attr, ValueId value, int32_t stmt_index,
+                         int32_t branch_index, const char* what) {
+    // `attr` was range-checked by the caller.
+    if (value == kNullValue) {
+      report->Add({"GRL107", Severity::kError, stmt_index, branch_index,
+                   AttrName(schema, attr),
+                   std::string(what) + " is NULL"});
+      return;
+    }
+    if (value < 0 || value >= schema.attribute(attr).domain_size()) {
+      report->Add({"GRL102", Severity::kError, stmt_index, branch_index,
+                   AttrName(schema, attr),
+                   std::string(what) + " code " + std::to_string(value) +
+                       " is outside the domain of '" +
+                       schema.attribute(attr).name() + "' (size " +
+                       std::to_string(schema.attribute(attr).domain_size()) +
+                       ")"});
+      return;
+    }
+    const std::string& label = schema.attribute(attr).label(value);
+    if (ctx.data != nullptr && !facts.Observed(attr, value)) {
+      report->Add({"GRL111", Severity::kWarning, stmt_index, branch_index,
+                   AttrName(schema, attr),
+                   std::string(what) + " '" + label +
+                       "' is never observed in the data for attribute '" +
+                       schema.attribute(attr).name() + "'"});
+    }
+    if (ctx.data != nullptr && facts.NumericColumn(attr)) {
+      double unused;
+      if (!ParseDouble(label, &unused)) {
+        report->Add({"GRL110", Severity::kError, stmt_index, branch_index,
+                     AttrName(schema, attr),
+                     std::string(what) + " '" + label +
+                         "' is not numeric but every observed value of '" +
+                         schema.attribute(attr).name() + "' is"});
+      }
+    }
+  };
+
+  for (size_t si = 0; si < program.statements.size(); ++si) {
+    const core::Statement& stmt = program.statements[si];
+    const int32_t stmt_index = static_cast<int32_t>(si);
+
+    if (stmt.determinants.empty()) {
+      report->Add({"GRL108", Severity::kError, stmt_index, -1, "",
+                   "statement has an empty GIVEN clause"});
+    }
+    if (stmt.branches.empty()) {
+      report->Add({"GRL109", Severity::kError, stmt_index, -1, "",
+                   "statement has an empty HAVING clause"});
+    }
+    if (!AttrInRange(schema, stmt.dependent)) {
+      report->Add({"GRL101", Severity::kError, stmt_index, -1, "",
+                   "ON attribute index " + std::to_string(stmt.dependent) +
+                       " is out of range"});
+      continue;  // Branch checks below need a valid dependent.
+    }
+
+    std::set<AttrIndex> det_set;
+    for (AttrIndex a : stmt.determinants) {
+      if (!AttrInRange(schema, a)) {
+        report->Add({"GRL101", Severity::kError, stmt_index, -1, "",
+                     "GIVEN attribute index " + std::to_string(a) +
+                         " is out of range"});
+        continue;
+      }
+      if (a == stmt.dependent) {
+        report->Add({"GRL105", Severity::kError, stmt_index, -1,
+                     AttrName(schema, a),
+                     "dependent attribute appears in its own GIVEN clause"});
+      }
+      if (!det_set.insert(a).second) {
+        report->Add({"GRL104", Severity::kError, stmt_index, -1,
+                     AttrName(schema, a),
+                     "duplicate determinant attribute '" +
+                         schema.attribute(a).name() + "'"});
+      }
+    }
+
+    for (size_t bi = 0; bi < stmt.branches.size(); ++bi) {
+      const core::Branch& branch = stmt.branches[bi];
+      const int32_t branch_index = static_cast<int32_t>(bi);
+      if (branch.target != stmt.dependent) {
+        report->Add({"GRL106", Severity::kError, stmt_index, branch_index,
+                     AttrName(schema, branch.target),
+                     "branch target differs from the statement's ON "
+                     "attribute '" +
+                         schema.attribute(stmt.dependent).name() + "'"});
+      } else {
+        check_value(branch.target, branch.assignment, stmt_index, branch_index,
+                    "assignment literal");
+      }
+      std::set<AttrIndex> seen;
+      for (const auto& [attr, value] : branch.condition.equalities) {
+        if (!AttrInRange(schema, attr)) {
+          report->Add({"GRL101", Severity::kError, stmt_index, branch_index,
+                       "",
+                       "condition attribute index " + std::to_string(attr) +
+                           " is out of range"});
+          continue;
+        }
+        if (det_set.count(attr) == 0) {
+          report->Add({"GRL103", Severity::kError, stmt_index, branch_index,
+                       AttrName(schema, attr),
+                       "condition attribute '" + schema.attribute(attr).name() +
+                           "' is outside the GIVEN clause"});
+        }
+        if (!seen.insert(attr).second) {
+          report->Add({"GRL104", Severity::kError, stmt_index, branch_index,
+                       AttrName(schema, attr),
+                       "attribute '" + schema.attribute(attr).name() +
+                           "' repeated within one conjunction"});
+        }
+        check_value(attr, value, stmt_index, branch_index,
+                    "condition literal");
+      }
+      if (!std::is_sorted(branch.condition.equalities.begin(),
+                          branch.condition.equalities.end())) {
+        report->Add({"GRL112", Severity::kError, stmt_index, branch_index, "",
+                     "condition equalities are not sorted by attribute"});
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace guardrail

@@ -68,6 +68,7 @@ class Guard {
   std::vector<bool> DetectViolations(const Table& table) const;
 
   const Interpreter& interpreter() const { return interpreter_; }
+  const Program* program() const { return program_; }
 
  private:
   /// Applies the MAP repair for one violation to `row` (see kRectify).

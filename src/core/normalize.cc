@@ -26,6 +26,19 @@ bool BranchesAreDisjoint(const Statement& stmt) {
 NormalizeStats NormalizeProgram(Program* program) {
   NormalizeStats stats;
 
+  // Canonical attribute order inside headers and conditions. Determinant
+  // sets and conjunctions are order-free semantically, and the parser emits
+  // them sorted — sorting here makes normalize->print->parse a fixpoint and
+  // lets the header merge below unify statements that differ only in GIVEN
+  // order.
+  for (auto& stmt : program->statements) {
+    std::sort(stmt.determinants.begin(), stmt.determinants.end());
+    for (auto& branch : stmt.branches) {
+      std::sort(branch.condition.equalities.begin(),
+                branch.condition.equalities.end());
+    }
+  }
+
   // Merge statements with identical headers, preserving first-seen order of
   // headers and branch order within.
   std::map<std::pair<std::vector<AttrIndex>, AttrIndex>, size_t> header_index;

@@ -177,19 +177,36 @@ class ProgramParser {
     return schema_->attribute(attr).GetOrInsert(tok.text);
   }
 
+  // True when the next token is the bare word TRUE (any case) followed by
+  // THEN: the printer's spelling of the empty, always-matching condition.
+  // The lookahead keeps an attribute actually named "TRUE" usable in
+  // equalities (`IF TRUE = 'x' THEN ...` still parses as a comparison).
+  bool PeekTrueCondition() const {
+    if (Peek().type != TokenType::kIdentifier) return false;
+    std::string upper = Peek().text;
+    std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+    if (upper != "TRUE") return false;
+    const Token& next = tokens_[pos_ + 1];
+    return next.type == TokenType::kKeyword && next.text == "THEN";
+  }
+
   Result<Branch> ParseBranch(AttrIndex expected_target) {
     GUARDRAIL_RETURN_NOT_OK(ExpectKeyword("IF"));
     Branch branch;
-    while (true) {
-      GUARDRAIL_ASSIGN_OR_RETURN(AttrIndex attr, ParseAttribute());
-      GUARDRAIL_RETURN_NOT_OK(Expect(TokenType::kEquals, "'='"));
-      GUARDRAIL_ASSIGN_OR_RETURN(ValueId value, ParseLiteral(attr));
-      branch.condition.equalities.emplace_back(attr, value);
-      if (PeekKeyword("AND")) {
-        Advance();
-        continue;
+    if (PeekTrueCondition()) {
+      Advance();  // Consume TRUE; the condition stays empty.
+    } else {
+      while (true) {
+        GUARDRAIL_ASSIGN_OR_RETURN(AttrIndex attr, ParseAttribute());
+        GUARDRAIL_RETURN_NOT_OK(Expect(TokenType::kEquals, "'='"));
+        GUARDRAIL_ASSIGN_OR_RETURN(ValueId value, ParseLiteral(attr));
+        branch.condition.equalities.emplace_back(attr, value);
+        if (PeekKeyword("AND")) {
+          Advance();
+          continue;
+        }
+        break;
       }
-      break;
     }
     std::sort(branch.condition.equalities.begin(),
               branch.condition.equalities.end());

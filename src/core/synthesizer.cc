@@ -377,6 +377,7 @@ SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng,
   // measurement.
   telemetry::Span span("synthesize", /*always_time=*/true);
   SynthesisReport report = SynthesizeImpl(data, rng, cancel);
+  VerifyProgram(data, &report);
   report.total_seconds = span.ElapsedSeconds();
   span.AddArg("rung", SynthesisRungName(report.rung));
   span.AddArg("budget_expired", report.budget_expired);
@@ -391,6 +392,64 @@ SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng,
                         << telemetry::Kv("reason", report.degradation_reason);
   }
   return report;
+}
+
+void Synthesizer::VerifyProgram(const Table& data,
+                                SynthesisReport* report) const {
+  // A degraded run already WARN-logged its rung; re-analyzing a program we
+  // know was cut short only adds latency where the budget is gone. Tests
+  // running with verify_programs still get the full audit.
+  if (report->program.empty() ||
+      (report->budget_expired && !options_.verify_programs)) {
+    return;
+  }
+  telemetry::Span verify_span("analysis.post_synthesis");
+  analysis::AnalysisOptions aopts;
+  aopts.epsilon = options_.fill.epsilon;
+  aopts.min_branch_support = options_.fill.min_branch_support;
+  // Regions too thin to warrant a branch (below the support floor) are not
+  // holes synthesis could have covered; aligning the thresholds keeps a
+  // clean synthesis at exactly zero diagnostics.
+  aopts.coverage_hole_min_support = options_.fill.min_branch_support;
+  // The G-squared LNT/GNT audit costs CI tests; release-mode synthesis
+  // skips it and keeps the cheap invariants (structure, satisfiability,
+  // contradictions, epsilon-validity, coverage).
+  aopts.check_lnt_gnt = options_.verify_programs;
+  aopts.ci = options_.gnt_ci;
+  analysis::Analyzer analyzer(aopts);
+  report->analysis = analyzer.Analyze(report->program, data.schema(), data);
+
+  const int64_t errors =
+      report->analysis.CountAtSeverity(analysis::Severity::kError);
+  const int64_t warnings =
+      report->analysis.CountAtSeverity(analysis::Severity::kWarning);
+  GUARDRAIL_COUNTER_INC("analysis.post_synthesis_runs_total");
+  if (!report->analysis.empty()) {
+    GUARDRAIL_COUNTER_ADD("analysis.post_synthesis_findings_total",
+                          static_cast<int64_t>(
+                              report->analysis.diagnostics.size()));
+    GUARDRAIL_LOG(WARN) << "post-synthesis invariant check found issues"
+                        << telemetry::Kv("errors", errors)
+                        << telemetry::Kv("warnings", warnings)
+                        << telemetry::Kv(
+                               "first",
+                               report->analysis.diagnostics.front().code + ": " +
+                                   report->analysis.diagnostics.front().message);
+  }
+  if (options_.verify_programs && errors > 0) {
+    GUARDRAIL_COUNTER_INC("analysis.post_synthesis_failures_total");
+    const analysis::Diagnostic* first_error = nullptr;
+    for (const analysis::Diagnostic& d : report->analysis.diagnostics) {
+      if (d.severity == analysis::Severity::kError) {
+        first_error = &d;
+        break;
+      }
+    }
+    report->verification = Status::Internal(
+        "synthesized program failed static verification with " +
+        std::to_string(errors) + " error(s); first: " + first_error->code +
+        " " + first_error->message);
+  }
 }
 
 SynthesisReport Synthesizer::SynthesizeImpl(

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/checker.h"
 #include "common/deadline.h"
 #include "common/rng.h"
 #include "core/ast.h"
@@ -60,6 +61,15 @@ struct SynthesisOptions {
   bool enforce_gnt = false;
   /// CI-test configuration for the GNT check (raw-data tests).
   pgm::GSquareTest::Options gnt_ci;
+  /// Post-synthesis invariant verification (src/analysis). The analyzer
+  /// always runs after a non-degraded synthesis and WARN-logs findings plus
+  /// `analysis.*` telemetry counters; with verify_programs set, any
+  /// error-severity diagnostic additionally fails the run — the report's
+  /// `verification` Status turns non-OK. Tests run with this on so a silent
+  /// bug in sketch filling, normalization, or MEC selection cannot ship a
+  /// program that violates the paper's invariants. Verification also enables
+  /// the G-squared LNT/GNT audit, which release mode skips for latency.
+  bool verify_programs = false;
 };
 
 /// The graceful-degradation ladder: which synthesis strategy ultimately
@@ -137,6 +147,14 @@ struct SynthesisReport {
   bool budget_expired = false;
   /// Populated on the kTrivial rung (and harmless to use on any rung).
   std::vector<DomainConstraint> domain_constraints;
+
+  // ---- Post-synthesis invariant verification (src/analysis). ----
+  /// Static-analysis findings on the synthesized program (empty when the
+  /// check was skipped because the budget had already expired).
+  analysis::DiagnosticReport analysis;
+  /// OK unless SynthesisOptions::verify_programs is set and the analyzer
+  /// reported error-severity diagnostics.
+  Status verification = Status::OK();
 };
 
 /// The Guardrail synthesizer: auxiliary sampling -> PC -> MEC enumeration ->
@@ -190,6 +208,11 @@ class Synthesizer {
   /// Rung kHillClimb / kSingleDag helper: fill the sketch of one DAG.
   Result<SynthesisReport> FillSingleDag(const pgm::Dag& dag, const Table& data,
                                         const CancellationToken& cancel) const;
+
+  /// Post-synthesis invariant check: statically analyzes report->program,
+  /// WARN-logs findings, and under verify_programs fails `verification` on
+  /// error-severity diagnostics.
+  void VerifyProgram(const Table& data, SynthesisReport* report) const;
 
   SynthesisOptions options_;
 };

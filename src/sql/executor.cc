@@ -286,6 +286,15 @@ void Executor::SetGuard(const core::Guard* guard, core::ErrorPolicy policy) {
   guard_policy_ = policy;
 }
 
+Status Executor::AttachGuard(const core::Guard* guard,
+                             core::ErrorPolicy policy, const Schema& schema) {
+  if (guard != nullptr) {
+    GUARDRAIL_RETURN_NOT_OK(ValidateGuardProgram(*guard->program(), schema));
+  }
+  SetGuard(guard, policy);
+  return Status::OK();
+}
+
 Result<QueryResult> Executor::Execute(std::string_view sql) {
   GUARDRAIL_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
   return Execute(stmt);

@@ -56,7 +56,19 @@ class Executor {
 
   /// Installs the Guardrail interception hook: every row is processed with
   /// `policy` before any model sees it. Pass nullptr to disable.
+  ///
+  /// Prefer AttachGuard: SetGuard is the unchecked low-level hook (kept for
+  /// trusted in-process programs and tests that need to install broken
+  /// guards on purpose).
   void SetGuard(const core::Guard* guard, core::ErrorPolicy policy);
+
+  /// Checked attach: vets the guard's program with the static analyzer's
+  /// schema-level passes (sql::ValidateGuardProgram) and rejects programs
+  /// carrying error-severity diagnostics — a broken guard would silently
+  /// mis-vet every subsequent query. `schema` is the schema of the table(s)
+  /// the guard will see. Passing nullptr detaches and always succeeds.
+  Status AttachGuard(const core::Guard* guard, core::ErrorPolicy policy,
+                     const Schema& schema);
 
   /// Installs a cancellation token honored by subsequent Execute calls: the
   /// scan checks it per row (amortized) and returns Status::Timeout when it

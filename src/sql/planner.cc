@@ -1,5 +1,7 @@
 #include "sql/planner.h"
 
+#include "analysis/checker.h"
+
 namespace guardrail {
 namespace sql {
 
@@ -25,6 +27,28 @@ void VisitExpr(const Expr* expr, const Fn& fn) {
 }
 
 }  // namespace
+
+Status ValidateGuardProgram(const core::Program& program,
+                            const Schema& schema) {
+  analysis::AnalysisOptions options;
+  // Schema-level passes only: the planner has no data sample at attach time,
+  // and Analyze(program, schema) skips the data-dependent audits anyway.
+  analysis::Analyzer analyzer(options);
+  analysis::DiagnosticReport report = analyzer.Analyze(program, schema);
+  if (!report.HasErrors()) return Status::OK();
+  const analysis::Diagnostic* first = nullptr;
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.severity == analysis::Severity::kError) {
+      first = &d;
+      break;
+    }
+  }
+  return Status::InvalidArgument(
+      "guard program rejected: " +
+      std::to_string(report.CountAtSeverity(analysis::Severity::kError)) +
+      " error-severity diagnostic(s); first: " + first->code + " " +
+      first->message);
+}
 
 std::vector<const Expr*> SplitConjuncts(const Expr* expr) {
   std::vector<const Expr*> out;

@@ -4,7 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "core/ast.h"
 #include "sql/ast.h"
+#include "table/schema.h"
 
 namespace guardrail {
 namespace sql {
@@ -36,6 +39,15 @@ struct FilterPlan {
 /// `enable_pushdown` false every conjunct is treated as ML-dependent
 /// (the ablation baseline).
 FilterPlan PlanFilter(const Expr* where, bool enable_pushdown);
+
+/// Planner-side vetting of a constraint program before it may intercept
+/// query rows: runs the static analyzer's schema-level passes (type/domain,
+/// satisfiability, contradictions — src/analysis) and rejects programs
+/// carrying error-severity diagnostics with InvalidArgument. A broken guard
+/// silently corrupts every query it vets, so the check sits on the attach
+/// path (Executor::AttachGuard), not the per-row path.
+Status ValidateGuardProgram(const core::Program& program,
+                            const Schema& schema);
 
 /// Human-readable physical plan sketch for a statement:
 ///

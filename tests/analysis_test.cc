@@ -1,0 +1,506 @@
+// Static-analyzer suite (src/analysis). The verifier earns its keep four
+// ways, each locked down here:
+//   1. silence on clean synthesized programs (a lint gate that cries wolf
+//      gets disabled);
+//   2. a mutation self-test — seeded corruptions across all five pass
+//      categories must be caught at >= 95%;
+//   3. byte-stable JSON output (downstream tooling greps it);
+//   4. normalize -> print -> parse is a fixpoint for every corpus program.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "core/guard.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "core/synthesizer.h"
+#include "sql/executor.h"
+#include "sql/planner.h"
+#include "table/sem_generator.h"
+
+namespace guardrail {
+namespace analysis {
+namespace {
+
+// zip -> city -> state chain plus an independent note column. Zero noise, so
+// every synthesized branch is epsilon-valid with margin and every seeded
+// corruption below is detectable in principle.
+Table MakeChainData(int64_t rows = 1200) {
+  std::vector<SemNode> nodes(4);
+  nodes[0] = {"zip", 6, {}, 0.0};
+  nodes[1] = {"city", 5, {0}, 0.0};
+  nodes[2] = {"state", 4, {1}, 0.0};
+  nodes[3] = {"note", 3, {}, 0.0};
+  SemModel sem(std::move(nodes), 77);
+  Rng rng(5);
+  return sem.Sample(rows, &rng);
+}
+
+// Mirror the synthesis configuration (FillOptions defaults), including the
+// synthesizer post-check's rule that regions too thin to warrant a branch
+// (support < min_branch_support) are not reportable coverage holes.
+AnalysisOptions MatchingOptions() {
+  AnalysisOptions options;
+  options.epsilon = 0.02;
+  options.min_branch_support = 5;
+  options.coverage_hole_min_support = 5;
+  return options;
+}
+
+struct CleanSetup {
+  Table data;
+  Schema schema;
+  core::SynthesisReport report;
+  core::Program program;  // Normalized copy of report.program.
+};
+
+const CleanSetup& ChainSetup() {
+  static const CleanSetup* setup = [] {
+    auto* s = new CleanSetup{MakeChainData(), Schema(), {}, {}};
+    s->schema = s->data.schema();
+    core::SynthesisOptions options;
+    options.verify_programs = true;
+    core::Synthesizer synth(options);
+    Rng rng(11);
+    s->report = synth.Synthesize(s->data, &rng);
+    s->program = s->report.program;
+    core::NormalizeProgram(&s->program);
+    return s;
+  }();
+  return *setup;
+}
+
+// ------------------------------------------------- clean-program silence --
+
+TEST(AnalysisCleanTest, SynthesizerVerificationPassesOnCleanData) {
+  const CleanSetup& s = ChainSetup();
+  ASSERT_FALSE(s.program.empty());
+  EXPECT_TRUE(s.report.verification.ok())
+      << s.report.verification.ToString();
+  EXPECT_TRUE(s.report.analysis.diagnostics.empty())
+      << s.report.analysis.ToText();
+}
+
+TEST(AnalysisCleanTest, FullAnalysisOfCleanProgramIsSilent) {
+  const CleanSetup& s = ChainSetup();
+  Analyzer analyzer(MatchingOptions());
+  DiagnosticReport report = analyzer.Analyze(s.program, s.schema, s.data);
+  EXPECT_TRUE(report.diagnostics.empty()) << report.ToText();
+  EXPECT_EQ(report.passes_run.size(), 5u);
+}
+
+TEST(AnalysisCleanTest, SchemaOnlyAnalysisOfCleanProgramIsSilent) {
+  const CleanSetup& s = ChainSetup();
+  Analyzer analyzer(MatchingOptions());
+  DiagnosticReport report = analyzer.Analyze(s.program, s.schema);
+  EXPECT_TRUE(report.diagnostics.empty()) << report.ToText();
+  EXPECT_EQ(report.passes_run.size(), 3u);
+}
+
+// ----------------------------------------------------- mutation self-test --
+
+enum class MutationCategory {
+  kTypeDomain,
+  kSatisfiability,
+  kContradiction,
+  kNonTriviality,
+  kCoverage,
+};
+
+const char* CategoryName(MutationCategory c) {
+  switch (c) {
+    case MutationCategory::kTypeDomain:
+      return "type/domain";
+    case MutationCategory::kSatisfiability:
+      return "satisfiability";
+    case MutationCategory::kContradiction:
+      return "contradiction";
+    case MutationCategory::kNonTriviality:
+      return "non-triviality";
+    case MutationCategory::kCoverage:
+      return "coverage";
+  }
+  return "?";
+}
+
+struct Mutant {
+  MutationCategory category;
+  std::string name;
+  core::Program program;
+};
+
+ValueId OtherValue(const Schema& schema, AttrIndex attr, ValueId v) {
+  return (v + 1) % schema.attribute(attr).domain_size();
+}
+
+// Seeds one corruption per (site, class) over the clean program. Every
+// mutant is designed to violate an invariant some pass checks; the catch
+// rate below is the analyzer's mutation score.
+std::vector<Mutant> SeedMutants(const core::Program& clean,
+                                const Schema& schema) {
+  std::vector<Mutant> mutants;
+  auto add = [&](MutationCategory category, const std::string& name,
+                 core::Program program) {
+    mutants.push_back({category, name, std::move(program)});
+  };
+  const AttrIndex out_of_range = schema.num_attributes() + 2;
+
+  for (size_t si = 0; si < clean.statements.size(); ++si) {
+    const core::Statement& stmt = clean.statements[si];
+    const std::string at = "stmt" + std::to_string(si);
+
+    // -- type/domain (GRL1xx) --
+    {
+      core::Program p = clean;
+      p.statements[si].dependent = out_of_range;
+      add(MutationCategory::kTypeDomain, at + ":dependent-out-of-range",
+          std::move(p));
+    }
+    {
+      core::Program p = clean;
+      p.statements[si].determinants[0] = out_of_range;
+      add(MutationCategory::kTypeDomain, at + ":determinant-out-of-range",
+          std::move(p));
+    }
+
+    // -- contradiction (GRL301): a clone of the statement forcing different
+    // values over the same warranted regions --
+    {
+      core::Program p = clean;
+      core::Statement clone = stmt;
+      for (core::Branch& branch : clone.branches) {
+        branch.assignment = OtherValue(schema, branch.target,
+                                       branch.assignment);
+      }
+      p.statements.push_back(std::move(clone));
+      add(MutationCategory::kContradiction, at + ":conflicting-clone",
+          std::move(p));
+    }
+
+    for (size_t bi = 0; bi < stmt.branches.size(); ++bi) {
+      const core::Branch& branch = stmt.branches[bi];
+      const std::string site = at + ":br" + std::to_string(bi);
+
+      // -- type/domain (GRL1xx) --
+      {
+        core::Program p = clean;
+        core::Branch& b = p.statements[si].branches[bi];
+        b.assignment = schema.attribute(b.target).domain_size() + 7;
+        add(MutationCategory::kTypeDomain, site + ":assignment-out-of-domain",
+            std::move(p));
+      }
+      {
+        core::Program p = clean;
+        p.statements[si].branches[bi].assignment = kNullValue;
+        add(MutationCategory::kTypeDomain, site + ":assignment-null",
+            std::move(p));
+      }
+      if (!branch.condition.equalities.empty()) {
+        core::Program p = clean;
+        core::Branch& b = p.statements[si].branches[bi];
+        AttrIndex attr = b.condition.equalities[0].first;
+        b.condition.equalities[0].second =
+            schema.attribute(attr).domain_size() + 9;
+        add(MutationCategory::kTypeDomain, site + ":condition-out-of-domain",
+            std::move(p));
+      }
+
+      // -- satisfiability (GRL2xx) --
+      if (!branch.condition.equalities.empty()) {
+        const auto& [attr, value] = branch.condition.equalities[0];
+        if (schema.attribute(attr).domain_size() > 1) {
+          core::Program p = clean;
+          core::Branch& b = p.statements[si].branches[bi];
+          b.condition.equalities.emplace_back(attr,
+                                              OtherValue(schema, attr, value));
+          std::sort(b.condition.equalities.begin(),
+                    b.condition.equalities.end());
+          add(MutationCategory::kSatisfiability, site + ":self-conflict",
+              std::move(p));
+        }
+      }
+      {
+        // A duplicate of this branch appended at the end is dead under
+        // first-match-wins (GRL203), and its flipped assignment makes the
+        // corpse visibly wrong too.
+        core::Program p = clean;
+        core::Branch dup = branch;
+        dup.assignment = OtherValue(schema, dup.target, dup.assignment);
+        p.statements[si].branches.push_back(std::move(dup));
+        add(MutationCategory::kSatisfiability, site + ":duplicate-condition",
+            std::move(p));
+      }
+
+      // -- non-triviality (GRL4xx) --
+      {
+        core::Program p = clean;
+        core::Branch& b = p.statements[si].branches[bi];
+        b.assignment = OtherValue(schema, b.target, b.assignment);
+        add(MutationCategory::kNonTriviality, site + ":assignment-swap",
+            std::move(p));
+      }
+      if (!branch.condition.equalities.empty()) {
+        core::Program p = clean;
+        core::Branch& b = p.statements[si].branches[bi];
+        b.condition.equalities.pop_back();
+        add(MutationCategory::kNonTriviality, site + ":widened-condition",
+            std::move(p));
+      }
+
+      // -- coverage (GRL5xx) --
+      if (stmt.branches.size() > 1) {
+        core::Program p = clean;
+        auto& branches = p.statements[si].branches;
+        branches.erase(branches.begin() + static_cast<long>(bi));
+        add(MutationCategory::kCoverage, site + ":dropped-branch",
+            std::move(p));
+      }
+    }
+  }
+  return mutants;
+}
+
+TEST(AnalysisMutationTest, CatchesAtLeast95PercentOfSeededCorruptions) {
+  const CleanSetup& s = ChainSetup();
+  ASSERT_FALSE(s.program.empty());
+  std::vector<Mutant> mutants = SeedMutants(s.program, s.schema);
+  ASSERT_GE(mutants.size(), 25u);
+
+  Analyzer analyzer(MatchingOptions());
+  std::map<MutationCategory, std::pair<int, int>> by_category;  // caught/total
+  int caught = 0;
+  for (const Mutant& mutant : mutants) {
+    DiagnosticReport report =
+        analyzer.Analyze(mutant.program, s.schema, s.data);
+    const bool detected = report.CountAtSeverity(Severity::kError) +
+                              report.CountAtSeverity(Severity::kWarning) >
+                          0;
+    auto& [cat_caught, cat_total] = by_category[mutant.category];
+    ++cat_total;
+    if (detected) {
+      ++caught;
+      ++cat_caught;
+    } else {
+      ADD_FAILURE() << "undetected mutant " << mutant.name << " ("
+                    << CategoryName(mutant.category) << ")";
+    }
+  }
+
+  ASSERT_EQ(by_category.size(), 5u) << "mutants must span all five passes";
+  for (const auto& [category, counts] : by_category) {
+    EXPECT_GE(counts.first, 1)
+        << "no catches in category " << CategoryName(category);
+  }
+  EXPECT_GE(static_cast<double>(caught),
+            0.95 * static_cast<double>(mutants.size()))
+      << caught << "/" << mutants.size() << " mutants caught";
+}
+
+TEST(AnalysisMutationTest, SchemaOnlyAnalysisCatchesStructuralMutants) {
+  const CleanSetup& s = ChainSetup();
+  core::Program p = s.program;
+  p.statements[0].dependent = s.schema.num_attributes() + 4;
+  Analyzer analyzer(MatchingOptions());
+  DiagnosticReport report = analyzer.Analyze(p, s.schema);
+  EXPECT_TRUE(report.HasErrors()) << report.ToText();
+}
+
+// ------------------------------------------------------------ golden JSON --
+
+TEST(DiagnosticsTest, EmptyReportJsonIsStable) {
+  DiagnosticReport report;
+  EXPECT_EQ(report.ToJson(),
+            "{\"diagnostics\": [], "
+            "\"counts\": {\"error\": 0, \"warning\": 0, \"info\": 0}}");
+}
+
+TEST(DiagnosticsTest, SelfConflictReportJsonIsStable) {
+  Schema schema({Attribute("a"), Attribute("b")});
+  ValueId x = schema.attribute(0).GetOrInsert("x");
+  ValueId y = schema.attribute(0).GetOrInsert("y");
+  ValueId u = schema.attribute(1).GetOrInsert("u");
+
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch branch;
+  branch.condition.equalities = {{0, x}, {0, y}};
+  branch.target = 1;
+  branch.assignment = u;
+  stmt.branches.push_back(branch);
+  program.statements.push_back(stmt);
+
+  Analyzer analyzer;
+  DiagnosticReport report = analyzer.Analyze(program, schema);
+  EXPECT_EQ(
+      report.ToJson(),
+      "{\"diagnostics\": ["
+      "{\"code\": \"GRL104\", \"severity\": \"error\", \"statement\": 0, "
+      "\"branch\": 0, \"attribute\": \"a\", \"message\": \"attribute 'a' "
+      "repeated within one conjunction\"}, "
+      "{\"code\": \"GRL201\", \"severity\": \"error\", \"statement\": 0, "
+      "\"branch\": 0, \"attribute\": \"b\", \"message\": \"condition "
+      "constrains one attribute to two different values; no row can satisfy "
+      "it\"}], "
+      "\"counts\": {\"error\": 2, \"warning\": 0, \"info\": 0}}");
+}
+
+TEST(DiagnosticsTest, ReportSortsByLocationThenCode) {
+  DiagnosticReport report;
+  report.Add({"GRL301", Severity::kError, 1, 0, "b", "late"});
+  report.Add({"GRL102", Severity::kError, 0, 2, "a", "early"});
+  report.Add({"GRL101", Severity::kError, 0, 2, "a", "earlier"});
+  report.Sort();
+  EXPECT_EQ(report.diagnostics[0].code, "GRL101");
+  EXPECT_EQ(report.diagnostics[1].code, "GRL102");
+  EXPECT_EQ(report.diagnostics[2].code, "GRL301");
+}
+
+TEST(DiagnosticsTest, TextReportEndsWithSeverityTally) {
+  DiagnosticReport report;
+  report.Add({"GRL501", Severity::kWarning, 0, -1, "b", "hole"});
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("warning GRL501 [stmt 0] (b): hole\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("0 error(s), 1 warning(s), 0 info\n"),
+            std::string::npos);
+}
+
+// --------------------------------------------- round-trip fixpoint property --
+
+void ExpectRoundTripFixpoint(const core::Program& program,
+                             const Schema& schema) {
+  core::Program canon = program;
+  core::NormalizeProgram(&canon);
+  std::string text = core::ToDsl(canon, schema);
+  Schema parse_schema = schema;
+  auto parsed = core::ParseProgram(text, &parse_schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  EXPECT_EQ(*parsed, canon) << text;
+  // The parse output is already canonical: normalize is idempotent on it.
+  core::Program again = *parsed;
+  core::NormalizeProgram(&again);
+  EXPECT_EQ(again, *parsed) << text;
+}
+
+TEST(RoundTripTest, SynthesizedProgramIsAFixpoint) {
+  const CleanSetup& s = ChainSetup();
+  ASSERT_FALSE(s.program.empty());
+  ExpectRoundTripFixpoint(s.program, s.schema);
+}
+
+TEST(RoundTripTest, UnsortedHeadersAndConditionsAreAFixpoint) {
+  Schema schema({Attribute("a"), Attribute("b"), Attribute("c")});
+  ValueId a1 = schema.attribute(0).GetOrInsert("a1");
+  ValueId b1 = schema.attribute(1).GetOrInsert("b1");
+  ValueId c1 = schema.attribute(2).GetOrInsert("c1");
+
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {2, 0};  // Deliberately unsorted.
+  stmt.dependent = 1;
+  core::Branch branch;
+  branch.condition.equalities = {{2, c1}, {0, a1}};  // Unsorted too.
+  branch.target = 1;
+  branch.assignment = b1;
+  stmt.branches.push_back(branch);
+  program.statements.push_back(stmt);
+
+  ExpectRoundTripFixpoint(program, schema);
+}
+
+TEST(RoundTripTest, EmptyConditionPrintsAsIfTrueAndReparses) {
+  Schema schema({Attribute("a"), Attribute("b")});
+  ValueId b1 = schema.attribute(1).GetOrInsert("b1");
+
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch branch;  // Empty condition: always matches.
+  branch.target = 1;
+  branch.assignment = b1;
+  stmt.branches.push_back(branch);
+  program.statements.push_back(stmt);
+
+  std::string text = core::ToDsl(program, schema);
+  EXPECT_NE(text.find("IF TRUE THEN"), std::string::npos) << text;
+  ExpectRoundTripFixpoint(program, schema);
+}
+
+TEST(RoundTripTest, AttributeNamedTrueStillParsesInEqualities) {
+  // The empty-condition spelling must not shadow a real attribute named
+  // TRUE: lookahead only fires when TRUE is immediately followed by THEN.
+  Schema schema({Attribute("TRUE"), Attribute("b")});
+  ValueId t1 = schema.attribute(0).GetOrInsert("t1");
+  ValueId b1 = schema.attribute(1).GetOrInsert("b1");
+
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch branch;
+  branch.condition.equalities = {{0, t1}};
+  branch.target = 1;
+  branch.assignment = b1;
+  stmt.branches.push_back(branch);
+  program.statements.push_back(stmt);
+
+  ExpectRoundTripFixpoint(program, schema);
+}
+
+// ----------------------------------------------------- planner guard gate --
+
+TEST(PlannerGuardTest, CleanProgramPassesValidation) {
+  const CleanSetup& s = ChainSetup();
+  EXPECT_TRUE(sql::ValidateGuardProgram(s.program, s.schema).ok());
+}
+
+TEST(PlannerGuardTest, BrokenProgramIsRejectedWithDiagnosticCode) {
+  const CleanSetup& s = ChainSetup();
+  core::Program broken = s.program;
+  core::Branch& b = broken.statements[0].branches[0];
+  b.assignment = s.schema.attribute(b.target).domain_size() + 3;
+  Status status = sql::ValidateGuardProgram(broken, s.schema);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("GRL"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PlannerGuardTest, ExecutorAttachGuardEnforcesValidation) {
+  const CleanSetup& s = ChainSetup();
+  core::Program broken = s.program;
+  broken.statements[0].dependent = s.schema.num_attributes() + 1;
+
+  sql::Executor executor;
+  executor.RegisterTable("t", &s.data);
+
+  core::Guard bad_guard(&broken);
+  EXPECT_FALSE(executor
+                   .AttachGuard(&bad_guard, core::ErrorPolicy::kRaise,
+                                s.schema)
+                   .ok());
+
+  core::Guard good_guard(&s.program);
+  EXPECT_TRUE(executor
+                  .AttachGuard(&good_guard, core::ErrorPolicy::kRaise,
+                               s.schema)
+                  .ok());
+  // Detaching never needs validation.
+  EXPECT_TRUE(executor
+                  .AttachGuard(nullptr, core::ErrorPolicy::kIgnore, s.schema)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace guardrail

@@ -43,6 +43,25 @@ grep -q "gibbon" "$DIR/dirty.log"
 "$BIN" check "$DIR/prog.grl" "$DIR/fixed.csv" | grep -q "0 violation"
 ! grep -q gibbon "$DIR/fixed.csv"
 
+# Static analysis (docs/ANALYSIS.md): a clean program yields no diagnostics
+# and exit 0, in both text and JSON form.
+"$BIN" analyze "$DIR/prog.grl" "$DIR/data.csv" > "$DIR/analyze.log"
+grep -q "no diagnostics" "$DIR/analyze.log"
+"$BIN" analyze "$DIR/prog.grl" "$DIR/data.csv" --json > "$DIR/analyze.json"
+python3 -m json.tool "$DIR/analyze.json" > /dev/null
+grep -q '"counts": {"error": 0, "warning": 0, "info": 0}' "$DIR/analyze.json"
+
+# A corrupted program draws error-severity diagnostics: exit 4 plus valid
+# machine-readable JSON naming the code.
+sed "s/city <- 'Berkeley'/city <- 'Oakland'/" "$DIR/prog.grl" > "$DIR/bad.grl"
+if "$BIN" analyze "$DIR/bad.grl" "$DIR/data.csv" --json > "$DIR/bad.json"; then
+  echo "expected nonzero exit for error diagnostics" >&2
+  exit 1
+fi
+python3 -m json.tool "$DIR/bad.json" > /dev/null
+grep -q '"code": "GRL404"' "$DIR/bad.json"
+grep -q '"severity": "error"' "$DIR/bad.json"
+
 # Deadline-aware synthesis: a generous budget on this tiny input stays on
 # the top rung (same program), and a zero budget still exits cleanly with a
 # trivial-rung artifact instead of hanging or crashing.

@@ -8,6 +8,12 @@
 //   guardrail check <program.grl> <data.csv>
 //       Report rows violating the constraints (row numbers are 1-based data
 //       rows, header excluded). Exit code 3 when violations exist.
+//   guardrail analyze <program.grl> <data.csv> [--json] [--epsilon=E]
+//       [--scheme=raise|ignore|coerce|rectify]
+//       Statically analyze the program against the relation: type/domain
+//       checking, dead branches, contradictions, non-triviality audit, and
+//       coverage holes (docs/ANALYSIS.md). --json emits machine-readable
+//       diagnostics. Exit code 4 when error-severity diagnostics exist.
 //   guardrail repair <program.grl> <in.csv> <out.csv>
 //       Rectify violations (MAP repair) and write the cleaned CSV.
 //   guardrail profile <data.csv>
@@ -35,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/checker.h"
 #include "common/deadline.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -136,6 +143,28 @@ int CmdCheck(const std::string& program_path, const std::string& data_path) {
   return violations > 0 ? 3 : 0;
 }
 
+int CmdAnalyze(const std::string& program_path, const std::string& data_path,
+               bool json, double epsilon, core::ErrorPolicy scheme) {
+  auto table = LoadCsvTable(data_path);
+  if (!table.ok()) return Fail(table.status());
+  Schema schema = table->schema();
+  auto program = core::LoadProgramFromFile(program_path, &schema);
+  if (!program.ok()) return Fail(program.status());
+
+  analysis::AnalysisOptions options;
+  options.epsilon = epsilon;
+  options.scheme = scheme;
+  analysis::Analyzer analyzer(options);
+  analysis::DiagnosticReport report =
+      analyzer.Analyze(*program, schema, *table);
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::fputs(report.ToText().c_str(), stdout);
+  }
+  return report.HasErrors() ? 4 : 0;
+}
+
 int CmdRepair(const std::string& program_path, const std::string& in_path,
               const std::string& out_path) {
   auto table = LoadCsvTable(in_path);
@@ -210,6 +239,8 @@ int Usage() {
                "  guardrail synthesize <data.csv> <out.grl> [epsilon]"
                " [--time-budget-ms=N] [--threads=N]\n"
                "  guardrail check <program.grl> <data.csv>\n"
+               "  guardrail analyze <program.grl> <data.csv> [--json]"
+               " [--epsilon=E] [--scheme=raise|ignore|coerce|rectify]\n"
                "  guardrail repair <program.grl> <in.csv> <out.csv>\n"
                "  guardrail profile <data.csv>\n"
                "  guardrail query <data.csv> \"<SELECT ...>\""
@@ -236,6 +267,9 @@ int Main(int argc, char** argv) {
   int num_threads = 0;  // 0 = ThreadPool::DefaultThreads().
   std::string trace_out;
   std::string metrics_out;
+  bool json = false;
+  double analyze_epsilon = 0.02;
+  core::ErrorPolicy scheme = core::ErrorPolicy::kRaise;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -244,6 +278,34 @@ int Main(int argc, char** argv) {
     constexpr std::string_view kTraceOut = "--trace-out=";
     constexpr std::string_view kMetricsOut = "--metrics-out=";
     constexpr std::string_view kLogLevel = "--log-level=";
+    constexpr std::string_view kEpsilon = "--epsilon=";
+    constexpr std::string_view kScheme = "--scheme=";
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg.rfind(kEpsilon, 0) == 0) {
+      if (!ParseDouble(arg.substr(kEpsilon.size()), &analyze_epsilon) ||
+          analyze_epsilon < 0 || analyze_epsilon >= 1) {
+        return Usage();
+      }
+      continue;
+    }
+    if (arg.rfind(kScheme, 0) == 0) {
+      std::string_view name = arg.substr(kScheme.size());
+      if (name == "raise") {
+        scheme = core::ErrorPolicy::kRaise;
+      } else if (name == "ignore") {
+        scheme = core::ErrorPolicy::kIgnore;
+      } else if (name == "coerce") {
+        scheme = core::ErrorPolicy::kCoerce;
+      } else if (name == "rectify") {
+        scheme = core::ErrorPolicy::kRectify;
+      } else {
+        return Usage();
+      }
+      continue;
+    }
     if (arg.rfind(kThreads, 0) == 0) {
       double parsed = 0;
       if (!ParseDouble(arg.substr(kThreads.size()), &parsed) || parsed < 1) {
@@ -297,6 +359,8 @@ int Main(int argc, char** argv) {
                        num_threads);
   } else if (command == "check" && n == 3) {
     rc = CmdCheck(args[1], args[2]);
+  } else if (command == "analyze" && n == 3) {
+    rc = CmdAnalyze(args[1], args[2], json, analyze_epsilon, scheme);
   } else if (command == "repair" && n == 4) {
     rc = CmdRepair(args[1], args[2], args[3]);
   } else if (command == "profile" && n == 2) {
