@@ -1,0 +1,280 @@
+// Load generator for the guard-serving daemon (docs/SERVING.md): an
+// in-process Server fronted by real localhost TCP connections. Phase 1
+// drives N connections x M batches x R rows through `guardrail serve`'s
+// stack (wire protocol -> admission -> engine -> Guard) and reports
+// throughput plus client-observed latency percentiles; phase 2 shrinks the
+// admission limit to 1 and verifies overload surfaces as ResourceExhausted
+// backpressure instead of queueing. Results are written as
+// BENCH_serve_throughput.json. GUARDRAIL_BENCH_FAST=1 shrinks the workload
+// to smoke scale.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace {
+
+constexpr int kZips = 50;
+
+std::string ZipLabel(int i) { return "9" + std::to_string(4000 + i); }
+std::string CityLabel(int i) { return "city_" + std::to_string(i); }
+
+// Seed CSV: one clean row per zip; doubles as the program's base schema.
+std::string SeedCsv() {
+  std::string csv = "zip,city\n";
+  for (int i = 0; i < kZips; ++i) {
+    csv += ZipLabel(i) + "," + CityLabel(i) + "\n";
+  }
+  return csv;
+}
+
+// zip -> city functional dependency, one branch per zip.
+std::string ProgramText() {
+  std::string text = "# guardrail-program v1\nGIVEN zip ON city HAVING\n";
+  for (int i = 0; i < kZips; ++i) {
+    text += "  IF zip = '" + ZipLabel(i) + "' THEN city <- '" + CityLabel(i) +
+            "';\n";
+  }
+  return text;
+}
+
+// One request batch with ~1% corrupted city labels.
+std::string MakeBatch(Rng* rng, int rows) {
+  std::string payload = "zip,city\n";
+  for (int r = 0; r < rows; ++r) {
+    int zip = static_cast<int>(rng->NextUint64(kZips));
+    int city = zip;
+    if (rng->NextBernoulli(0.01)) {
+      city = (zip + 1 + static_cast<int>(rng->NextUint64(kZips - 1))) % kZips;
+    }
+    payload += ZipLabel(zip) + "," + CityLabel(city) + "\n";
+  }
+  return payload;
+}
+
+struct WorkerStats {
+  std::vector<int64_t> latencies_micros;
+  int64_t rows_sent = 0;
+  int64_t flagged_rows = 0;
+  int64_t error_responses = 0;
+  int64_t transport_errors = 0;
+};
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+int Run() {
+  const bool fast = std::getenv("GUARDRAIL_BENCH_FAST") != nullptr;
+  const int connections = fast ? 2 : 4;
+  const int batches = fast ? 4 : 32;
+  const int rows_per_batch = fast ? 128 : 512;
+
+  auto doc = ParseCsv(SeedCsv());
+  if (!doc.ok()) return 1;
+  auto seed_table = Table::FromCsv(*doc);
+  if (!seed_table.ok()) return 1;
+
+  serve::ProgramRegistry registry;
+  auto version =
+      registry.LoadFromText("demo", ProgramText(), seed_table->schema());
+  if (!version.ok()) {
+    std::fprintf(stderr, "program load failed: %s\n",
+                 version.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::EngineOptions engine_options;
+  serve::ValidationEngine engine(&registry, engine_options);
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  serve::Server server(&registry, &engine, server_options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int port = server.port();
+
+  // ---- Phase 1: throughput -------------------------------------------
+  std::vector<WorkerStats> stats(static_cast<size_t>(connections));
+  auto begin = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < connections; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerStats& s = stats[static_cast<size_t>(w)];
+        Rng rng(0xB15D5EEDULL + static_cast<uint64_t>(w));
+        auto client = serve::Client::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          s.transport_errors = batches;
+          return;
+        }
+        serve::ValidateRequest request;
+        request.dataset = "demo";
+        request.scheme = core::ErrorPolicy::kIgnore;
+        for (int b = 0; b < batches; ++b) {
+          request.payload = MakeBatch(&rng, rows_per_batch);
+          auto t0 = std::chrono::steady_clock::now();
+          auto response = client->Validate(request);
+          auto t1 = std::chrono::steady_clock::now();
+          if (!response.ok()) {
+            ++s.transport_errors;
+            continue;
+          }
+          s.latencies_micros.push_back(
+              std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                  .count());
+          s.rows_sent += rows_per_batch;
+          if (response->code != StatusCode::kOk) {
+            ++s.error_responses;
+            continue;
+          }
+          for (const serve::RowResult& row : response->rows) {
+            if (row.verdict != serve::RowVerdict::kOk) ++s.flagged_rows;
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+
+  WorkerStats total;
+  for (const WorkerStats& s : stats) {
+    total.rows_sent += s.rows_sent;
+    total.flagged_rows += s.flagged_rows;
+    total.error_responses += s.error_responses;
+    total.transport_errors += s.transport_errors;
+    total.latencies_micros.insert(total.latencies_micros.end(),
+                                  s.latencies_micros.begin(),
+                                  s.latencies_micros.end());
+  }
+  std::sort(total.latencies_micros.begin(), total.latencies_micros.end());
+  double rows_per_sec =
+      wall_seconds > 0 ? static_cast<double>(total.rows_sent) / wall_seconds
+                       : 0.0;
+
+  // ---- Phase 2: backpressure at queue depth 1 ------------------------
+  // A second engine/server pair with a single admission slot; concurrent
+  // clients must observe ResourceExhausted shedding, never queue buildup.
+  serve::EngineOptions tight_options;
+  tight_options.max_inflight = 1;
+  serve::ValidationEngine tight_engine(&registry, tight_options);
+  serve::ServerOptions tight_server_options;
+  tight_server_options.port = 0;
+  serve::Server tight_server(&registry, &tight_engine, tight_server_options);
+  if (Status st = tight_server.Start(); !st.ok()) {
+    std::fprintf(stderr, "backpressure server start failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> served{0};
+  {
+    // Batches big enough to hold the single admission slot for a while, so
+    // concurrent arrivals actually collide with it.
+    const int stress_threads = fast ? 4 : 8;
+    const int stress_batches = fast ? 8 : 16;
+    const int stress_rows = fast ? 2048 : 8192;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < stress_threads; ++w) {
+      workers.emplace_back([&, w] {
+        Rng rng(0xACE0FBA5EULL + static_cast<uint64_t>(w));
+        auto client = serve::Client::Connect("127.0.0.1", tight_server.port());
+        if (!client.ok()) return;
+        serve::ValidateRequest request;
+        request.dataset = "demo";
+        request.scheme = core::ErrorPolicy::kRectify;
+        for (int b = 0; b < stress_batches; ++b) {
+          request.payload = MakeBatch(&rng, stress_rows);
+          auto response = client->Validate(request);
+          if (!response.ok()) return;
+          if (response->code == StatusCode::kResourceExhausted) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else if (response->code == StatusCode::kOk) {
+            served.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  tight_server.Drain();
+  server.Drain();
+
+  // ---- Report ---------------------------------------------------------
+  bench::TextTable table({"Metric", "Value"});
+  table.AddRow({"connections", bench::FmtInt(connections)});
+  table.AddRow({"rows sent", bench::FmtInt(total.rows_sent)});
+  table.AddRow({"rows/s", bench::FmtInt(static_cast<int64_t>(rows_per_sec))});
+  table.AddRow({"p50 (us)", bench::FmtInt(Percentile(total.latencies_micros, 0.50))});
+  table.AddRow({"p95 (us)", bench::FmtInt(Percentile(total.latencies_micros, 0.95))});
+  table.AddRow({"p99 (us)", bench::FmtInt(Percentile(total.latencies_micros, 0.99))});
+  table.AddRow({"flagged rows", bench::FmtInt(total.flagged_rows)});
+  table.AddRow({"error responses", bench::FmtInt(total.error_responses)});
+  table.AddRow({"transport errors", bench::FmtInt(total.transport_errors)});
+  table.AddRow({"backpressure shed", bench::FmtInt(shed.load())});
+  table.AddRow({"backpressure served", bench::FmtInt(served.load())});
+  std::printf("Serve throughput (localhost TCP, %d connections x %d batches "
+              "x %d rows):\n\n",
+              connections, batches, rows_per_batch);
+  table.Print();
+
+  std::string json = "[\n  {\"bench\": \"serve_throughput\"";
+  json += ", \"connections\": " + std::to_string(connections);
+  json += ", \"batches\": " + std::to_string(batches);
+  json += ", \"rows_per_batch\": " + std::to_string(rows_per_batch);
+  json += ", \"total_rows\": " + std::to_string(total.rows_sent);
+  json += ", \"wall_seconds\": " + bench::Fmt(wall_seconds, 6);
+  json += ", \"rows_per_sec\": " +
+          std::to_string(static_cast<int64_t>(rows_per_sec));
+  json += ", \"p50_micros\": " +
+          std::to_string(Percentile(total.latencies_micros, 0.50));
+  json += ", \"p95_micros\": " +
+          std::to_string(Percentile(total.latencies_micros, 0.95));
+  json += ", \"p99_micros\": " +
+          std::to_string(Percentile(total.latencies_micros, 0.99));
+  json += ", \"flagged_rows\": " + std::to_string(total.flagged_rows);
+  json += ", \"error_responses\": " + std::to_string(total.error_responses);
+  json += ", \"transport_errors\": " + std::to_string(total.transport_errors);
+  json += ", \"backpressure_shed\": " + std::to_string(shed.load());
+  json += ", \"backpressure_served\": " + std::to_string(served.load());
+  json += "}\n]\n";
+  if (std::FILE* f = std::fopen("BENCH_serve_throughput.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serve_throughput.json\n");
+  }
+
+  // The bench doubles as a correctness gate: every response in the
+  // throughput phase must succeed, and the tight server must have both shed
+  // and served work.
+  if (total.error_responses > 0 || total.transport_errors > 0) return 1;
+  if (served.load() == 0) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace guardrail
+
+int main() { return guardrail::Run(); }

@@ -138,13 +138,19 @@ Result<CsvDocument> ParseCsv(std::string_view text) {
   return doc;
 }
 
+std::string WriteCsvRecord(const std::vector<std::string>& record) {
+  std::string out;
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i > 0) out += ',';
+    out += NeedsQuoting(record[i]) ? QuoteField(record[i]) : record[i];
+  }
+  return out;
+}
+
 std::string WriteCsv(const CsvDocument& doc) {
   std::string out;
   auto write_record = [&](const std::vector<std::string>& record) {
-    for (size_t i = 0; i < record.size(); ++i) {
-      if (i > 0) out += ',';
-      out += NeedsQuoting(record[i]) ? QuoteField(record[i]) : record[i];
-    }
+    out += WriteCsvRecord(record);
     out += '\n';
   };
   write_record(doc.header);

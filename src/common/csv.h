@@ -29,6 +29,10 @@ Result<CsvDocument> ParseCsv(std::string_view text);
 /// Serializes a document back to CSV text, quoting fields that need it.
 std::string WriteCsv(const CsvDocument& doc);
 
+/// Serializes a single record as one CSV line (no trailing newline), with
+/// the same quoting rules as WriteCsv.
+std::string WriteCsvRecord(const std::vector<std::string>& record);
+
 /// File convenience wrappers.
 Result<CsvDocument> ReadCsvFile(const std::string& path);
 Status WriteCsvFile(const std::string& path, const CsvDocument& doc);

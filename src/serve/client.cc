@@ -1,0 +1,130 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace guardrail {
+namespace serve {
+
+namespace {
+
+Status SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t r =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = recv(fd, buf + got, n - got, 0);
+    if (r == 0) return Status::IoError("connection closed by server");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               int timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+
+  if (timeout_ms > 0) {
+    struct timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IoError("connect to " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::string> Client::RoundTrip(const std::string& frame) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  GUARDRAIL_RETURN_NOT_OK(SendAll(fd_, frame));
+
+  uint8_t prefix[kFramePrefixBytes];
+  GUARDRAIL_RETURN_NOT_OK(RecvAll(fd_, prefix, sizeof(prefix)));
+  uint64_t payload_size = DecodeFramePrefix(prefix);
+  GUARDRAIL_RETURN_NOT_OK(CheckFrameSize(payload_size));
+
+  std::string payload(payload_size, '\0');
+  GUARDRAIL_RETURN_NOT_OK(RecvAll(
+      fd_, reinterpret_cast<uint8_t*>(payload.data()), payload.size()));
+  return payload;
+}
+
+Result<ValidateResponse> Client::Validate(const ValidateRequest& request) {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::string payload,
+                             RoundTrip(EncodeValidateRequest(request)));
+  ValidateResponse response;
+  GUARDRAIL_RETURN_NOT_OK(DecodeValidateResponse(payload, &response));
+  return response;
+}
+
+Result<PingResponse> Client::Ping() {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::string payload,
+                             RoundTrip(EncodePingRequest()));
+  PingResponse response;
+  GUARDRAIL_RETURN_NOT_OK(DecodePingResponse(payload, &response));
+  return response;
+}
+
+}  // namespace serve
+}  // namespace guardrail

@@ -1,0 +1,47 @@
+#ifndef GUARDRAIL_SERVE_CLIENT_H_
+#define GUARDRAIL_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace guardrail {
+namespace serve {
+
+/// Blocking client for the guard-serving wire protocol: one TCP connection,
+/// request/response frames in lock step. Move-only; the socket closes with
+/// the object.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port,
+                                int timeout_ms = 5000);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends a Validate frame and decodes the response. A non-OK Result means
+  /// the transport failed; server-side failures come back as an OK Result
+  /// whose ValidateResponse carries a non-kOk code.
+  Result<ValidateResponse> Validate(const ValidateRequest& request);
+
+  Result<PingResponse> Ping();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Writes `frame`, then reads one complete response frame payload.
+  Result<std::string> RoundTrip(const std::string& frame);
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SERVE_CLIENT_H_

@@ -1,0 +1,495 @@
+#include "serve/engine.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/telemetry/telemetry.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/guard.h"
+#include "core/interpreter.h"
+
+namespace guardrail {
+namespace serve {
+
+namespace {
+
+/// Minimal JSON reader for the serve row format: an array of flat objects
+/// whose values are strings or null. Anything else — nested structures,
+/// numbers, booleans, syntax errors — is InvalidArgument with a byte
+/// offset. Kept local to the engine: this is a wire format, not a general
+/// JSON library.
+class JsonRowsParser {
+ public:
+  explicit JsonRowsParser(std::string_view text) : text_(text) {}
+
+  Status Parse(const Schema& schema, std::vector<std::vector<
+                   std::pair<AttrIndex, std::optional<std::string>>>>* rows) {
+    SkipWs();
+    GUARDRAIL_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return ExpectEnd();
+    }
+    while (true) {
+      rows->emplace_back();
+      GUARDRAIL_RETURN_NOT_OK(ParseObject(schema, &rows->back()));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      GUARDRAIL_RETURN_NOT_OK(Expect(']'));
+      return ExpectEnd();
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON rows: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return Status::OK();
+  }
+
+  Status ParseObject(
+      const Schema& schema,
+      std::vector<std::pair<AttrIndex, std::optional<std::string>>>* row) {
+    SkipWs();
+    GUARDRAIL_RETURN_NOT_OK(Expect('{'));
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      GUARDRAIL_RETURN_NOT_OK(ParseString(&key));
+      AttrIndex attr = schema.FindAttribute(key);
+      if (attr < 0) return Fail("unknown attribute '" + key + "'");
+      SkipWs();
+      GUARDRAIL_RETURN_NOT_OK(Expect(':'));
+      SkipWs();
+      if (Peek() == 'n') {
+        GUARDRAIL_RETURN_NOT_OK(ExpectLiteral("null"));
+        row->emplace_back(attr, std::nullopt);
+      } else {
+        std::string value;
+        GUARDRAIL_RETURN_NOT_OK(ParseString(&value));
+        row->emplace_back(attr, std::move(value));
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    GUARDRAIL_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          GUARDRAIL_RETURN_NOT_OK(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: the low half must follow immediately.
+            if (text_.substr(pos_, 2) != "\\u") {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            GUARDRAIL_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<std::vector<Row>> DecodeCsvRows(const std::string& payload,
+                                       Schema* schema, int64_t max_rows) {
+  GUARDRAIL_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(payload));
+  if (static_cast<int64_t>(doc.rows.size()) > max_rows) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(doc.rows.size()) +
+        " row(s) exceeds the per-request cap of " + std::to_string(max_rows));
+  }
+  // The header is the contract: it must name this dataset's attributes in
+  // schema order, so a client compiled against a stale schema fails loudly
+  // instead of silently validating shifted columns.
+  if (static_cast<int32_t>(doc.header.size()) != schema->num_attributes()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(doc.header.size()) +
+        " column(s), dataset schema has " +
+        std::to_string(schema->num_attributes()));
+  }
+  for (AttrIndex c = 0; c < schema->num_attributes(); ++c) {
+    if (doc.header[static_cast<size_t>(c)] != schema->attribute(c).name()) {
+      return Status::InvalidArgument(
+          "CSV header column " + std::to_string(c + 1) + " is '" +
+          doc.header[static_cast<size_t>(c)] + "', expected '" +
+          schema->attribute(c).name() + "'");
+    }
+  }
+  std::vector<Row> rows;
+  rows.reserve(doc.rows.size());
+  for (const auto& record : doc.rows) {
+    Row row(static_cast<size_t>(schema->num_attributes()), kNullValue);
+    for (AttrIndex c = 0; c < schema->num_attributes(); ++c) {
+      // Empty fields are ordinary labels, exactly as Table::FromCsv treats
+      // them — serving must agree with offline byte for byte.
+      row[static_cast<size_t>(c)] =
+          schema->attribute(c).GetOrInsert(record[static_cast<size_t>(c)]);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> DecodeJsonRows(const std::string& payload,
+                                        Schema* schema, int64_t max_rows) {
+  std::vector<std::vector<std::pair<AttrIndex, std::optional<std::string>>>>
+      parsed;
+  JsonRowsParser parser(payload);
+  GUARDRAIL_RETURN_NOT_OK(parser.Parse(*schema, &parsed));
+  if (static_cast<int64_t>(parsed.size()) > max_rows) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(parsed.size()) +
+        " row(s) exceeds the per-request cap of " + std::to_string(max_rows));
+  }
+  std::vector<Row> rows;
+  rows.reserve(parsed.size());
+  for (size_t r = 0; r < parsed.size(); ++r) {
+    Row row(static_cast<size_t>(schema->num_attributes()), kNullValue);
+    std::vector<bool> seen(row.size(), false);
+    for (auto& [attr, label] : parsed[r]) {
+      if (seen[static_cast<size_t>(attr)]) {
+        return Status::InvalidArgument(
+            "JSON row " + std::to_string(r + 1) + " repeats attribute '" +
+            schema->attribute(attr).name() + "'");
+      }
+      seen[static_cast<size_t>(attr)] = true;
+      if (label.has_value()) {
+        row[static_cast<size_t>(attr)] =
+            schema->attribute(attr).GetOrInsert(*label);
+      }
+    }
+    for (AttrIndex c = 0; c < schema->num_attributes(); ++c) {
+      if (!seen[static_cast<size_t>(c)]) {
+        return Status::InvalidArgument(
+            "JSON row " + std::to_string(r + 1) + " is missing attribute '" +
+            schema->attribute(c).name() + "' (use null for a missing cell)");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Renders a repaired row as one CSV record, with the same field convention
+/// as Table::ToCsv (NULL cells become empty fields).
+std::string RowToCsvRecord(const Schema& schema, const Row& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (AttrIndex c = 0; c < schema.num_attributes(); ++c) {
+    ValueId v = row[static_cast<size_t>(c)];
+    fields.push_back(v == kNullValue ? "" : schema.attribute(c).label(v));
+  }
+  return WriteCsvRecord(fields);
+}
+
+/// Vets one row with the offline Guard semantics. The verdict comes from
+/// Interpreter::CheckedCheck — the same call Guard::ProcessRow makes — so
+/// online and offline agree by construction; the repaired row (coerce /
+/// rectify) is produced by Guard::ProcessRow itself.
+RowResult ValidateOneRow(const core::Guard& guard, const Schema& schema,
+                         const Row& row, core::ErrorPolicy scheme) {
+  RowResult out;
+  Result<std::vector<core::Violation>> checked =
+      guard.interpreter().CheckedCheck(row);
+  if (!checked.ok()) {
+    out.verdict = RowVerdict::kFailed;
+    out.detail = checked.status().ToString();
+    return out;
+  }
+  if (checked->empty()) return out;
+  out.verdict = RowVerdict::kViolation;
+  out.violations = static_cast<uint16_t>(
+      checked->size() > 0xFFFF ? 0xFFFF : checked->size());
+  if (scheme == core::ErrorPolicy::kCoerce ||
+      scheme == core::ErrorPolicy::kRectify) {
+    Result<Row> processed = guard.ProcessRow(row, scheme);
+    if (!processed.ok()) {
+      out.verdict = RowVerdict::kFailed;
+      out.detail = processed.status().ToString();
+      return out;
+    }
+    if (!(*processed == row)) out.detail = RowToCsvRecord(schema, *processed);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> DecodeRows(RowFormat format,
+                                    const std::string& payload,
+                                    Schema* schema, int64_t max_rows) {
+  switch (format) {
+    case RowFormat::kCsv:
+      return DecodeCsvRows(payload, schema, max_rows);
+    case RowFormat::kJson:
+      return DecodeJsonRows(payload, schema, max_rows);
+  }
+  return Status::InvalidArgument("unknown row format");
+}
+
+ValidateResponse ValidationEngine::Handle(const ValidateRequest& request) {
+  GUARDRAIL_COUNTER_INC("serve.requests");
+  if (!admission_.TryAcquire()) {
+    GUARDRAIL_COUNTER_INC("serve.rejected_overload");
+    ValidateResponse response;
+    response.code = StatusCode::kResourceExhausted;
+    response.error = "server overloaded: " +
+                     std::to_string(admission_.limit()) +
+                     " request(s) already in flight";
+    return response;
+  }
+  struct Release {
+    AdmissionController* admission;
+    ~Release() { admission->Release(); }
+  } release{&admission_};
+  return HandleAdmitted(request);
+}
+
+ValidateResponse ValidationEngine::HandleAdmitted(
+    const ValidateRequest& request) {
+  ValidateResponse response;
+  StopWatch watch;
+  telemetry::Span span("serve.request");
+  span.AddArg("dataset", request.dataset);
+  span.AddArg("scheme", core::ErrorPolicyName(request.scheme));
+
+  auto fail = [&](Status status) {
+    response.code = status.code();
+    response.error = status.message();
+    response.rows.clear();
+    GUARDRAIL_COUNTER_INC("serve.request_errors");
+    GUARDRAIL_HISTOGRAM_RECORD("serve.request_micros",
+                               static_cast<int64_t>(watch.ElapsedMicros()));
+    return response;
+  };
+
+  // Per-request fault isolation: an injected failure answers this request
+  // with a clean error and leaves the engine untouched for the next one.
+  Status injected = FailpointTrip("serve.handle_request");
+  if (!injected.ok()) return fail(injected);
+
+  // The snapshot pins this request's program version: a hot reload swapping
+  // in a newer one mid-flight cannot change these verdicts.
+  std::shared_ptr<const ProgramSnapshot> snapshot =
+      registry_->Get(request.dataset);
+  if (snapshot == nullptr) {
+    return fail(Status::NotFound("unknown dataset '" + request.dataset + "'"));
+  }
+  response.program_version = snapshot->version;
+
+  // Unseen request labels get fresh codes in a request-private schema copy;
+  // the snapshot's schema (and the codes the program references) never
+  // change after publication.
+  Schema working = snapshot->schema;
+  Result<std::vector<Row>> rows = DecodeRows(
+      request.format, request.payload, &working, options_.max_batch_rows);
+  if (!rows.ok()) return fail(rows.status());
+
+  uint32_t deadline_ms = request.deadline_ms != 0
+                             ? request.deadline_ms
+                             : options_.default_deadline_ms;
+  CancellationToken cancel =
+      deadline_ms != 0 ? CancellationToken::WithBudgetMillis(deadline_ms)
+                       : CancellationToken::Never();
+
+  core::Guard guard(&snapshot->program);
+  const int64_t n = static_cast<int64_t>(rows->size());
+  span.AddArg("rows", n);
+  response.rows.resize(static_cast<size_t>(n));
+
+  Status scan = Status::OK();
+  ThreadPool& pool = ThreadPool::Shared();
+  if (n >= options_.parallel_batch_threshold && pool.num_workers() > 0) {
+    // The PR-3 sharded row scan: contiguous shards over the shared pool,
+    // each body writing only its own row slots, so the result is identical
+    // to the serial loop for any thread count.
+    const int64_t per_shard = options_.rows_per_shard < 1
+                                  ? 1
+                                  : options_.rows_per_shard;
+    const int64_t num_shards = (n + per_shard - 1) / per_shard;
+    ParallelForOptions pf;
+    pf.cancel = &cancel;
+    scan = ParallelFor(
+        &pool, num_shards,
+        [&](int64_t shard) {
+          const int64_t begin = shard * per_shard;
+          const int64_t end = begin + per_shard < n ? begin + per_shard : n;
+          for (int64_t r = begin; r < end; ++r) {
+            response.rows[static_cast<size_t>(r)] = ValidateOneRow(
+                guard, working, (*rows)[static_cast<size_t>(r)],
+                request.scheme);
+          }
+        },
+        pf);
+  } else {
+    DeadlineChecker checker(&cancel, /*stride=*/64);
+    for (int64_t r = 0; r < n; ++r) {
+      if (checker.Expired()) {
+        scan = cancel.CheckTimeout("serve.validate");
+        break;
+      }
+      response.rows[static_cast<size_t>(r)] = ValidateOneRow(
+          guard, working, (*rows)[static_cast<size_t>(r)], request.scheme);
+    }
+  }
+  if (!scan.ok()) {
+    GUARDRAIL_COUNTER_INC("serve.deadline_expired");
+    telemetry::InstantEvent("serve.deadline_expired");
+    return fail(scan);
+  }
+
+  int64_t flagged = 0;
+  int64_t failed = 0;
+  for (const RowResult& row : response.rows) {
+    flagged += row.verdict == RowVerdict::kViolation ? 1 : 0;
+    failed += row.verdict == RowVerdict::kFailed ? 1 : 0;
+  }
+  GUARDRAIL_COUNTER_ADD("serve.rows_validated", n);
+  GUARDRAIL_COUNTER_ADD("serve.rows_flagged", flagged);
+  GUARDRAIL_COUNTER_ADD("serve.rows_failed", failed);
+  GUARDRAIL_HISTOGRAM_RECORD("serve.batch_rows", n);
+  GUARDRAIL_HISTOGRAM_RECORD("serve.request_micros",
+                             static_cast<int64_t>(watch.ElapsedMicros()));
+  span.AddArg("flagged", flagged);
+  response.code = StatusCode::kOk;
+  return response;
+}
+
+}  // namespace serve
+}  // namespace guardrail

@@ -1,0 +1,100 @@
+#ifndef GUARDRAIL_SERVE_ENGINE_H_
+#define GUARDRAIL_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace guardrail {
+namespace serve {
+
+/// Bounded admission for the request engine: at most `limit` requests may be
+/// in flight at once; an arrival past the limit is rejected immediately so
+/// overload surfaces as ResourceExhausted backpressure on the wire instead
+/// of an unbounded queue eating memory and blowing every deadline.
+class AdmissionController {
+ public:
+  explicit AdmissionController(int limit) : limit_(limit < 1 ? 1 : limit) {}
+
+  bool TryAcquire() {
+    int inflight = inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (inflight >= limit_) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    return true;
+  }
+
+  void Release() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  int inflight() const { return inflight_.load(std::memory_order_acquire); }
+  int limit() const { return limit_; }
+
+ private:
+  std::atomic<int> inflight_{0};
+  const int limit_;
+};
+
+struct EngineOptions {
+  /// Concurrent requests admitted; arrivals beyond this get
+  /// ResourceExhausted responses (see AdmissionController).
+  int max_inflight = 64;
+  /// Per-request row cap; larger batches are rejected as InvalidArgument
+  /// before any work.
+  int64_t max_batch_rows = 1 << 20;
+  /// Applied when a request carries no deadline; 0 = unlimited.
+  uint32_t default_deadline_ms = 0;
+  /// Batches at least this large validate via the shared thread pool's
+  /// sharded ParallelFor (the PR-3 row-scan pattern); smaller ones run
+  /// inline on the request thread.
+  int64_t parallel_batch_threshold = 2048;
+  /// Rows per ParallelFor shard.
+  int64_t rows_per_shard = 1024;
+};
+
+/// The serving request engine: resolves a dataset's current program
+/// snapshot, decodes the request's rows, and vets each row with the offline
+/// `core::Guard` semantics under the requested enforcement scheme.
+///
+/// Contract: Handle never fails at the transport level. Every outcome —
+/// including overload, unknown datasets, malformed payloads, injected
+/// faults, and deadline expiry — is a ValidateResponse with a status code,
+/// and a failure in one request leaves the engine fully serviceable for the
+/// next (per-request isolation).
+class ValidationEngine {
+ public:
+  ValidationEngine(ProgramRegistry* registry, EngineOptions options)
+      : registry_(registry),
+        options_(options),
+        admission_(options.max_inflight) {}
+
+  ValidationEngine(const ValidationEngine&) = delete;
+  ValidationEngine& operator=(const ValidationEngine&) = delete;
+
+  ValidateResponse Handle(const ValidateRequest& request);
+
+  const EngineOptions& options() const { return options_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  ValidateResponse HandleAdmitted(const ValidateRequest& request);
+
+  ProgramRegistry* registry_;
+  EngineOptions options_;
+  AdmissionController admission_;
+};
+
+/// Decodes request rows (labels, per RowFormat) into dictionary-coded rows
+/// under `schema`, extending attribute domains for unseen labels exactly as
+/// the offline CSV path does. Exposed for tests.
+Result<std::vector<Row>> DecodeRows(RowFormat format,
+                                    const std::string& payload,
+                                    Schema* schema, int64_t max_rows);
+
+}  // namespace serve
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SERVE_ENGINE_H_

@@ -1,0 +1,177 @@
+#ifndef GUARDRAIL_SERVE_PROTOCOL_H_
+#define GUARDRAIL_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/guard.h"
+
+namespace guardrail {
+namespace serve {
+
+/// Wire protocol of the guard-serving daemon (docs/SERVING.md): a stream of
+/// length-prefixed frames over TCP. Every multi-byte integer on the wire is
+/// explicit little-endian — encode/decode go through the byte-at-a-time
+/// helpers below, never through a host-order memcpy.
+///
+///   frame   := u32 payload_size | payload
+///   payload := u8 msg_type | body
+///   string  := u32 size | bytes
+///
+/// The size prefix covers the payload only. A prefix larger than
+/// kMaxFrameBytes is rejected before any allocation; a payload shorter than
+/// its declared fields decodes to InvalidArgument ("truncated"), and a
+/// payload with bytes left over after its last field likewise — the decoder
+/// never trusts the peer.
+
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+inline constexpr uint32_t kFramePrefixBytes = 4;
+inline constexpr uint32_t kProtocolVersion = 1;
+
+enum class MsgType : uint8_t {
+  kValidateRequest = 1,
+  kValidateResponse = 2,
+  kPingRequest = 3,
+  kPingResponse = 4,
+};
+
+/// How the rows of a ValidateRequest payload are encoded.
+enum class RowFormat : uint8_t {
+  /// RFC-4180 CSV; the first record is a header that must name the dataset's
+  /// attributes in schema order. Empty fields are ordinary empty-string
+  /// labels, exactly as Table::FromCsv treats them offline.
+  kCsv = 0,
+  /// JSON array of flat objects, one per row: [{"attr": "label", ...}, ...].
+  /// Every schema attribute must be present; JSON null maps to the NULL
+  /// value (a missing cell).
+  kJson = 1,
+};
+
+const char* RowFormatName(RowFormat format);
+
+/// One batch of rows to vet against a dataset's current program version.
+struct ValidateRequest {
+  std::string dataset;
+  core::ErrorPolicy scheme = core::ErrorPolicy::kRaise;
+  RowFormat format = RowFormat::kCsv;
+  /// 0 = no deadline; otherwise the server stops validating after this many
+  /// milliseconds and answers StatusCode::kTimeout.
+  uint32_t deadline_ms = 0;
+  /// The rows, encoded per `format`.
+  std::string payload;
+};
+
+enum class RowVerdict : uint8_t {
+  kOk = 0,         // The row satisfies every constraint.
+  kViolation = 1,  // At least one statement disagrees with the row.
+  kFailed = 2,     // The row could not be evaluated (fault, malformed row).
+};
+
+struct RowResult {
+  RowVerdict verdict = RowVerdict::kOk;
+  /// Number of violated statements (0 unless kViolation).
+  uint16_t violations = 0;
+  /// Under kViolation with scheme coerce/rectify: the repaired row as one
+  /// CSV record (empty when the repair left the row unchanged). Under
+  /// kFailed: the evaluation error text. Empty otherwise.
+  std::string detail;
+
+  bool operator==(const RowResult& other) const {
+    return verdict == other.verdict && violations == other.violations &&
+           detail == other.detail;
+  }
+};
+
+struct ValidateResponse {
+  /// kOk when the batch was processed (individual rows may still carry
+  /// kViolation / kFailed verdicts); a request-level failure otherwise
+  /// (kNotFound dataset, kInvalidArgument payload, kResourceExhausted
+  /// overload, kTimeout deadline, ...), with `rows` empty.
+  StatusCode code = StatusCode::kOk;
+  std::string error;  // Populated when code != kOk.
+  /// The program version the verdicts were computed against — the version
+  /// that was live when the request started, even if a hot reload swapped in
+  /// a newer one mid-flight.
+  uint64_t program_version = 0;
+  std::vector<RowResult> rows;
+};
+
+struct DatasetInfo {
+  std::string dataset;
+  uint64_t version = 0;
+  uint64_t source_hash = 0;
+  uint32_t statements = 0;
+};
+
+struct PingResponse {
+  uint32_t protocol_version = kProtocolVersion;
+  bool draining = false;
+  std::vector<DatasetInfo> datasets;
+};
+
+// ---- Little-endian primitives ------------------------------------------
+
+void PutU8(uint8_t v, std::string* out);
+void PutU16(uint16_t v, std::string* out);
+void PutU32(uint32_t v, std::string* out);
+void PutU64(uint64_t v, std::string* out);
+void PutString(std::string_view s, std::string* out);
+
+/// Decodes the 4-byte frame prefix (little-endian payload size).
+uint32_t DecodeFramePrefix(const uint8_t* bytes);
+
+/// Validates a decoded frame prefix: nonzero and within kMaxFrameBytes.
+Status CheckFrameSize(uint64_t payload_size);
+
+/// Bounds-checked sequential reader over one frame payload. Every getter
+/// fails with InvalidArgument instead of reading past the end, and Finish()
+/// rejects trailing bytes, so a malformed or truncated payload can never
+/// crash the decoder or smuggle extra data.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : data_(payload) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetString(std::string* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// OK iff the payload was consumed exactly.
+  Status Finish() const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Message encode / decode -------------------------------------------
+// Encoders return a complete frame (prefix included), ready to write to the
+// socket. Decoders take one frame's payload (prefix stripped) and validate
+// exhaustively: unknown message types, out-of-range scheme / format /
+// verdict ids, truncated bodies, and trailing bytes are all clean
+// InvalidArgument.
+
+std::string EncodeValidateRequest(const ValidateRequest& request);
+std::string EncodeValidateResponse(const ValidateResponse& response);
+std::string EncodePingRequest();
+std::string EncodePingResponse(const PingResponse& response);
+
+/// First byte of the payload as a message type (not yet range-checked
+/// against the known types; decoders do that).
+Status PeekMsgType(std::string_view payload, MsgType* out);
+
+Status DecodeValidateRequest(std::string_view payload, ValidateRequest* out);
+Status DecodeValidateResponse(std::string_view payload, ValidateResponse* out);
+Status DecodePingRequest(std::string_view payload);
+Status DecodePingResponse(std::string_view payload, PingResponse* out);
+
+}  // namespace serve
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SERVE_PROTOCOL_H_

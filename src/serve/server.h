@@ -1,0 +1,89 @@
+#ifndef GUARDRAIL_SERVE_SERVER_H_
+#define GUARDRAIL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/engine.h"
+#include "serve/registry.h"
+
+namespace guardrail {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port; read it back via port() after Start().
+  int port = 0;
+  /// Directory of `<dataset>.grl` (+ companion `<dataset>.csv`) program
+  /// files to hot-reload from; empty disables the watcher thread.
+  std::string watch_dir;
+  int reload_interval_ms = 500;
+  /// Concurrent connections; arrivals past this are accepted and closed
+  /// immediately so the peer sees a clean EOF rather than a hung connect.
+  int max_connections = 128;
+};
+
+/// Framed-TCP front end of the guard-serving daemon: one thread per
+/// connection, each multiplexing Validate / Ping frames into the
+/// ValidationEngine. All loops are poll()-driven so Drain() can stop the
+/// world without yanking in-flight requests: accepting stops first, frames
+/// already being processed run to completion and get their responses, idle
+/// connections are closed, and only then do the threads join.
+class Server {
+ public:
+  Server(ProgramRegistry* registry, ValidationEngine* engine,
+         ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor (and watcher, if configured).
+  Status Start();
+
+  /// The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful shutdown: stop accepting, finish in-flight frames, close
+  /// connections, join every thread. Idempotent; also run by the destructor.
+  void Drain();
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void WatchLoop();
+
+  /// Handles one decoded frame payload, returning the response frame to
+  /// write back. Never fails: malformed payloads become error responses.
+  std::string HandlePayload(std::string_view payload);
+
+  ProgramRegistry* registry_;
+  ValidationEngine* engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<int> active_connections_{0};
+
+  std::thread acceptor_;
+  std::thread watcher_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace serve
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SERVE_SERVER_H_

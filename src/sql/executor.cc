@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/failpoint.h"
 #include "common/telemetry/telemetry.h"
 #include "common/timer.h"
 #include "sql/parser.h"
@@ -76,6 +77,45 @@ Status ApplyOrderByAndLimit(const SelectStatement& stmt, QueryResult* result) {
   return Status::OK();
 }
 
+// Canonical text of the statement for fingerprinting: same shape for the
+// same logical query regardless of original whitespace, since it is rebuilt
+// from the AST.
+std::string CanonicalQueryText(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.items[i].expr->ToString();
+    if (!stmt.items[i].alias.empty()) out += " AS " + stmt.items[i].alias;
+  }
+  out += " FROM " + stmt.table_name;
+  if (stmt.where != nullptr) out += " WHERE " + stmt.where->ToString();
+  for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+    out += i == 0 ? " GROUP BY " : ", ";
+    out += stmt.group_by[i]->ToString();
+  }
+  if (stmt.having != nullptr) out += " HAVING " + stmt.having->ToString();
+  for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+    out += i == 0 ? " ORDER BY " : ", ";
+    out += stmt.order_by[i].expr->ToString();
+    if (stmt.order_by[i].descending) out += " DESC";
+  }
+  if (stmt.limit >= 0) out += " LIMIT " + std::to_string(stmt.limit);
+  return out;
+}
+
+std::string QueryFingerprint(const SelectStatement& stmt) {
+  // FNV-1a 64 over the canonical text, rendered as fixed-width hex.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : CanonicalQueryText(stmt)) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace
 
 std::string QueryResult::ToString() const {
@@ -138,6 +178,7 @@ class Evaluator {
   Result<Row> GuardedRow() {
     if (!guarded_ready_) {
       if (exec_->guard_ != nullptr) {
+        GUARDRAIL_FAILPOINT("sql.guard_row");
         StopWatch watch;
         Result<Row> processed =
             exec_->guard_->ProcessRow(raw_row_, exec_->guard_policy_);
@@ -301,6 +342,7 @@ Result<QueryResult> Executor::Execute(std::string_view sql) {
 }
 
 Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
+  GUARDRAIL_FAILPOINT("sql.execute");
   auto table_it = tables_.find(stmt.table_name);
   if (table_it == tables_.end()) {
     return Status::NotFound("unregistered table '" + stmt.table_name + "'");
@@ -308,6 +350,12 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
   const Table* table = table_it->second;
   telemetry::Span span("sql.execute");
   span.AddArg("table", stmt.table_name);
+  span.AddArg("query_hash", QueryFingerprint(stmt));
+  // Deltas against these baselines become span args on success; stats_
+  // accumulates across queries on this executor.
+  const int64_t scanned_before = stats_.rows_scanned;
+  const int64_t pushdown_before = stats_.rows_after_pushdown;
+  const int64_t predictions_before = stats_.predictions_made;
   // The guard and model calls inside the scan are O(columns) each, so a
   // small stride keeps expiry latency low at negligible polling cost.
   DeadlineChecker deadline(&cancel_, /*stride=*/32);
@@ -335,6 +383,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
     // Plain scan-filter-project.
     for (RowIndex r = 0; r < table->num_rows(); ++r) {
       GUARDRAIL_RETURN_NOT_OK(deadline.Check("sql scan"));
+      GUARDRAIL_FAILPOINT("sql.scan_row");
       ++stats_.rows_scanned;
       GUARDRAIL_COUNTER_INC("sql.rows_scanned");
       eval.BeginRow(r);
@@ -369,6 +418,11 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
       }
     }
     GUARDRAIL_RETURN_NOT_OK(ApplyOrderByAndLimit(stmt, &result));
+    span.AddArg("rows_scanned", stats_.rows_scanned - scanned_before);
+    span.AddArg("rows_after_pushdown",
+                stats_.rows_after_pushdown - pushdown_before);
+    span.AddArg("predictions", stats_.predictions_made - predictions_before);
+    span.AddArg("rows_out", static_cast<int64_t>(result.rows.size()));
     return result;
   }
 
@@ -389,6 +443,7 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
 
   for (RowIndex r = 0; r < table->num_rows(); ++r) {
     GUARDRAIL_RETURN_NOT_OK(deadline.Check("sql aggregation scan"));
+    GUARDRAIL_FAILPOINT("sql.scan_row");
     ++stats_.rows_scanned;
     GUARDRAIL_COUNTER_INC("sql.rows_scanned");
     eval.BeginRow(r);
@@ -497,6 +552,11 @@ Result<QueryResult> Executor::Execute(const SelectStatement& stmt) {
     result.rows.push_back(std::move(out_row));
   }
   GUARDRAIL_RETURN_NOT_OK(ApplyOrderByAndLimit(stmt, &result));
+  span.AddArg("rows_scanned", stats_.rows_scanned - scanned_before);
+  span.AddArg("rows_after_pushdown",
+              stats_.rows_after_pushdown - pushdown_before);
+  span.AddArg("predictions", stats_.predictions_made - predictions_before);
+  span.AddArg("rows_out", static_cast<int64_t>(result.rows.size()));
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/telemetry/telemetry.h"
 #include "core/guard.h"
 #include "ml/automl.h"
 #include "ml/naive_bayes.h"
@@ -400,6 +402,96 @@ TEST(SqlValueTest, DisplayForms) {
   EXPECT_EQ(SqlValue::MakeNull().ToDisplayString(), "NULL");
   EXPECT_EQ(SqlValue::Number(2.5).ToDisplayString(), "2.5");
   EXPECT_EQ(SqlValue::Boolean(true).ToDisplayString(), "true");
+}
+
+// -------------------------------------------------------------- span args --
+
+// The sql.execute span carries the query fingerprint and row-count deltas,
+// and the fingerprint is canonical: whitespace variants of the same logical
+// query hash identically.
+TEST_F(ExecutorTest, ExecuteSpanCarriesQueryFingerprint) {
+  telemetry::ResetAllForTest();
+  telemetry::EnableTracing(true);
+
+  auto hash_of = [&](const std::string& query) {
+    telemetry::ClearTrace();
+    auto result = executor_.Execute(query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    for (const auto& ev : telemetry::SnapshotTraceEvents()) {
+      if (std::string_view(ev.name) == "sql.execute" && ev.phase == 'E') {
+        size_t at = ev.args_json.find("\"query_hash\": \"");
+        EXPECT_NE(at, std::string::npos) << ev.args_json;
+        if (at == std::string::npos) return std::string();
+        EXPECT_NE(ev.args_json.find("\"rows_scanned\""), std::string::npos);
+        EXPECT_NE(ev.args_json.find("\"rows_out\""), std::string::npos);
+        at += std::string("\"query_hash\": \"").size();
+        return ev.args_json.substr(at, 16);
+      }
+    }
+    ADD_FAILURE() << "no sql.execute span recorded";
+    return std::string();
+  };
+
+  std::string a = hash_of("SELECT dept FROM t WHERE grade = 'a'");
+  std::string b = hash_of("SELECT  dept\nFROM t  WHERE grade='a'");
+  std::string c = hash_of("SELECT dept FROM t WHERE grade = 'b'");
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  telemetry::ResetAllForTest();
+}
+
+// ------------------------------------------------------------------ chaos --
+
+// Executor failpoints (sql.execute, sql.scan_row, sql.guard_row) under a
+// guarded query: every run either succeeds with the correct answer or
+// surfaces exactly the injected code — never a crash, never a wrong result —
+// and the executor is fully serviceable once the points disarm.
+TEST_F(ExecutorTest, GuardedQuerySurvivesInjectedFaults) {
+  Schema schema = table_.schema();
+  ValueId eng = schema.attribute(0).Lookup("eng");
+  ValueId grade_a = schema.attribute(1).Lookup("a");
+  core::Program program;
+  core::Statement stmt;
+  stmt.determinants = {0};
+  stmt.dependent = 1;
+  core::Branch branch;
+  branch.condition.equalities = {{0, eng}};
+  branch.target = 1;
+  branch.assignment = grade_a;
+  stmt.branches = {branch};
+  program.statements.push_back(stmt);
+  core::Guard guard(&program);
+  executor_.SetGuard(&guard, core::ErrorPolicy::kRectify);
+
+  const std::string query =
+      "SELECT COUNT(*) FROM t WHERE dept = 'eng' AND ML_PREDICT('m') = 'hi'";
+  auto& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    registry.Arm("sql.execute", 0.1, StatusCode::kInternal, seed);
+    registry.Arm("sql.scan_row", 0.05, StatusCode::kIoError, seed);
+    registry.Arm("sql.guard_row", 0.05, StatusCode::kResourceExhausted, seed);
+    auto result = executor_.Execute(query);
+    if (result.ok()) {
+      EXPECT_DOUBLE_EQ(result->rows[0][0].number(), 4.0);
+    } else {
+      ++failures;
+      StatusCode code = result.status().code();
+      EXPECT_TRUE(code == StatusCode::kInternal ||
+                  code == StatusCode::kIoError ||
+                  code == StatusCode::kResourceExhausted)
+          << result.status().ToString();
+    }
+  }
+  registry.DisarmAll();
+  EXPECT_GT(failures, 0);  // These rates make 20 all-clean runs implausible.
+
+  // Disarmed, the same executor answers correctly again.
+  auto clean = executor_.Execute(query);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_DOUBLE_EQ(clean->rows[0][0].number(), 4.0);
 }
 
 }  // namespace

@@ -105,4 +105,57 @@ if "$BIN" profile "$DIR/data.csv" --log-level=shouty > /dev/null 2>&1; then
   echo "expected usage failure for bad log level" >&2
   exit 1
 fi
+
+# Serving round trip (docs/SERVING.md): serve a program directory, validate
+# clean and dirty batches over TCP, then drain on SIGTERM.
+mkdir "$DIR/programs"
+cp "$DIR/prog.grl" "$DIR/programs/demo.grl"
+cp "$DIR/data.csv" "$DIR/programs/demo.csv"
+"$BIN" serve --programs="$DIR/programs" --port=0 > "$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/^listening on 127.0.0.1:\([0-9]*\)$/\1/p' "$DIR/serve.log")
+  [ -n "$PORT" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "serve never reported its port" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+fi
+grep -q "1 dataset(s) loaded" "$DIR/serve.log"
+
+# Clean rows validate with zero flagged (exit 0).
+"$BIN" validate "127.0.0.1:$PORT" demo "$DIR/data.csv" \
+  > "$DIR/validate_clean.log"
+grep -q "0 of 16 row(s) flagged" "$DIR/validate_clean.log"
+
+# Dirty rows are flagged (exit 3) and rectify names the repair.
+if "$BIN" validate "127.0.0.1:$PORT" demo "$DIR/dirty.csv" \
+    --scheme=rectify > "$DIR/validate_dirty.log"; then
+  echo "expected nonzero exit for flagged rows" >&2
+  exit 1
+fi
+grep -q "repaired to: 94704,Berkeley" "$DIR/validate_dirty.log"
+# JSON rows produce identical verdict counts.
+if "$BIN" validate "127.0.0.1:$PORT" demo "$DIR/dirty.csv" \
+    --format=json > "$DIR/validate_json.log"; then
+  echo "expected nonzero exit for flagged rows (json)" >&2
+  exit 1
+fi
+grep -q "2 of 16 row(s) flagged" "$DIR/validate_json.log"
+grep -q "2 of 16 row(s) flagged" "$DIR/validate_dirty.log"
+
+# SIGTERM drains cleanly: exit 0 and a drain marker in the log.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "serve did not exit cleanly on SIGTERM" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+fi
+grep -q "drained" "$DIR/serve.log"
+
 echo "cli smoke OK"

@@ -22,6 +22,19 @@
 //       Run a SQL query against the CSV (table name: t).
 //   guardrail explain "<SELECT ...>"
 //       Show the physical plan, including the predicate-pushdown split.
+//   guardrail serve --programs=DIR [--port=N] [--queue-depth=N]
+//       [--reload-ms=N]
+//       Run the guard-serving daemon (docs/SERVING.md): load every
+//       <dataset>.grl (+ companion <dataset>.csv schema) program in DIR,
+//       listen on 127.0.0.1, hot-reload DIR on changes, and answer framed
+//       Validate requests. SIGTERM/SIGINT drains gracefully: accepting
+//       stops, in-flight requests finish, then "drained" is printed.
+//   guardrail validate <host:port> <dataset> <data.csv>
+//       [--scheme=raise|ignore|coerce|rectify] [--format=csv|json]
+//       [--time-budget-ms=N]
+//       Send the CSV's rows to a running daemon and report per-row
+//       verdicts. --format=json re-encodes the rows as JSON client-side to
+//       exercise the JSON wire path. Exit code 3 when violations exist.
 //
 // Global flags (any command):
 //   --threads=N         Worker parallelism for synthesis (default: hardware
@@ -34,14 +47,21 @@
 //   --log-level=LEVEL   debug|info|warn|error|off (default warn; the
 //                       GUARDRAIL_LOG_LEVEL env var is the fallback).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "analysis/checker.h"
+#include "common/csv.h"
 #include "common/deadline.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -51,6 +71,10 @@
 #include "core/printer.h"
 #include "core/serialization.h"
 #include "core/synthesizer.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -233,6 +257,162 @@ int CmdExplain(const std::string& sql) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+int CmdServe(const std::string& programs_dir, int port, int queue_depth,
+             int reload_ms) {
+  serve::ProgramRegistry registry;
+  serve::EngineOptions engine_options;
+  if (queue_depth > 0) engine_options.max_inflight = queue_depth;
+  serve::ValidationEngine engine(&registry, engine_options);
+
+  serve::ServerOptions options;
+  options.port = port;
+  options.watch_dir = programs_dir;
+  if (reload_ms > 0) options.reload_interval_ms = reload_ms;
+  serve::Server server(&registry, &engine, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::printf("%zu dataset(s) loaded\n", registry.List().size());
+  std::fflush(stdout);
+
+  g_serve_stop.store(false);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Drain();
+  std::printf("drained\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Re-encodes CSV rows as the JSON wire format (array of flat objects).
+// Empty CSV fields become empty-string JSON values — the same ordinary
+// empty-string label the CSV path produces — so verdicts stay identical
+// across formats.
+Result<std::string> CsvTextToJson(const std::string& csv_text) {
+  GUARDRAIL_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(csv_text));
+  std::string out = "[";
+  for (size_t r = 0; r < doc.rows.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    for (size_t c = 0; c < doc.header.size(); ++c) {
+      if (c > 0) out += ',';
+      out += '"' + JsonEscape(doc.header[c]) + "\":\"" +
+             JsonEscape(doc.rows[r][c]) + '"';
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+int CmdValidate(const std::string& endpoint, const std::string& dataset,
+                const std::string& data_path, core::ErrorPolicy scheme,
+                const std::string& format, int64_t time_budget_ms) {
+  size_t colon = endpoint.rfind(':');
+  double port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseDouble(endpoint.substr(colon + 1), &port) || port < 1 ||
+      port > 65535) {
+    return Fail(Status::InvalidArgument("endpoint must be host:port, got '" +
+                                        endpoint + "'"));
+  }
+  std::string host = endpoint.substr(0, colon);
+
+  std::ifstream in(data_path, std::ios::binary);
+  if (!in) return Fail(Status::IoError("cannot open " + data_path));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string csv_text = ss.str();
+
+  serve::ValidateRequest request;
+  request.dataset = dataset;
+  request.scheme = scheme;
+  if (time_budget_ms > 0) {
+    request.deadline_ms = static_cast<uint32_t>(time_budget_ms);
+  }
+  if (format == "json") {
+    request.format = serve::RowFormat::kJson;
+    auto json = CsvTextToJson(csv_text);
+    if (!json.ok()) return Fail(json.status());
+    request.payload = std::move(json).value();
+  } else {
+    request.format = serve::RowFormat::kCsv;
+    request.payload = std::move(csv_text);
+  }
+
+  auto client = serve::Client::Connect(host, static_cast<int>(port));
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->Validate(request);
+  if (!response.ok()) return Fail(response.status());
+  if (response->code != StatusCode::kOk) {
+    std::fprintf(stderr, "server error: %s\n", response->error.c_str());
+    return 2;
+  }
+
+  int64_t violations = 0;
+  int64_t failed = 0;
+  for (size_t r = 0; r < response->rows.size(); ++r) {
+    const serve::RowResult& row = response->rows[r];
+    if (row.verdict == serve::RowVerdict::kViolation) {
+      ++violations;
+      if (row.detail.empty()) {
+        std::printf("row %zu: %u violation(s)\n", r + 1, row.violations);
+      } else {
+        std::printf("row %zu: %u violation(s), repaired to: %s\n", r + 1,
+                    row.violations, row.detail.c_str());
+      }
+    } else if (row.verdict == serve::RowVerdict::kFailed) {
+      ++failed;
+      std::fprintf(stderr, "row %zu: evaluation failed: %s\n", r + 1,
+                   row.detail.c_str());
+    }
+  }
+  std::printf(
+      "%lld of %zu row(s) flagged under scheme '%s' (program version "
+      "%llu)\n",
+      static_cast<long long>(violations), response->rows.size(),
+      core::ErrorPolicyName(scheme),
+      static_cast<unsigned long long>(response->program_version));
+  if (failed > 0) {
+    std::fprintf(stderr, "%lld row(s) could not be evaluated\n",
+                 static_cast<long long>(failed));
+    return 2;
+  }
+  return violations > 0 ? 3 : 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -246,6 +426,10 @@ int Usage() {
                "  guardrail query <data.csv> \"<SELECT ...>\""
                " [--time-budget-ms=N]\n"
                "  guardrail explain \"<SELECT ...>\"\n"
+               "  guardrail serve --programs=DIR [--port=N]"
+               " [--queue-depth=N] [--reload-ms=N]\n"
+               "  guardrail validate <host:port> <dataset> <data.csv>"
+               " [--scheme=...] [--format=csv|json] [--time-budget-ms=N]\n"
                "global flags:\n"
                "  --threads=N         worker parallelism for synthesize"
                " (default: hardware concurrency)\n"
@@ -270,6 +454,11 @@ int Main(int argc, char** argv) {
   bool json = false;
   double analyze_epsilon = 0.02;
   core::ErrorPolicy scheme = core::ErrorPolicy::kRaise;
+  std::string programs_dir;
+  int serve_port = 0;
+  int queue_depth = 0;
+  int reload_ms = 0;
+  std::string row_format = "csv";
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -280,6 +469,11 @@ int Main(int argc, char** argv) {
     constexpr std::string_view kLogLevel = "--log-level=";
     constexpr std::string_view kEpsilon = "--epsilon=";
     constexpr std::string_view kScheme = "--scheme=";
+    constexpr std::string_view kPrograms = "--programs=";
+    constexpr std::string_view kPort = "--port=";
+    constexpr std::string_view kQueueDepth = "--queue-depth=";
+    constexpr std::string_view kReloadMs = "--reload-ms=";
+    constexpr std::string_view kFormat = "--format=";
     if (arg == "--json") {
       json = true;
       continue;
@@ -304,6 +498,42 @@ int Main(int argc, char** argv) {
       } else {
         return Usage();
       }
+      continue;
+    }
+    if (arg.rfind(kPrograms, 0) == 0) {
+      programs_dir = std::string(arg.substr(kPrograms.size()));
+      if (programs_dir.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kPort, 0) == 0) {
+      double parsed = -1;
+      if (!ParseDouble(arg.substr(kPort.size()), &parsed) || parsed < 0 ||
+          parsed > 65535) {
+        return Usage();
+      }
+      serve_port = static_cast<int>(parsed);
+      continue;
+    }
+    if (arg.rfind(kQueueDepth, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kQueueDepth.size()), &parsed) ||
+          parsed < 1) {
+        return Usage();
+      }
+      queue_depth = static_cast<int>(parsed);
+      continue;
+    }
+    if (arg.rfind(kReloadMs, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kReloadMs.size()), &parsed) || parsed < 1) {
+        return Usage();
+      }
+      reload_ms = static_cast<int>(parsed);
+      continue;
+    }
+    if (arg.rfind(kFormat, 0) == 0) {
+      row_format = std::string(arg.substr(kFormat.size()));
+      if (row_format != "csv" && row_format != "json") return Usage();
       continue;
     }
     if (arg.rfind(kThreads, 0) == 0) {
@@ -369,6 +599,11 @@ int Main(int argc, char** argv) {
     rc = CmdQuery(args[1], args[2], time_budget_ms);
   } else if (command == "explain" && n == 2) {
     rc = CmdExplain(args[1]);
+  } else if (command == "serve" && n == 1 && !programs_dir.empty()) {
+    rc = CmdServe(programs_dir, serve_port, queue_depth, reload_ms);
+  } else if (command == "validate" && n == 4) {
+    rc = CmdValidate(args[1], args[2], args[3], scheme, row_format,
+                     time_budget_ms);
   } else {
     return Usage();
   }
