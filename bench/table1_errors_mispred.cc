@@ -25,6 +25,11 @@ int Run() {
       return 1;
     }
     const exp::PreparedDataset& p = **prepared;
+    if (p.model == nullptr) {
+      std::fprintf(stderr, "dataset %d: model training degraded; skipping\n",
+                   id);
+      continue;
+    }
     auto mispred = exp::ComputeMispredictions(
         *p.model, p.test_clean, p.test_dirty, p.bundle.label_column);
     int64_t num_errors = static_cast<int64_t>(p.errors.size());

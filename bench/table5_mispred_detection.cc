@@ -28,6 +28,11 @@ int Run() {
       return 1;
     }
     const exp::PreparedDataset& p = **prepared;
+    if (p.model == nullptr) {
+      std::fprintf(stderr, "dataset %d: model training degraded; skipping\n",
+                   id);
+      continue;
+    }
     core::Guard guard(&p.synthesis.program);
     auto detected = guard.DetectViolations(p.test_dirty);
     auto mispred = exp::ComputeMispredictions(

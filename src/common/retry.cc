@@ -1,0 +1,83 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace guardrail {
+
+bool IsRetryableStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:            // Transport: connect/read/write.
+    case StatusCode::kResourceExhausted:  // Overload shedding; back off.
+    case StatusCode::kTimeout:            // One attempt's budget, not ours.
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kConstraintViolation:
+    case StatusCode::kParseError:
+    case StatusCode::kNotImplemented:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy)
+    : policy_(policy),
+      rng_(policy.seed),
+      base_ms_(static_cast<double>(
+          std::max<int64_t>(0, policy.initial_backoff_ms))) {
+  policy_.max_attempts = std::max(1, policy_.max_attempts);
+  policy_.multiplier = std::max(1.0, policy_.multiplier);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  policy_.max_backoff_ms = std::max<int64_t>(0, policy_.max_backoff_ms);
+}
+
+int64_t RetrySchedule::NextBackoffMillis() {
+  double base = std::min(base_ms_,
+                         static_cast<double>(policy_.max_backoff_ms));
+  // Grow for the next draw before jittering this one, so the cap applies to
+  // the un-jittered exponential curve.
+  base_ms_ = std::min(base_ms_ * policy_.multiplier,
+                      static_cast<double>(policy_.max_backoff_ms));
+  double jittered = base;
+  if (policy_.jitter > 0.0) {
+    double span = base * policy_.jitter;
+    jittered = base - span + 2.0 * span * rng_.NextDouble();
+  }
+  ++backoffs_drawn_;
+  return static_cast<int64_t>(jittered < 0.0 ? 0.0 : jittered);
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
+                        const std::function<Status(int attempt)>& attempt,
+                        RetryStats* stats) {
+  RetrySchedule schedule(policy);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status last = Status::Timeout("deadline expired before the first attempt");
+  for (int i = 0; i < max_attempts; ++i) {
+    if (deadline.Expired()) break;
+    if (stats != nullptr) ++stats->attempts;
+    last = attempt(i);
+    if (last.ok() || !IsRetryableStatusCode(last.code())) return last;
+    if (i + 1 >= max_attempts) break;
+
+    int64_t backoff_ms = schedule.NextBackoffMillis();
+    // Deadline-capped: a backoff the remaining budget cannot cover means
+    // the next attempt could never start in time — give up now instead of
+    // sleeping into a guaranteed timeout.
+    double remaining_ms = deadline.RemainingSeconds() * 1000.0;
+    if (static_cast<double>(backoff_ms) >= remaining_ms) break;
+    if (stats != nullptr) stats->total_backoff_ms += backoff_ms;
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+  }
+  return last;
+}
+
+}  // namespace guardrail

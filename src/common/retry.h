@@ -1,0 +1,78 @@
+#ifndef GUARDRAIL_COMMON_RETRY_H_
+#define GUARDRAIL_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/deadline.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace guardrail {
+
+/// Whether an idempotent operation that failed with `code` is worth
+/// re-attempting. Transient categories — transport failures, overload
+/// shedding, deadline expiry of a single attempt — are retryable; semantic
+/// failures (bad input, unknown entity, broken invariants) will fail the
+/// same way every time and short-circuit immediately.
+bool IsRetryableStatusCode(StatusCode code);
+
+inline bool IsRetryableStatus(const Status& status) {
+  return !status.ok() && IsRetryableStatusCode(status.code());
+}
+
+/// Exponential-backoff retry policy. All randomness (jitter) flows through
+/// the repo's seeded Rng, so a retry schedule replays bit-for-bit from
+/// `seed` — chaos tests can assert exact backoff sequences.
+struct RetryPolicy {
+  /// Total attempts, including the first; < 1 behaves as 1.
+  int max_attempts = 4;
+  int64_t initial_backoff_ms = 10;
+  int64_t max_backoff_ms = 2000;
+  double multiplier = 2.0;
+  /// Each backoff is drawn uniformly from
+  /// [base * (1 - jitter), base * (1 + jitter)]; 0 disables jitter.
+  double jitter = 0.2;
+  uint64_t seed = 0x5E77A11ULL;
+};
+
+/// The deterministic backoff sequence of one logical operation: attempt,
+/// fail, NextBackoffMillis(), sleep, attempt, ... Two schedules built from
+/// identical policies emit identical sequences.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy);
+
+  /// Backoff to wait before the next attempt, advancing the sequence.
+  /// Always in [base * (1 - jitter), base * (1 + jitter)] where base is the
+  /// exponentially grown (and max-capped) current backoff.
+  int64_t NextBackoffMillis();
+
+  /// Backoffs handed out so far.
+  int backoffs_drawn() const { return backoffs_drawn_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  double base_ms_;
+  int backoffs_drawn_ = 0;
+};
+
+struct RetryStats {
+  int attempts = 0;
+  int64_t total_backoff_ms = 0;
+};
+
+/// Runs `attempt` (called with the 0-based attempt index) until it returns
+/// OK, fails with a non-retryable code, exhausts `policy.max_attempts`, or
+/// the deadline runs out. Sleeps the schedule's backoff between attempts,
+/// never past the deadline: when the remaining budget cannot cover the next
+/// backoff, the loop gives up and returns the last error (or Timeout when
+/// the deadline expired before any attempt ran).
+Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
+                        const std::function<Status(int attempt)>& attempt,
+                        RetryStats* stats = nullptr);
+
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_COMMON_RETRY_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/telemetry/telemetry.h"
 #include "ml/automl.h"
 
 namespace guardrail {
@@ -23,12 +24,23 @@ Result<std::unique_ptr<PreparedDataset>> PrepareDataset(
   prepared->synthesis = synthesizer.Synthesize(prepared->train, &synth_rng);
 
   // Model trained on clean data (the paper buys the model; errors live in
-  // the serving data, not the training data).
+  // the serving data, not the training data). A trainer failure degrades to
+  // the constraints-only ladder — `model` stays null and the synthesized
+  // program above still guards the data — instead of aborting the whole
+  // pipeline: the paper's constraint path never depended on the model.
   if (config.train_model) {
     ml::AutoMlTrainer trainer;
-    GUARDRAIL_ASSIGN_OR_RETURN(
-        prepared->model,
-        trainer.Train(prepared->train, prepared->bundle.label_column));
+    Result<std::unique_ptr<ml::Model>> model =
+        trainer.Train(prepared->train, prepared->bundle.label_column);
+    if (model.ok()) {
+      prepared->model = std::move(*model);
+    } else {
+      GUARDRAIL_COUNTER_INC("exp.model_training_degraded");
+      GUARDRAIL_LOG(WARN)
+          << "model training failed; continuing constraints-only"
+          << telemetry::Kv("dataset", static_cast<int64_t>(id))
+          << telemetry::Kv("error", model.status().ToString());
+    }
   }
 
   // Errors injected into the serving split; the label column is protected so

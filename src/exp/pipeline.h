@@ -45,7 +45,9 @@ struct PreparedDataset {
   std::vector<InjectedError> errors;
   std::vector<bool> row_has_error;
   core::SynthesisReport synthesis;
-  std::unique_ptr<ml::Model> model;  // Null when train_model is false.
+  /// Null when train_model is false, or when training failed and the
+  /// pipeline degraded to constraints-only (see PrepareDataset).
+  std::unique_ptr<ml::Model> model;
 };
 
 /// Runs the shared pipeline for dataset `id`.

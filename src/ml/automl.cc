@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 #include "common/telemetry/telemetry.h"
 #include "ml/decision_tree.h"
 #include "ml/logistic_regression.h"
@@ -76,6 +78,7 @@ class EnsembleModel : public Model {
 
 Result<std::unique_ptr<Model>> MajorityTrainer::Train(
     const Table& train, AttrIndex label_column) const {
+  GUARDRAIL_FAILPOINT("ml.majority.train");
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training data");
   }
@@ -104,6 +107,7 @@ Result<std::unique_ptr<Model>> MajorityTrainer::Train(
 
 Result<std::unique_ptr<Model>> AutoMlTrainer::Train(
     const Table& train, AttrIndex label_column) const {
+  GUARDRAIL_FAILPOINT("ml.automl.train");
   if (train.num_rows() < 10) {
     return Status::InvalidArgument("too little data for AutoML");
   }

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace guardrail {
 namespace ml {
 
@@ -207,6 +209,7 @@ class TreeBuilder {
 
 Result<std::unique_ptr<Model>> DecisionTreeTrainer::Train(
     const Table& train, AttrIndex label_column) const {
+  GUARDRAIL_FAILPOINT("ml.decision_tree.train");
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training data");
   }

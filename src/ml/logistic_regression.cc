@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/failpoint.h"
+
 #include "common/rng.h"
 
 namespace guardrail {
@@ -95,6 +97,7 @@ class LogisticRegressionModel : public Model {
 
 Result<std::unique_ptr<Model>> LogisticRegressionTrainer::Train(
     const Table& train, AttrIndex label_column) const {
+  GUARDRAIL_FAILPOINT("ml.logistic_regression.train");
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training data");
   }

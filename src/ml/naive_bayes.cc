@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace guardrail {
 namespace ml {
 
@@ -70,6 +72,7 @@ class NaiveBayesModel : public Model {
 
 Result<std::unique_ptr<Model>> NaiveBayesTrainer::Train(
     const Table& train, AttrIndex label_column) const {
+  GUARDRAIL_FAILPOINT("ml.naive_bayes.train");
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training data");
   }

@@ -126,5 +126,13 @@ Result<PingResponse> Client::Ping() {
   return response;
 }
 
+Result<HealthResponse> Client::Health() {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::string payload,
+                             RoundTrip(EncodeHealthRequest()));
+  HealthResponse response;
+  GUARDRAIL_RETURN_NOT_OK(DecodeHealthResponse(payload, &response));
+  return response;
+}
+
 }  // namespace serve
 }  // namespace guardrail

@@ -30,6 +30,10 @@ class Client {
 
   Result<PingResponse> Ping();
 
+  /// Health probe: registry freshness + in-flight load (ReplicaPool uses
+  /// this to judge replica liveness between requests).
+  Result<HealthResponse> Health();
+
   bool connected() const { return fd_ >= 0; }
 
  private:

@@ -363,22 +363,68 @@ Result<std::vector<Row>> DecodeRows(RowFormat format,
   return Status::InvalidArgument("unknown row format");
 }
 
+bool ResponseDedupWindow::Lookup(uint64_t request_id,
+                                 ValidateResponse* out) const {
+  if (request_id == 0 || capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(request_id);
+  if (it == by_id_.end()) return false;
+  *out = it->second;
+  out->duplicate = true;
+  return true;
+}
+
+void ResponseDedupWindow::Remember(uint64_t request_id,
+                                   const ValidateResponse& response) {
+  if (request_id == 0 || capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_id_.try_emplace(request_id, response);
+  if (!inserted) return;  // First answer wins; never overwrite.
+  order_.push_back(request_id);
+  while (static_cast<int>(order_.size()) > capacity_) {
+    by_id_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+int ResponseDedupWindow::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(order_.size());
+}
+
 ValidateResponse ValidationEngine::Handle(const ValidateRequest& request) {
   GUARDRAIL_COUNTER_INC("serve.requests");
+  // Retransmit of an already-answered id: replay the remembered bytes
+  // before admission — a replay is free and must not be shed, or a retry
+  // storm could starve the very retries it caused.
+  ValidateResponse response;
+  if (dedup_.Lookup(request.request_id, &response)) {
+    GUARDRAIL_COUNTER_INC("serve.dedup_hits");
+    return response;
+  }
   if (!admission_.TryAcquire()) {
     GUARDRAIL_COUNTER_INC("serve.rejected_overload");
-    ValidateResponse response;
     response.code = StatusCode::kResourceExhausted;
     response.error = "server overloaded: " +
                      std::to_string(admission_.limit()) +
                      " request(s) already in flight";
+    // Graceful shedding: tell the client when to come back instead of
+    // letting it hammer or time out.
+    response.retry_after_ms = options_.retry_after_hint_ms;
     return response;
   }
   struct Release {
     AdmissionController* admission;
     ~Release() { admission->Release(); }
   } release{&admission_};
-  return HandleAdmitted(request);
+  response = HandleAdmitted(request);
+  // Only a processed batch is remembered: its verdicts (including any
+  // coerce/rectify repairs) are now "applied" and must never be recomputed
+  // for the same id. Errors stay forgettable so a real retry re-runs.
+  if (response.code == StatusCode::kOk) {
+    dedup_.Remember(request.request_id, response);
+  }
+  return response;
 }
 
 ValidateResponse ValidationEngine::HandleAdmitted(

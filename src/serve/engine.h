@@ -3,6 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "serve/protocol.h"
@@ -53,6 +56,41 @@ struct EngineOptions {
   int64_t parallel_batch_threshold = 2048;
   /// Rows per ParallelFor shard.
   int64_t rows_per_shard = 1024;
+  /// Completed responses remembered per engine, keyed by client-assigned
+  /// request id, for exactly-once retries (0 disables dedup). Sizing: must
+  /// cover retries-in-flight across the pool, not total throughput — see
+  /// docs/SERVING.md "Resilience".
+  int dedup_window = 1024;
+  /// retry_after_ms hint attached to ResourceExhausted shed responses.
+  uint32_t retry_after_hint_ms = 25;
+};
+
+/// Bounded FIFO memory of answered request ids. A retransmitted id replays
+/// the remembered response instead of re-running validation, which is what
+/// makes coerce/rectify verdicts exactly-once under client retries: the
+/// first execution's bytes are returned again, never a second execution.
+/// Only kOk responses are remembered — a shed or failed request must really
+/// retry. Thread-safe.
+class ResponseDedupWindow {
+ public:
+  explicit ResponseDedupWindow(int capacity)
+      : capacity_(capacity < 0 ? 0 : capacity) {}
+
+  /// True (and *out filled, with duplicate=true) when `request_id` was
+  /// already answered.
+  bool Lookup(uint64_t request_id, ValidateResponse* out) const;
+
+  /// Remembers a completed response, evicting the oldest id past capacity.
+  void Remember(uint64_t request_id, const ValidateResponse& response);
+
+  int size() const;
+  int capacity() const { return capacity_; }
+
+ private:
+  const int capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, ValidateResponse> by_id_;
+  std::deque<uint64_t> order_;  // Oldest first.
 };
 
 /// The serving request engine: resolves a dataset's current program
@@ -69,7 +107,8 @@ class ValidationEngine {
   ValidationEngine(ProgramRegistry* registry, EngineOptions options)
       : registry_(registry),
         options_(options),
-        admission_(options.max_inflight) {}
+        admission_(options.max_inflight),
+        dedup_(options.dedup_window) {}
 
   ValidationEngine(const ValidationEngine&) = delete;
   ValidationEngine& operator=(const ValidationEngine&) = delete;
@@ -78,6 +117,7 @@ class ValidationEngine {
 
   const EngineOptions& options() const { return options_; }
   AdmissionController& admission() { return admission_; }
+  const ResponseDedupWindow& dedup() const { return dedup_; }
 
  private:
   ValidateResponse HandleAdmitted(const ValidateRequest& request);
@@ -85,6 +125,7 @@ class ValidationEngine {
   ProgramRegistry* registry_;
   EngineOptions options_;
   AdmissionController admission_;
+  ResponseDedupWindow dedup_;
 };
 
 /// Decodes request rows (labels, per RowFormat) into dictionary-coded rows

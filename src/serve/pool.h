@@ -1,0 +1,147 @@
+#ifndef GUARDRAIL_SERVE_POOL_H_
+#define GUARDRAIL_SERVE_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace guardrail {
+namespace serve {
+
+/// One replica address of the validation fleet.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "host:port,host:port,..." (the CLI's --endpoints value).
+Result<std::vector<Endpoint>> ParseEndpoints(const std::string& spec);
+
+struct PoolOptions {
+  /// Per-connection socket timeout (connect + send/recv).
+  int connect_timeout_ms = 5000;
+  /// Retry policy across the fleet: attempts rotate over replicas, so
+  /// max_attempts also bounds how many distinct replicas one logical
+  /// request can touch. The seeded jitter keeps chaos runs replayable.
+  RetryPolicy retry;
+  /// Whole-operation budget across all attempts and backoffs; 0 = only the
+  /// per-attempt socket timeouts bound the call.
+  int64_t total_deadline_ms = 0;
+  /// Consecutive failures that open a replica's circuit breaker.
+  int breaker_failure_threshold = 3;
+  /// How long an open breaker rejects the replica before one half-open
+  /// probe request is allowed through.
+  int64_t breaker_open_ms = 250;
+  /// > 0: after this many milliseconds without a response, fire the same
+  /// request (same request id — the server dedup window makes the duplicate
+  /// harmless) at a second replica and take the first decisive answer.
+  int64_t hedge_ms = 0;
+  /// > 0: a background thread probes every replica's Health frame at this
+  /// interval, opening/closing breakers and noticing draining nodes without
+  /// spending a real request to find out.
+  int64_t health_probe_interval_ms = 0;
+  /// Seeds the request-id sequence (and any future randomized choice);
+  /// fixed seed -> replayable id stream for the soak harness.
+  uint64_t seed = 0xF1EE7ULL;
+};
+
+/// Client-side resilience layer over N validation replicas: round-robin
+/// load balancing, per-endpoint circuit breakers, transparent failover with
+/// deadline-capped backoff (common/retry), optional hedging, and optional
+/// active health probes. Exactly-once: every Validate carries a pool-unique
+/// request id, so a retry that lands after a replica already processed the
+/// lost response replays the original bytes from the server's dedup window
+/// instead of re-applying verdicts.
+///
+/// Error contract mirrors Client::Validate — a non-OK Result is a transport
+/// failure (every replica exhausted); a server's own answer, even a failed
+/// one, comes back as an OK Result once it is authoritative (non-retryable).
+class ReplicaPool {
+ public:
+  ReplicaPool(std::vector<Endpoint> endpoints, PoolOptions options);
+  ~ReplicaPool();
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  /// Validates one batch somewhere on the fleet. Assigns a request id when
+  /// the request carries none; a caller-set id is preserved (retrying a
+  /// previously failed call with its old id is safe and exactly-once).
+  Result<ValidateResponse> Validate(ValidateRequest request);
+
+  /// Health of one replica by index (probes on demand; does not require the
+  /// background prober).
+  Result<HealthResponse> Health(size_t replica);
+
+  size_t num_replicas() const { return replicas_.size(); }
+
+  struct ReplicaStats {
+    std::string endpoint;
+    uint64_t requests = 0;      // Attempts routed here.
+    uint64_t failures = 0;      // Transport-level failures observed.
+    int consecutive_failures = 0;
+    bool breaker_open = false;
+    bool draining = false;      // Last health/ping signal, if any.
+  };
+  std::vector<ReplicaStats> Stats() const;
+
+ private:
+  struct Replica {
+    Endpoint endpoint;
+    /// Serializes use of the pooled connection.
+    std::mutex mu;
+    std::optional<Client> client;  // Lazily (re)connected under mu.
+    std::atomic<int> consecutive_failures{0};
+    /// Steady-clock ms until which the breaker rejects this replica; a
+    /// request arriving after this instant is the half-open probe.
+    std::atomic<int64_t> open_until_ms{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<bool> draining{false};
+  };
+
+  uint64_t NextRequestId();
+
+  /// Round-robin pick skipping open breakers and draining nodes; when every
+  /// replica is rejected, returns the round-robin choice anyway (a fleet
+  /// that is all-open must still probe its way back to health).
+  size_t PickReplica();
+
+  /// One attempt on the pooled connection of `replica`.
+  Result<ValidateResponse> AttemptPooled(size_t replica,
+                                         const ValidateRequest& request);
+
+  /// One attempt with hedging: primary fires on a one-shot connection; if
+  /// no answer lands within hedge_ms, a second replica gets the same
+  /// request id. First decisive answer wins.
+  Result<ValidateResponse> AttemptHedged(size_t primary,
+                                         const ValidateRequest& request);
+
+  void RecordSuccess(size_t replica);
+  void RecordFailure(size_t replica);
+  void ProbeLoop();
+
+  const PoolOptions options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<size_t> rr_next_{0};
+  std::atomic<uint64_t> next_request_id_;
+  std::atomic<bool> stop_probe_{false};
+  std::thread prober_;
+};
+
+}  // namespace serve
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_SERVE_POOL_H_

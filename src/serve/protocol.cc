@@ -232,6 +232,7 @@ std::string EncodeValidateRequest(const ValidateRequest& request) {
   PutU8(scheme, &payload);
   PutU8(static_cast<uint8_t>(request.format), &payload);
   PutU32(request.deadline_ms, &payload);
+  PutU64(request.request_id, &payload);
   PutString(request.dataset, &payload);
   PutString(request.payload, &payload);
   return FinishFrame(std::move(payload));
@@ -242,6 +243,8 @@ std::string EncodeValidateResponse(const ValidateResponse& response) {
   PutU8(static_cast<uint8_t>(MsgType::kValidateResponse), &payload);
   PutU8(static_cast<uint8_t>(response.code), &payload);
   PutString(response.error, &payload);
+  PutU32(response.retry_after_ms, &payload);
+  PutU8(response.duplicate ? 1 : 0, &payload);
   PutU64(response.program_version, &payload);
   PutU32(static_cast<uint32_t>(response.rows.size()), &payload);
   for (const RowResult& row : response.rows) {
@@ -273,11 +276,30 @@ std::string EncodePingResponse(const PingResponse& response) {
   return FinishFrame(std::move(payload));
 }
 
+std::string EncodeHealthRequest() {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(MsgType::kHealthRequest), &payload);
+  return FinishFrame(std::move(payload));
+}
+
+std::string EncodeHealthResponse(const HealthResponse& response) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(MsgType::kHealthResponse), &payload);
+  PutU32(response.protocol_version, &payload);
+  PutU8(response.draining ? 1 : 0, &payload);
+  PutU32(response.inflight, &payload);
+  PutU32(response.max_inflight, &payload);
+  PutU64(response.registry_versions, &payload);
+  PutU32(response.live_datasets, &payload);
+  PutU32(response.superseded_snapshots, &payload);
+  return FinishFrame(std::move(payload));
+}
+
 Status PeekMsgType(std::string_view payload, MsgType* out) {
   if (payload.empty()) return Status::InvalidArgument("empty frame payload");
   uint8_t raw = static_cast<uint8_t>(payload[0]);
   if (raw < static_cast<uint8_t>(MsgType::kValidateRequest) ||
-      raw > static_cast<uint8_t>(MsgType::kPingResponse)) {
+      raw > static_cast<uint8_t>(MsgType::kHealthResponse)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(raw));
   }
@@ -295,6 +317,7 @@ Status DecodeValidateRequest(std::string_view payload, ValidateRequest* out) {
   GUARDRAIL_RETURN_NOT_OK(SchemeFromWire(scheme, &out->scheme));
   GUARDRAIL_RETURN_NOT_OK(FormatFromWire(format, &out->format));
   GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->deadline_ms));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU64(&out->request_id));
   GUARDRAIL_RETURN_NOT_OK(reader.GetString(&out->dataset));
   GUARDRAIL_RETURN_NOT_OK(reader.GetString(&out->payload));
   return reader.Finish();
@@ -308,6 +331,10 @@ Status DecodeValidateResponse(std::string_view payload,
   GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&code));
   GUARDRAIL_RETURN_NOT_OK(StatusCodeFromWire(code, &out->code));
   GUARDRAIL_RETURN_NOT_OK(reader.GetString(&out->error));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->retry_after_ms));
+  uint8_t duplicate = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&duplicate));
+  out->duplicate = duplicate != 0;
   GUARDRAIL_RETURN_NOT_OK(reader.GetU64(&out->program_version));
   uint32_t n_rows = 0;
   GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&n_rows));
@@ -361,6 +388,27 @@ Status DecodePingResponse(std::string_view payload, PingResponse* out) {
     GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&info.statements));
     out->datasets.push_back(std::move(info));
   }
+  return reader.Finish();
+}
+
+Status DecodeHealthRequest(std::string_view payload) {
+  WireReader reader(payload);
+  GUARDRAIL_RETURN_NOT_OK(ExpectMsgType(&reader, MsgType::kHealthRequest));
+  return reader.Finish();
+}
+
+Status DecodeHealthResponse(std::string_view payload, HealthResponse* out) {
+  WireReader reader(payload);
+  GUARDRAIL_RETURN_NOT_OK(ExpectMsgType(&reader, MsgType::kHealthResponse));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->protocol_version));
+  uint8_t draining = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&draining));
+  out->draining = draining != 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->inflight));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->max_inflight));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU64(&out->registry_versions));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->live_datasets));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU32(&out->superseded_snapshots));
   return reader.Finish();
 }
 

@@ -29,13 +29,17 @@ namespace serve {
 
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 inline constexpr uint32_t kFramePrefixBytes = 4;
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2 added the client-assigned request id, the retry-after / duplicate
+/// response fields, and the Health frames.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 enum class MsgType : uint8_t {
   kValidateRequest = 1,
   kValidateResponse = 2,
   kPingRequest = 3,
   kPingResponse = 4,
+  kHealthRequest = 5,
+  kHealthResponse = 6,
 };
 
 /// How the rows of a ValidateRequest payload are encoded.
@@ -60,6 +64,11 @@ struct ValidateRequest {
   /// 0 = no deadline; otherwise the server stops validating after this many
   /// milliseconds and answers StatusCode::kTimeout.
   uint32_t deadline_ms = 0;
+  /// Client-assigned idempotency key; 0 = unassigned. A server remembers
+  /// recently answered ids in a bounded dedup window and replays the cached
+  /// response for a retransmit, so a retry after a lost response can never
+  /// re-apply a coerce/rectify verdict (docs/SERVING.md, "Resilience").
+  uint64_t request_id = 0;
   /// The rows, encoded per `format`.
   std::string payload;
 };
@@ -92,6 +101,13 @@ struct ValidateResponse {
   /// overload, kTimeout deadline, ...), with `rows` empty.
   StatusCode code = StatusCode::kOk;
   std::string error;  // Populated when code != kOk.
+  /// With kResourceExhausted: how long the shedding server suggests the
+  /// client wait before retrying (graceful load shedding instead of
+  /// accept-then-time-out). 0 = no hint.
+  uint32_t retry_after_ms = 0;
+  /// True when this response was replayed from the server's dedup window
+  /// rather than recomputed (the request id had already been answered).
+  bool duplicate = false;
   /// The program version the verdicts were computed against — the version
   /// that was live when the request started, even if a hot reload swapped in
   /// a newer one mid-flight.
@@ -110,6 +126,27 @@ struct PingResponse {
   uint32_t protocol_version = kProtocolVersion;
   bool draining = false;
   std::vector<DatasetInfo> datasets;
+};
+
+/// Active health probe (ReplicaPool sends these between requests). Cheaper
+/// than Ping — no per-dataset list — and carries the load signals a
+/// balancer needs: registry freshness and in-flight pressure.
+struct HealthResponse {
+  uint32_t protocol_version = kProtocolVersion;
+  bool draining = false;
+  /// Requests currently admitted by the engine.
+  uint32_t inflight = 0;
+  /// The engine's admission limit (inflight == max_inflight means the next
+  /// arrival is shed).
+  uint32_t max_inflight = 0;
+  /// Total program versions ever published by this node's registry; a
+  /// replica lagging the fleet shows a smaller number.
+  uint64_t registry_versions = 0;
+  /// Datasets currently servable.
+  uint32_t live_datasets = 0;
+  /// Superseded snapshots still pinned by in-flight requests (the registry
+  /// GC gauge; see ProgramRegistry::superseded_live_count).
+  uint32_t superseded_snapshots = 0;
 };
 
 // ---- Little-endian primitives ------------------------------------------
@@ -161,6 +198,8 @@ std::string EncodeValidateRequest(const ValidateRequest& request);
 std::string EncodeValidateResponse(const ValidateResponse& response);
 std::string EncodePingRequest();
 std::string EncodePingResponse(const PingResponse& response);
+std::string EncodeHealthRequest();
+std::string EncodeHealthResponse(const HealthResponse& response);
 
 /// First byte of the payload as a message type (not yet range-checked
 /// against the known types; decoders do that).
@@ -170,6 +209,8 @@ Status DecodeValidateRequest(std::string_view payload, ValidateRequest* out);
 Status DecodeValidateResponse(std::string_view payload, ValidateResponse* out);
 Status DecodePingRequest(std::string_view payload);
 Status DecodePingResponse(std::string_view payload, PingResponse* out);
+Status DecodeHealthRequest(std::string_view payload);
+Status DecodeHealthResponse(std::string_view payload, HealthResponse* out);
 
 }  // namespace serve
 }  // namespace guardrail

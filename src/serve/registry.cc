@@ -80,10 +80,13 @@ Result<uint64_t> ProgramRegistry::LoadFromText(const std::string& dataset,
     version = it == live_.end() ? 1 : it->second->version + 1;
     snapshot->version = version;
     // RCU publish: readers holding the old shared_ptr keep their version;
-    // new Get calls see this one.
+    // new Get calls see this one. The displaced version moves to the
+    // superseded roster until its last reader drains (GcSuperseded).
+    if (it != live_.end()) superseded_.push_back(std::move(it->second));
     live_[dataset] = std::move(snapshot);
     ++versions_published_;
   }
+  GcSuperseded();
   GUARDRAIL_COUNTER_INC("serve.registry.versions_published");
   span.AddArg("version", static_cast<int64_t>(version));
   GUARDRAIL_LOG(INFO) << "published program version"
@@ -205,12 +208,45 @@ Result<int> ProgramRegistry::PollDirectory(const std::string& dir) {
   if (published > 0) {
     span.AddArg("published", static_cast<int64_t>(published));
   }
+  GcSuperseded();
   return published;
 }
 
 int64_t ProgramRegistry::versions_published() const {
   std::lock_guard<std::mutex> lock(mu_);
   return versions_published_;
+}
+
+int ProgramRegistry::GcSuperseded() {
+  int evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto keep = superseded_.begin();
+    for (auto it = superseded_.begin(); it != superseded_.end(); ++it) {
+      // use_count == 1 means the roster holds the only reference: every
+      // in-flight request that pinned this version has finished.
+      if (it->use_count() == 1) {
+        ++evicted;
+      } else {
+        *keep++ = std::move(*it);
+      }
+    }
+    superseded_.erase(keep, superseded_.end());
+  }
+  if (evicted > 0) {
+    GUARDRAIL_COUNTER_ADD("serve.registry.snapshots_evicted", evicted);
+  }
+  return evicted;
+}
+
+int ProgramRegistry::superseded_live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(superseded_.size());
+}
+
+int ProgramRegistry::live_datasets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(live_.size());
 }
 
 }  // namespace serve

@@ -87,10 +87,30 @@ class ProgramRegistry {
   /// Total versions ever published (across all datasets).
   int64_t versions_published() const;
 
+  /// Evicts superseded snapshots whose external refcount has drained (no
+  /// in-flight request still pins them), returning how many were freed. A
+  /// snapshot still held by a request survives — its verdicts are being
+  /// computed against it — and is retried next GC. Runs automatically on
+  /// every publish and every PollDirectory; callable directly for tests and
+  /// health probes.
+  int GcSuperseded();
+
+  /// Superseded snapshots still retained (drained or pinned) — the health
+  /// frame's gauge. Run GcSuperseded() first for the pinned-only number.
+  int superseded_live() const;
+
+  /// Datasets with a live snapshot.
+  int live_datasets() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const ProgramSnapshot>>
       live_;
+  /// Superseded-but-retained snapshots: a hot reload moves the displaced
+  /// version here so operators can see how many old versions in-flight
+  /// requests still pin (RCU grace period made observable). GcSuperseded
+  /// drops the drained ones.
+  std::vector<std::shared_ptr<const ProgramSnapshot>> superseded_;
   /// dataset -> combined source hash of the last *attempted* load, so a
   /// persistently broken file is not re-parsed (and re-logged) every poll.
   std::unordered_map<std::string, uint64_t> attempted_hash_;

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/telemetry/telemetry.h"
 #include "serve/protocol.h"
 
@@ -204,6 +205,13 @@ void Server::ConnectionLoop(int fd) {
     if (r != IoResult::kOk) break;
 
     GUARDRAIL_COUNTER_INC("serve.frames");
+    // Chaos hook: a tripped failpoint hangs up after the request was read
+    // but before any response — the client sees a dead node mid-request and
+    // must retry (with the same request id) against the fleet.
+    if (!FailpointTrip("serve.connection_drop").ok()) {
+      GUARDRAIL_COUNTER_INC("serve.chaos_drops");
+      break;
+    }
     std::string response = HandlePayload(payload);
     if (WriteFull(fd, response) != IoResult::kOk) break;
 
@@ -238,6 +246,27 @@ std::string Server::HandlePayload(std::string_view payload) {
         pong.datasets.push_back(std::move(info));
       }
       return EncodePingResponse(pong);
+    }
+    case MsgType::kHealthRequest: {
+      st = DecodeHealthRequest(payload);
+      if (!st.ok()) {
+        GUARDRAIL_COUNTER_INC("serve.bad_frames");
+        return ErrorFrame(StatusCode::kInvalidArgument, st.message());
+      }
+      registry_->GcSuperseded();  // Report only still-pinned snapshots.
+      HealthResponse health;
+      health.draining = draining_.load(std::memory_order_acquire);
+      int inflight = engine_->admission().inflight();
+      health.inflight = inflight < 0 ? 0 : static_cast<uint32_t>(inflight);
+      health.max_inflight =
+          static_cast<uint32_t>(engine_->admission().limit());
+      health.registry_versions =
+          static_cast<uint64_t>(registry_->versions_published());
+      health.live_datasets =
+          static_cast<uint32_t>(registry_->live_datasets());
+      health.superseded_snapshots =
+          static_cast<uint32_t>(registry_->superseded_live());
+      return EncodeHealthResponse(health);
     }
     case MsgType::kValidateRequest: {
       ValidateRequest request;

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "exp/pipeline.h"
+#include "ml/automl.h"
+#include "ml/naive_bayes.h"
+#include "table/dataset_repository.h"
+
+// Trainer-fault chaos: armed failpoints inside the ML trainers must degrade
+// the stack gracefully — the AutoML ensemble drops failed members, and the
+// experiment pipeline falls back to the constraints-only synthesis ladder
+// instead of aborting (ROADMAP "robustness" track).
+
+namespace guardrail {
+namespace exp {
+namespace {
+
+TEST(MlChaosTest, SingleTrainerFaultFallsBackToSurvivingMembers) {
+  DatasetBundle bundle = DatasetRepository::Build(2, 500);
+  ScopedFailpoint fault("ml.decision_tree.train", 1.0, StatusCode::kInternal);
+  ml::AutoMlTrainer trainer;
+  auto model = trainer.Train(bundle.clean, bundle.label_column);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // The ensemble still forms from the members that trained.
+  EXPECT_EQ((*model)->name(), "automl_ensemble");
+  EXPECT_NE((*model)->Predict(bundle.clean.GetRow(0)), kNullValue);
+}
+
+TEST(MlChaosTest, AllMemberFaultsFailTheEnsembleCleanly) {
+  DatasetBundle bundle = DatasetRepository::Build(2, 500);
+  ScopedFailpoint f1("ml.naive_bayes.train");
+  ScopedFailpoint f2("ml.decision_tree.train");
+  ScopedFailpoint f3("ml.logistic_regression.train");
+  ScopedFailpoint f4("ml.majority.train");
+  ml::AutoMlTrainer trainer;
+  auto model = trainer.Train(bundle.clean, bundle.label_column);
+  EXPECT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInternal);
+}
+
+TEST(MlChaosTest, PipelineDegradesToConstraintsOnlyWhenTrainingFails) {
+  ScopedFailpoint fault("ml.automl.train", 1.0, StatusCode::kInternal);
+  ExperimentConfig config;
+  config.row_limit = 800;
+  auto prepared = PrepareDataset(2, config);
+  // The pipeline survives: synthesis (the PR 1 ladder) still ran, only the
+  // model is absent.
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const PreparedDataset& p = **prepared;
+  EXPECT_EQ(p.model, nullptr);
+  EXPECT_FALSE(p.synthesis.program.statements.empty());
+  EXPECT_GT(p.test_dirty.num_rows(), 0);
+}
+
+TEST(MlChaosTest, PipelineTrainsNormallyOnceFaultsClear) {
+  {
+    ScopedFailpoint fault("ml.automl.train", 1.0, StatusCode::kInternal);
+    ExperimentConfig config;
+    config.row_limit = 800;
+    auto degraded = PrepareDataset(2, config);
+    ASSERT_TRUE(degraded.ok());
+    EXPECT_EQ((*degraded)->model, nullptr);
+  }
+  ExperimentConfig config;
+  config.row_limit = 800;
+  auto healthy = PrepareDataset(2, config);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_NE((*healthy)->model, nullptr);
+}
+
+TEST(MlChaosTest, ProbabilisticFaultsAreSeededAndDeterministic) {
+  DatasetBundle bundle = DatasetRepository::Build(2, 300);
+  auto outcome = [&](uint64_t seed) {
+    ScopedFailpoint fault("ml.naive_bayes.train", 0.5, StatusCode::kInternal,
+                          seed);
+    ml::NaiveBayesTrainer trainer;
+    std::string trace;
+    for (int i = 0; i < 8; ++i) {
+      trace += trainer.Train(bundle.clean, bundle.label_column).ok() ? '1'
+                                                                     : '0';
+    }
+    return trace;
+  };
+  EXPECT_EQ(outcome(11), outcome(11));  // Same seed, same fault schedule.
+  EXPECT_NE(outcome(11).find('0'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace guardrail

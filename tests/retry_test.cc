@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/retry.h"
+#include "common/status.h"
+
+// Retry-policy suite: status classification, backoff-sequence determinism
+// under a fixed seed, jitter bounds, non-retryable short-circuit, attempt
+// exhaustion, and deadline capping (docs/SERVING.md, "Resilience").
+
+namespace guardrail {
+namespace {
+
+TEST(RetryClassificationTest, TransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kIoError));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kTimeout));
+}
+
+TEST(RetryClassificationTest, SemanticCodesAreFatal) {
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kAlreadyExists));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kConstraintViolation));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kParseError));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kNotImplemented));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInternal));
+}
+
+TEST(RetryClassificationTest, OkStatusIsNotRetryable) {
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_TRUE(IsRetryableStatus(Status::IoError("boom")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Internal("bug")));
+}
+
+TEST(RetryScheduleTest, SameSeedSameSequence) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  RetrySchedule a(policy);
+  RetrySchedule b(policy);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextBackoffMillis(), b.NextBackoffMillis()) << "draw " << i;
+  }
+  EXPECT_EQ(a.backoffs_drawn(), 16);
+}
+
+TEST(RetryScheduleTest, DifferentSeedsDiverge) {
+  RetryPolicy a_policy;
+  a_policy.seed = 1;
+  RetryPolicy b_policy;
+  b_policy.seed = 2;
+  RetrySchedule a(a_policy);
+  RetrySchedule b(b_policy);
+  bool any_difference = false;
+  for (int i = 0; i < 16; ++i) {
+    any_difference |= a.NextBackoffMillis() != b.NextBackoffMillis();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryScheduleTest, JitterBoundsHold) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.max_backoff_ms = 100000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  RetrySchedule schedule(policy);
+  int64_t base = policy.initial_backoff_ms;
+  for (int i = 0; i < 8; ++i) {
+    int64_t drawn = schedule.NextBackoffMillis();
+    // [base * (1 - jitter), base * (1 + jitter)], with truncation slack.
+    EXPECT_GE(drawn, static_cast<int64_t>(base * 0.75) - 1) << "draw " << i;
+    EXPECT_LE(drawn, static_cast<int64_t>(base * 1.25) + 1) << "draw " << i;
+    base *= 2;
+  }
+}
+
+TEST(RetryScheduleTest, NoJitterIsExactExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 55;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  RetrySchedule schedule(policy);
+  std::vector<int64_t> drawn;
+  for (int i = 0; i < 5; ++i) drawn.push_back(schedule.NextBackoffMillis());
+  // 10, 20, 40, then capped at 55 forever.
+  EXPECT_EQ(drawn, (std::vector<int64_t>{10, 20, 40, 55, 55}));
+}
+
+TEST(RetryWithBackoffTest, SucceedsWithoutRetryWhenFirstAttemptOk) {
+  RetryStats stats;
+  Status st = RetryWithBackoff(
+      RetryPolicy{}, Deadline::Infinite(),
+      [](int) { return Status::OK(); }, &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.total_backoff_ms, 0);
+}
+
+TEST(RetryWithBackoffTest, RetriesUntilSuccess) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  RetryStats stats;
+  Status st = RetryWithBackoff(
+      policy, Deadline::Infinite(),
+      [](int attempt) {
+        return attempt < 2 ? Status::IoError("flaky") : Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(RetryWithBackoffTest, NonRetryableShortCircuits) {
+  RetryStats stats;
+  Status st = RetryWithBackoff(
+      RetryPolicy{}, Deadline::Infinite(),
+      [](int) { return Status::InvalidArgument("bad request"); }, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.total_backoff_ms, 0);
+}
+
+TEST(RetryWithBackoffTest, ExhaustsAttemptsAndReturnsLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 1;
+  RetryStats stats;
+  Status st = RetryWithBackoff(
+      policy, Deadline::Infinite(),
+      [](int attempt) {
+        return Status::IoError("fail " + std::to_string(attempt));
+      },
+      &stats);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.message(), "fail 2");
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(RetryWithBackoffTest, ExpiredDeadlineReturnsTimeoutWithoutAttempting) {
+  RetryStats stats;
+  Status st = RetryWithBackoff(
+      RetryPolicy{}, Deadline::AfterMillis(-1),
+      [](int) { return Status::OK(); }, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+  EXPECT_EQ(stats.attempts, 0);
+}
+
+TEST(RetryWithBackoffTest, GivesUpWhenBackoffCannotFitRemainingBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 10000;  // Far beyond the 50 ms budget.
+  policy.jitter = 0.0;
+  RetryStats stats;
+  Status st = RetryWithBackoff(
+      policy, Deadline::AfterMillis(50),
+      [](int) { return Status::IoError("down"); }, &stats);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // One attempt ran; the 10 s backoff could never fit, so no sleep happened.
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.total_backoff_ms, 0);
+}
+
+TEST(RetryWithBackoffTest, AttemptIndexIsPassedThrough) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 0;
+  policy.jitter = 0.0;
+  std::vector<int> seen;
+  Status st = RetryWithBackoff(policy, Deadline::Infinite(), [&](int attempt) {
+    seen.push_back(attempt);
+    return Status::IoError("again");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace guardrail

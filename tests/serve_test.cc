@@ -108,6 +108,7 @@ TEST(ProtocolTest, ValidateRequestRoundTrips) {
   request.scheme = core::ErrorPolicy::kRectify;
   request.format = RowFormat::kJson;
   request.deadline_ms = 250;
+  request.request_id = 0xFEEDFACECAFEBEEFULL;
   request.payload = "[{\"a\":\"x\"}]";
 
   std::string frame = EncodeValidateRequest(request);
@@ -124,6 +125,7 @@ TEST(ProtocolTest, ValidateRequestRoundTrips) {
   EXPECT_EQ(decoded.scheme, request.scheme);
   EXPECT_EQ(decoded.format, request.format);
   EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.request_id, request.request_id);
   EXPECT_EQ(decoded.payload, request.payload);
 }
 
@@ -131,6 +133,7 @@ TEST(ProtocolTest, ValidateResponseRoundTrips) {
   ValidateResponse response;
   response.code = StatusCode::kOk;
   response.program_version = 7;
+  response.duplicate = true;
   response.rows = {
       {RowVerdict::kOk, 0, ""},
       {RowVerdict::kViolation, 2, "94704,Berkeley"},
@@ -144,6 +147,7 @@ TEST(ProtocolTest, ValidateResponseRoundTrips) {
   ASSERT_TRUE(DecodeValidateResponse(payload, &decoded).ok());
   EXPECT_EQ(decoded.code, StatusCode::kOk);
   EXPECT_EQ(decoded.program_version, 7u);
+  EXPECT_TRUE(decoded.duplicate);
   ASSERT_EQ(decoded.rows.size(), 3u);
   EXPECT_TRUE(decoded.rows == response.rows);
 }
@@ -152,6 +156,7 @@ TEST(ProtocolTest, ErrorResponseRoundTrips) {
   ValidateResponse response;
   response.code = StatusCode::kResourceExhausted;
   response.error = "server overloaded";
+  response.retry_after_ms = 25;
   std::string frame = EncodeValidateResponse(response);
   std::string_view payload(frame.data() + kFramePrefixBytes,
                            frame.size() - kFramePrefixBytes);
@@ -159,6 +164,8 @@ TEST(ProtocolTest, ErrorResponseRoundTrips) {
   ASSERT_TRUE(DecodeValidateResponse(payload, &decoded).ok());
   EXPECT_EQ(decoded.code, StatusCode::kResourceExhausted);
   EXPECT_EQ(decoded.error, "server overloaded");
+  EXPECT_EQ(decoded.retry_after_ms, 25u);
+  EXPECT_FALSE(decoded.duplicate);
   EXPECT_TRUE(decoded.rows.empty());
 }
 

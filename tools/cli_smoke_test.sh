@@ -149,6 +149,19 @@ fi
 grep -q "2 of 16 row(s) flagged" "$DIR/validate_json.log"
 grep -q "2 of 16 row(s) flagged" "$DIR/validate_dirty.log"
 
+# Fleet mode: the same daemon listed twice behind the replica pool, with
+# retries and hedging enabled, reports identical verdicts.
+"$BIN" validate --endpoints="127.0.0.1:$PORT,127.0.0.1:$PORT" demo \
+  "$DIR/data.csv" --retries=3 > "$DIR/validate_fleet.log"
+grep -q "0 of 16 row(s) flagged" "$DIR/validate_fleet.log"
+if "$BIN" validate --endpoints="127.0.0.1:$PORT,127.0.0.1:$PORT" demo \
+    "$DIR/dirty.csv" --scheme=rectify --retries=3 --hedge-ms=50 \
+    > "$DIR/validate_fleet_dirty.log"; then
+  echo "expected nonzero exit for flagged rows (fleet)" >&2
+  exit 1
+fi
+grep -q "repaired to: 94704,Berkeley" "$DIR/validate_fleet_dirty.log"
+
 # SIGTERM drains cleanly: exit 0 and a drain marker in the log.
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then

@@ -35,6 +35,11 @@
 //       Send the CSV's rows to a running daemon and report per-row
 //       verdicts. --format=json re-encodes the rows as JSON client-side to
 //       exercise the JSON wire path. Exit code 3 when violations exist.
+//   guardrail validate --endpoints=h:p,h:p,... <dataset> <data.csv>
+//       [--retries=N] [--hedge-ms=N]
+//       Fleet mode: load-balance the request across several daemons with
+//       retries, circuit breakers, and optional request hedging (see
+//       docs/SERVING.md, "Resilience").
 //
 // Global flags (any command):
 //   --threads=N         Worker parallelism for synthesis (default: hardware
@@ -73,6 +78,7 @@
 #include "core/synthesizer.h"
 #include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/pool.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "sql/executor.h"
@@ -337,21 +343,12 @@ Result<std::string> CsvTextToJson(const std::string& csv_text) {
   return out;
 }
 
-int CmdValidate(const std::string& endpoint, const std::string& dataset,
-                const std::string& data_path, core::ErrorPolicy scheme,
-                const std::string& format, int64_t time_budget_ms) {
-  size_t colon = endpoint.rfind(':');
-  double port = 0;
-  if (colon == std::string::npos || colon == 0 ||
-      !ParseDouble(endpoint.substr(colon + 1), &port) || port < 1 ||
-      port > 65535) {
-    return Fail(Status::InvalidArgument("endpoint must be host:port, got '" +
-                                        endpoint + "'"));
-  }
-  std::string host = endpoint.substr(0, colon);
-
+Result<serve::ValidateRequest> BuildValidateRequest(
+    const std::string& dataset, const std::string& data_path,
+    core::ErrorPolicy scheme, const std::string& format,
+    int64_t time_budget_ms) {
   std::ifstream in(data_path, std::ios::binary);
-  if (!in) return Fail(Status::IoError("cannot open " + data_path));
+  if (!in) return Status::IoError("cannot open " + data_path);
   std::ostringstream ss;
   ss << in.rdbuf();
   std::string csv_text = ss.str();
@@ -365,26 +362,21 @@ int CmdValidate(const std::string& endpoint, const std::string& dataset,
   if (format == "json") {
     request.format = serve::RowFormat::kJson;
     auto json = CsvTextToJson(csv_text);
-    if (!json.ok()) return Fail(json.status());
+    GUARDRAIL_RETURN_NOT_OK(json.status());
     request.payload = std::move(json).value();
   } else {
     request.format = serve::RowFormat::kCsv;
     request.payload = std::move(csv_text);
   }
+  return request;
+}
 
-  auto client = serve::Client::Connect(host, static_cast<int>(port));
-  if (!client.ok()) return Fail(client.status());
-  auto response = client->Validate(request);
-  if (!response.ok()) return Fail(response.status());
-  if (response->code != StatusCode::kOk) {
-    std::fprintf(stderr, "server error: %s\n", response->error.c_str());
-    return 2;
-  }
-
+int ReportValidateResponse(const serve::ValidateResponse& response,
+                           core::ErrorPolicy scheme) {
   int64_t violations = 0;
   int64_t failed = 0;
-  for (size_t r = 0; r < response->rows.size(); ++r) {
-    const serve::RowResult& row = response->rows[r];
+  for (size_t r = 0; r < response.rows.size(); ++r) {
+    const serve::RowResult& row = response.rows[r];
     if (row.verdict == serve::RowVerdict::kViolation) {
       ++violations;
       if (row.detail.empty()) {
@@ -402,15 +394,68 @@ int CmdValidate(const std::string& endpoint, const std::string& dataset,
   std::printf(
       "%lld of %zu row(s) flagged under scheme '%s' (program version "
       "%llu)\n",
-      static_cast<long long>(violations), response->rows.size(),
+      static_cast<long long>(violations), response.rows.size(),
       core::ErrorPolicyName(scheme),
-      static_cast<unsigned long long>(response->program_version));
+      static_cast<unsigned long long>(response.program_version));
   if (failed > 0) {
     std::fprintf(stderr, "%lld row(s) could not be evaluated\n",
                  static_cast<long long>(failed));
     return 2;
   }
   return violations > 0 ? 3 : 0;
+}
+
+int CmdValidate(const std::string& endpoint, const std::string& dataset,
+                const std::string& data_path, core::ErrorPolicy scheme,
+                const std::string& format, int64_t time_budget_ms) {
+  size_t colon = endpoint.rfind(':');
+  double port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseDouble(endpoint.substr(colon + 1), &port) || port < 1 ||
+      port > 65535) {
+    return Fail(Status::InvalidArgument("endpoint must be host:port, got '" +
+                                        endpoint + "'"));
+  }
+  std::string host = endpoint.substr(0, colon);
+
+  auto request = BuildValidateRequest(dataset, data_path, scheme, format,
+                                      time_budget_ms);
+  if (!request.ok()) return Fail(request.status());
+  auto client = serve::Client::Connect(host, static_cast<int>(port));
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->Validate(*request);
+  if (!response.ok()) return Fail(response.status());
+  if (response->code != StatusCode::kOk) {
+    std::fprintf(stderr, "server error: %s\n", response->error.c_str());
+    return 2;
+  }
+  return ReportValidateResponse(*response, scheme);
+}
+
+// Fleet-mode validate: load-balance across --endpoints with retries,
+// circuit breakers, and optional hedging (docs/SERVING.md, "Resilience").
+int CmdValidateFleet(const std::string& endpoints_spec,
+                     const std::string& dataset, const std::string& data_path,
+                     core::ErrorPolicy scheme, const std::string& format,
+                     int64_t time_budget_ms, int retries, int hedge_ms) {
+  auto endpoints = serve::ParseEndpoints(endpoints_spec);
+  if (!endpoints.ok()) return Fail(endpoints.status());
+  auto request = BuildValidateRequest(dataset, data_path, scheme, format,
+                                      time_budget_ms);
+  if (!request.ok()) return Fail(request.status());
+
+  serve::PoolOptions options;
+  if (retries >= 0) options.retry.max_attempts = retries + 1;
+  if (hedge_ms > 0) options.hedge_ms = hedge_ms;
+  if (time_budget_ms > 0) options.total_deadline_ms = time_budget_ms;
+  serve::ReplicaPool pool(*endpoints, options);
+  auto response = pool.Validate(*request);
+  if (!response.ok()) return Fail(response.status());
+  if (response->code != StatusCode::kOk) {
+    std::fprintf(stderr, "server error: %s\n", response->error.c_str());
+    return 2;
+  }
+  return ReportValidateResponse(*response, scheme);
 }
 
 int Usage() {
@@ -430,6 +475,8 @@ int Usage() {
                " [--queue-depth=N] [--reload-ms=N]\n"
                "  guardrail validate <host:port> <dataset> <data.csv>"
                " [--scheme=...] [--format=csv|json] [--time-budget-ms=N]\n"
+               "  guardrail validate --endpoints=h:p,h:p,... <dataset>"
+               " <data.csv> [--retries=N] [--hedge-ms=N] [--scheme=...]\n"
                "global flags:\n"
                "  --threads=N         worker parallelism for synthesize"
                " (default: hardware concurrency)\n"
@@ -459,6 +506,9 @@ int Main(int argc, char** argv) {
   int queue_depth = 0;
   int reload_ms = 0;
   std::string row_format = "csv";
+  std::string endpoints_spec;
+  int retries = -1;   // -1 = pool default.
+  int hedge_ms = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -474,6 +524,9 @@ int Main(int argc, char** argv) {
     constexpr std::string_view kQueueDepth = "--queue-depth=";
     constexpr std::string_view kReloadMs = "--reload-ms=";
     constexpr std::string_view kFormat = "--format=";
+    constexpr std::string_view kEndpoints = "--endpoints=";
+    constexpr std::string_view kRetries = "--retries=";
+    constexpr std::string_view kHedgeMs = "--hedge-ms=";
     if (arg == "--json") {
       json = true;
       continue;
@@ -534,6 +587,28 @@ int Main(int argc, char** argv) {
     if (arg.rfind(kFormat, 0) == 0) {
       row_format = std::string(arg.substr(kFormat.size()));
       if (row_format != "csv" && row_format != "json") return Usage();
+      continue;
+    }
+    if (arg.rfind(kEndpoints, 0) == 0) {
+      endpoints_spec = std::string(arg.substr(kEndpoints.size()));
+      if (endpoints_spec.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kRetries, 0) == 0) {
+      double parsed = -1;
+      if (!ParseDouble(arg.substr(kRetries.size()), &parsed) || parsed < 0 ||
+          parsed > 100) {
+        return Usage();
+      }
+      retries = static_cast<int>(parsed);
+      continue;
+    }
+    if (arg.rfind(kHedgeMs, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kHedgeMs.size()), &parsed) || parsed < 1) {
+        return Usage();
+      }
+      hedge_ms = static_cast<int>(parsed);
       continue;
     }
     if (arg.rfind(kThreads, 0) == 0) {
@@ -601,6 +676,9 @@ int Main(int argc, char** argv) {
     rc = CmdExplain(args[1]);
   } else if (command == "serve" && n == 1 && !programs_dir.empty()) {
     rc = CmdServe(programs_dir, serve_port, queue_depth, reload_ms);
+  } else if (command == "validate" && n == 3 && !endpoints_spec.empty()) {
+    rc = CmdValidateFleet(endpoints_spec, args[1], args[2], scheme,
+                          row_format, time_budget_ms, retries, hedge_ms);
   } else if (command == "validate" && n == 4) {
     rc = CmdValidate(args[1], args[2], args[3], scheme, row_format,
                      time_budget_ms);
