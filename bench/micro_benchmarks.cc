@@ -7,6 +7,7 @@
 
 #include "baselines/partition.h"
 #include "common/telemetry/telemetry.h"
+#include "core/batch_eval.h"
 #include "core/guard.h"
 #include "core/sketch_filler.h"
 #include "core/synthesizer.h"
@@ -66,6 +67,38 @@ void BM_GuardDetectViolationsPerRow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * data.num_rows());
 }
 BENCHMARK(BM_GuardDetectViolationsPerRow);
+
+// ----------------------------------------------------- batch vs interpreter --
+// The vectorized-engine ablation: the same synthesized program over the same
+// table, scalar interpreter loop (per-row Row materialization plus
+// first-matching-branch scans) vs. the compiled columnar engine (dispatch
+// tables plus bitmask verdicts). Items processed are rows in both arms, so
+// the reported items_per_second columns are directly comparable.
+void BM_BatchVsInterpreter(benchmark::State& state) {
+  const bool compiled = state.range(0) != 0;
+  Table data = MakeBenchTable(8, 20000);
+  core::SynthesisOptions options;
+  core::Synthesizer synth(options);
+  Rng rng(6);
+  core::SynthesisReport report = synth.Synthesize(data, &rng);
+  core::Guard guard(&report.program);
+  core::BatchVerdict verdict;
+  for (auto _ : state) {
+    if (compiled) {
+      guard.compiled().EvaluateTable(data, 0, data.num_rows(), &verdict);
+      benchmark::DoNotOptimize(verdict.any_violation);
+    } else {
+      int64_t flagged = 0;
+      for (RowIndex r = 0; r < data.num_rows(); ++r) {
+        if (!guard.interpreter().Check(data.GetRow(r)).empty()) ++flagged;
+      }
+      benchmark::DoNotOptimize(flagged);
+    }
+  }
+  state.SetLabel(compiled ? "compiled" : "interpreter");
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_BatchVsInterpreter)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // --------------------------------------------------------------- CI tests --
 

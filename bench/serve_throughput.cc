@@ -19,11 +19,14 @@
 
 #include "bench_common.h"
 #include "common/rng.h"
+#include "core/batch_eval.h"
+#include "core/guard.h"
 #include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "table/column_batch.h"
 #include "table/table.h"
 
 namespace guardrail {
@@ -100,6 +103,71 @@ int Run() {
                  version.status().ToString().c_str());
     return 1;
   }
+
+  // ---- Phase 0: validation kernel (no wire) ---------------------------
+  // Guard-level rows/sec on an in-memory coded table, isolating the
+  // evaluation kernel from the wire/parse cost that dominates the TCP
+  // phases: scalar interpreter loop vs. the snapshot's compiled columnar
+  // engine (the same CompiledProgram every request shares).
+  auto snapshot = registry.Get("demo");
+  if (snapshot == nullptr || snapshot->compiled == nullptr) {
+    std::fprintf(stderr, "snapshot missing compiled program\n");
+    return 1;
+  }
+  const int64_t kernel_rows = fast ? 50000 : 500000;
+  Table kernel_table{seed_table->schema()};
+  {
+    // Seed CSV inserted zip i / city i in order, so label codes equal i.
+    Rng rng(0xC0FFEE);
+    for (int64_t r = 0; r < kernel_rows; ++r) {
+      ValueId zip = static_cast<ValueId>(rng.NextUint64(kZips));
+      ValueId city = zip;
+      if (rng.NextBernoulli(0.01)) {
+        city = static_cast<ValueId>(
+            (zip + 1 + static_cast<ValueId>(rng.NextUint64(kZips - 1))) %
+            kZips);
+      }
+      if (Status st = kernel_table.AppendRow({zip, city}); !st.ok()) return 1;
+    }
+  }
+  core::Guard kernel_guard(&snapshot->program);
+  double kernel_interp_rps = 0.0;
+  double kernel_compiled_rps = 0.0;
+  {
+    using clock = std::chrono::steady_clock;
+    auto seconds_since = [](clock::time_point t0) {
+      return std::chrono::duration_cast<std::chrono::duration<double>>(
+                 clock::now() - t0)
+          .count();
+    };
+    const double rows = static_cast<double>(kernel_table.num_rows());
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = clock::now();
+      int64_t flagged = 0;
+      for (RowIndex r = 0; r < kernel_table.num_rows(); ++r) {
+        if (!kernel_guard.interpreter().Check(kernel_table.GetRow(r)).empty()) {
+          ++flagged;
+        }
+      }
+      kernel_interp_rps = std::max(
+          kernel_interp_rps, rows / std::max(seconds_since(t0), 1e-9));
+
+      core::BatchVerdict verdict;
+      t0 = clock::now();
+      snapshot->compiled->EvaluateTable(kernel_table, 0,
+                                        kernel_table.num_rows(), &verdict);
+      kernel_compiled_rps = std::max(
+          kernel_compiled_rps, rows / std::max(seconds_since(t0), 1e-9));
+      if (rowmask::Count(verdict.violated) != flagged) {
+        std::fprintf(stderr, "kernel verdict mismatch: %lld vs %lld\n",
+                     static_cast<long long>(rowmask::Count(verdict.violated)),
+                     static_cast<long long>(flagged));
+        return 1;
+      }
+    }
+  }
+  const double kernel_speedup =
+      kernel_interp_rps > 0.0 ? kernel_compiled_rps / kernel_interp_rps : 0.0;
 
   serve::EngineOptions engine_options;
   serve::ValidationEngine engine(&registry, engine_options);
@@ -235,6 +303,11 @@ int Run() {
   table.AddRow({"transport errors", bench::FmtInt(total.transport_errors)});
   table.AddRow({"backpressure shed", bench::FmtInt(shed.load())});
   table.AddRow({"backpressure served", bench::FmtInt(served.load())});
+  table.AddRow({"kernel interp rows/s",
+                bench::FmtInt(static_cast<int64_t>(kernel_interp_rps))});
+  table.AddRow({"kernel compiled rows/s",
+                bench::FmtInt(static_cast<int64_t>(kernel_compiled_rps))});
+  table.AddRow({"kernel speedup", bench::Fmt(kernel_speedup, 2)});
   std::printf("Serve throughput (localhost TCP, %d connections x %d batches "
               "x %d rows):\n\n",
               connections, batches, rows_per_batch);
@@ -259,6 +332,12 @@ int Run() {
   json += ", \"transport_errors\": " + std::to_string(total.transport_errors);
   json += ", \"backpressure_shed\": " + std::to_string(shed.load());
   json += ", \"backpressure_served\": " + std::to_string(served.load());
+  json += ", \"kernel_rows\": " + std::to_string(kernel_rows);
+  json += ", \"kernel_interpreter_rows_per_sec\": " +
+          std::to_string(static_cast<int64_t>(kernel_interp_rps));
+  json += ", \"kernel_compiled_rows_per_sec\": " +
+          std::to_string(static_cast<int64_t>(kernel_compiled_rps));
+  json += ", \"kernel_speedup\": " + bench::Fmt(kernel_speedup, 3);
   json += "}\n]\n";
   if (std::FILE* f = std::fopen("BENCH_serve_throughput.json", "w")) {
     std::fputs(json.c_str(), f);

@@ -1,17 +1,94 @@
 // Reproduces paper Table 6: runtime overhead of the Guardrail interception
 // hook versus the ML inference cost, measured while executing the dataset's
-// ML-integrated query workload behind a rectifying guard.
+// ML-integrated query workload behind a rectifying guard. Also reports the
+// vectorized-engine ablation per dataset — rows/sec through the scalar
+// interpreter loop vs. the compiled columnar engine (docs/PERFORMANCE.md) —
+// and writes both series to BENCH_table6_runtime_overhead.json.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
+#include "common/telemetry/state.h"
+#include "core/batch_eval.h"
 #include "core/guard.h"
 #include "exp/pipeline.h"
 #include "exp/query_workload.h"
 #include "sql/executor.h"
+#include "table/column_batch.h"
 
 namespace guardrail {
 namespace {
+
+struct KernelSample {
+  double interp_rows_per_sec = 0.0;
+  double compiled_rows_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+// Best-of-3 rows/sec for ProcessTable in interpreter vs. compiled mode over
+// the dirty test split — the full per-row path each mode actually pays
+// (Row materialization, failpoint probe, and outcome bookkeeping on the
+// scalar side; chunked EvaluateTable plus flagged-row walks on the batched
+// side), under the non-mutating kIgnore policy so one table serves every
+// rep. The capped bench splits are only a few thousand rows, so the split
+// is replicated up to production batch scale first — the engine's target
+// regime — which amortizes per-call fixed costs (mask allocation, dispatch
+// setup) the way real batches do. Metrics are disabled inside the timed
+// region: per-row counter/histogram updates would measure the telemetry
+// pillar, not the engine.
+KernelSample MeasureKernel(const core::Guard& guard, const Table& dirty) {
+  using clock = std::chrono::steady_clock;
+  auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               clock::now() - t0)
+        .count();
+  };
+  constexpr int64_t kTargetRows = int64_t{1} << 17;
+  Table big{dirty.schema()};
+  while (big.num_rows() < kTargetRows && dirty.num_rows() > 0) {
+    for (RowIndex r = 0; r < dirty.num_rows(); ++r) {
+      if (!big.AppendRow(dirty.GetRow(r)).ok()) break;
+    }
+  }
+  Table& measured = big;
+  const double rows = static_cast<double>(measured.num_rows());
+  if (measured.num_rows() == 0) return KernelSample{};
+
+  // One-time program compilation stays out of the timed region, matching
+  // the compile-once / evaluate-many serving contract.
+  guard.compiled();
+  telemetry::EnableMetrics(false);
+  double interp_best = 0.0;
+  double compiled_best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = clock::now();
+    core::GuardOutcome scalar = guard.ProcessTable(
+        &measured, core::ErrorPolicy::kIgnore, core::GuardEvalMode::kInterpreter);
+    interp_best =
+        std::max(interp_best, rows / std::max(seconds_since(t0), 1e-9));
+
+    t0 = clock::now();
+    core::GuardOutcome batched = guard.ProcessTable(
+        &measured, core::ErrorPolicy::kIgnore, core::GuardEvalMode::kCompiled);
+    compiled_best =
+        std::max(compiled_best, rows / std::max(seconds_since(t0), 1e-9));
+    if (scalar.rows_flagged != batched.rows_flagged) {
+      std::fprintf(stderr, "kernel verdict mismatch: %lld vs %lld\n",
+                   static_cast<long long>(batched.rows_flagged),
+                   static_cast<long long>(scalar.rows_flagged));
+    }
+  }
+  telemetry::EnableMetrics(true);
+  KernelSample sample;
+  sample.interp_rows_per_sec = interp_best;
+  sample.compiled_rows_per_sec = compiled_best;
+  sample.speedup =
+      interp_best > 0.0 ? compiled_best / interp_best : 0.0;
+  return sample;
+}
 
 int Run() {
   // Guard/inference times come from the telemetry counters the executor
@@ -20,9 +97,12 @@ int Run() {
   bench::EnableBenchTelemetry();
   bench::TextTable table({"Dataset ID", "Guardrail Time (s)",
                           "Inference Time (s)", "Guard/Inference",
-                          "Rows guarded"});
+                          "Rows guarded", "Interp rows/s", "Compiled rows/s",
+                          "Speedup"});
   double total_guard = 0.0;
+  double total_speedup = 0.0;
   int datasets = 0;
+  std::string json = "[\n";
   for (int id : bench::BenchDatasetIds()) {
     bench::ResetBenchTelemetry();
     exp::ExperimentConfig config = bench::DefaultBenchConfig();
@@ -53,15 +133,35 @@ int Run() {
         static_cast<double>(bench::CounterValue("sql.guard_micros")) / 1e6;
     double inference_seconds =
         static_cast<double>(bench::CounterValue("sql.inference_micros")) / 1e6;
+    KernelSample kernel = MeasureKernel(guard, p.test_dirty);
     total_guard += guard_seconds;
+    total_speedup += kernel.speedup;
+    if (datasets > 0) json += ",\n";
     ++datasets;
     table.AddRow({bench::FmtInt(id), bench::Fmt(guard_seconds, 4),
                   bench::Fmt(inference_seconds, 4),
                   inference_seconds > 0
                       ? bench::Fmt(guard_seconds / inference_seconds, 3)
                       : "-",
-                  bench::FmtInt(stats.rows_after_pushdown)});
+                  bench::FmtInt(stats.rows_after_pushdown),
+                  bench::FmtInt(
+                      static_cast<int64_t>(kernel.interp_rows_per_sec)),
+                  bench::FmtInt(
+                      static_cast<int64_t>(kernel.compiled_rows_per_sec)),
+                  bench::Fmt(kernel.speedup, 2)});
+    json += "  {\"dataset\": " + std::to_string(id);
+    json += ", \"guard_seconds\": " + bench::Fmt(guard_seconds, 6);
+    json += ", \"inference_seconds\": " + bench::Fmt(inference_seconds, 6);
+    json += ", \"rows_guarded\": " +
+            std::to_string(stats.rows_after_pushdown);
+    json += ", \"interp_rows_per_sec\": " +
+            std::to_string(static_cast<int64_t>(kernel.interp_rows_per_sec));
+    json += ", \"compiled_rows_per_sec\": " +
+            std::to_string(static_cast<int64_t>(kernel.compiled_rows_per_sec));
+    json += ", \"speedup\": " + bench::Fmt(kernel.speedup, 3);
+    json += "}";
   }
+  json += "\n]\n";
   std::printf("Table 6: runtime overheads and breakdown\n\n");
   table.Print();
   std::printf(
@@ -69,6 +169,14 @@ int Run() {
       "(paper: 0.332 s average; shape to check is guard time being\n"
       "comparable to or below model inference time).\n",
       datasets > 0 ? total_guard / datasets : 0.0);
+  std::printf(
+      "Average compiled/interpreter speedup: %.2fx across %d datasets.\n",
+      datasets > 0 ? total_speedup / datasets : 0.0, datasets);
+  if (std::FILE* f = std::fopen("BENCH_table6_runtime_overhead.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_table6_runtime_overhead.json\n");
+  }
   return 0;
 }
 

@@ -166,6 +166,12 @@ Status FailpointRegistry::Trip(std::string_view name) {
   return injected;
 }
 
+bool FailpointRegistry::IsArmed(std::string_view name) const {
+  if (impl_->num_armed.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->points.find(name) != impl_->points.end();
+}
+
 std::vector<std::string> FailpointRegistry::ArmedNames() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   std::vector<std::string> names;

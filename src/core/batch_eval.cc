@@ -1,0 +1,491 @@
+#include "core/batch_eval.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace guardrail {
+namespace core {
+
+namespace {
+
+/// Literals above this never get a dense value->index LUT; such statements
+/// evaluate in mask form. Keeps per-attribute LUTs at a few MB worst case.
+constexpr ValueId kMaxDenseLiteral = ValueId{1} << 22;
+
+/// No-fire sentinel in the fused expected-value tables. Unreachable as a
+/// real assignment: literals/codes are bounded below by kNullValue.
+constexpr ValueId kNoFire = std::numeric_limits<ValueId>::min();
+
+void ClearMask(std::vector<uint64_t>* mask, int64_t rows) {
+  mask->assign(rowmask::Words(rows), 0);
+}
+
+/// Sets bits [0, rows) — whole words, then trims the tail word.
+void FillMask(std::vector<uint64_t>* mask, int64_t rows) {
+  mask->assign(rowmask::Words(rows), ~uint64_t{0});
+  if (rows & 63) mask->back() = (uint64_t{1} << (rows & 63)) - 1;
+}
+
+bool AnyBit(const std::vector<uint64_t>& mask) {
+  for (uint64_t word : mask) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+/// Compact index of `code` in `lut` (0 = unseen). Codes below kNullValue
+/// wrap to a huge unsigned slot and fall off the end -> 0, matching the
+/// interpreter: such codes equal no literal.
+inline int32_t LookupIndex(const std::vector<int32_t>& lut, ValueId code) {
+  uint32_t slot = static_cast<uint32_t>(code + 1);
+  return slot < lut.size() ? lut[slot] : 0;
+}
+
+}  // namespace
+
+CompiledProgram CompiledProgram::Compile(const Program& program) {
+  CompiledProgram compiled;
+  compiled.program_ = &program;
+
+  std::vector<AttrIndex> referenced;
+  for (const Statement& stmt : program.statements) {
+    referenced.push_back(stmt.dependent);
+    referenced.insert(referenced.end(), stmt.determinants.begin(),
+                      stmt.determinants.end());
+    for (const Branch& branch : stmt.branches) {
+      referenced.push_back(branch.target);
+      for (const auto& [attr, value] : branch.condition.equalities) {
+        referenced.push_back(attr);
+      }
+    }
+  }
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  compiled.referenced_attributes_ = std::move(referenced);
+  for (AttrIndex a : compiled.referenced_attributes_) {
+    compiled.min_row_width_ =
+        std::max(compiled.min_row_width_, static_cast<size_t>(a) + 1);
+  }
+
+  compiled.statements_.reserve(program.statements.size());
+  for (const Statement& stmt : program.statements) {
+    CompiledStatement cs;
+    cs.dependent = stmt.dependent;
+    cs.targets.reserve(stmt.branches.size());
+    cs.assignments.reserve(stmt.branches.size());
+    for (const Branch& branch : stmt.branches) {
+      cs.targets.push_back(branch.target);
+      cs.assignments.push_back(branch.assignment);
+    }
+
+    // Dispatch eligibility: a non-empty uniform condition-attribute set
+    // across branches (equalities are sorted, so the attribute sequences
+    // compare directly), a uniform target, and literals in dense range.
+    bool eligible = !stmt.branches.empty();
+    std::vector<AttrIndex> key_attrs;
+    if (eligible) {
+      for (const auto& [attr, value] :
+           stmt.branches.front().condition.equalities) {
+        key_attrs.push_back(attr);
+      }
+      eligible = !key_attrs.empty();
+    }
+    for (size_t b = 0; eligible && b < stmt.branches.size(); ++b) {
+      const Branch& branch = stmt.branches[b];
+      if (branch.target != stmt.dependent ||
+          branch.condition.equalities.size() != key_attrs.size()) {
+        eligible = false;
+        break;
+      }
+      for (size_t k = 0; k < key_attrs.size(); ++k) {
+        ValueId lit = branch.condition.equalities[k].second;
+        if (branch.condition.equalities[k].first != key_attrs[k] ||
+            lit < kNullValue || lit > kMaxDenseLiteral) {
+          eligible = false;
+          break;
+        }
+      }
+    }
+
+    if (eligible) {
+      // Per key attribute: sorted unique literals -> compact indexes 1..m.
+      std::vector<std::vector<ValueId>> values(key_attrs.size());
+      for (const Branch& branch : stmt.branches) {
+        for (size_t k = 0; k < key_attrs.size(); ++k) {
+          values[k].push_back(branch.condition.equalities[k].second);
+        }
+      }
+      int64_t cells = 1;
+      for (auto& vals : values) {
+        std::sort(vals.begin(), vals.end());
+        vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+        cells *= static_cast<int64_t>(vals.size());
+        if (cells > kMaxDispatchCells) {
+          eligible = false;
+          break;
+        }
+      }
+      if (eligible) {
+        cs.use_dispatch = true;
+        cs.key_attrs = key_attrs;
+        cs.value_to_index.resize(key_attrs.size());
+        cs.strides.assign(key_attrs.size(), 1);
+        for (size_t k = key_attrs.size(); k-- > 1;) {
+          cs.strides[k - 1] =
+              cs.strides[k] * static_cast<int64_t>(values[k].size());
+        }
+        for (size_t k = 0; k < key_attrs.size(); ++k) {
+          std::vector<int32_t>& lut = cs.value_to_index[k];
+          lut.assign(static_cast<size_t>(values[k].back()) + 2, 0);
+          for (size_t i = 0; i < values[k].size(); ++i) {
+            lut[static_cast<size_t>(values[k][i] + 1)] =
+                static_cast<int32_t>(i + 1);
+          }
+        }
+        cs.dispatch.assign(static_cast<size_t>(cells), -1);
+        for (size_t b = 0; b < stmt.branches.size(); ++b) {
+          int64_t key = 0;
+          for (size_t k = 0; k < key_attrs.size(); ++k) {
+            int32_t idx = LookupIndex(
+                cs.value_to_index[k], stmt.branches[b].condition.equalities[k].second);
+            key += static_cast<int64_t>(idx - 1) * cs.strides[k];
+          }
+          // First branch wins, as in Interpreter::MatchBranch.
+          if (cs.dispatch[static_cast<size_t>(key)] < 0) {
+            cs.dispatch[static_cast<size_t>(key)] = static_cast<int32_t>(b);
+          }
+        }
+        cs.expected.resize(cs.dispatch.size());
+        for (size_t i = 0; i < cs.dispatch.size(); ++i) {
+          cs.expected[i] =
+              cs.dispatch[i] < 0
+                  ? kNoFire
+                  : cs.assignments[static_cast<size_t>(cs.dispatch[i])];
+        }
+        if (key_attrs.size() == 1) {
+          const std::vector<int32_t>& lut = cs.value_to_index[0];
+          cs.expected_by_slot.assign(lut.size(), kNoFire);
+          for (size_t slot = 0; slot < lut.size(); ++slot) {
+            if (lut[slot] != 0) {
+              cs.expected_by_slot[slot] =
+                  cs.expected[static_cast<size_t>(lut[slot] - 1)];
+            }
+          }
+        }
+        ++compiled.dispatch_statements_;
+      }
+    }
+
+    if (!cs.use_dispatch) {
+      cs.branches.reserve(stmt.branches.size());
+      for (const Branch& branch : stmt.branches) {
+        CompiledBranch cb;
+        cb.equalities = branch.condition.equalities;
+        cb.assignment = branch.assignment;
+        cs.branches.push_back(std::move(cb));
+      }
+    }
+    compiled.statements_.push_back(std::move(cs));
+  }
+  return compiled;
+}
+
+int32_t CompiledProgram::FireBranch(const CompiledStatement& stmt,
+                                    const ColumnBatch& batch, int64_t row) {
+  if (stmt.use_dispatch) {
+    int64_t key = 0;
+    for (size_t k = 0; k < stmt.key_attrs.size(); ++k) {
+      int32_t idx = LookupIndex(stmt.value_to_index[k],
+                                batch.column(stmt.key_attrs[k])[row]);
+      if (idx == 0) return -1;
+      key += static_cast<int64_t>(idx - 1) * stmt.strides[k];
+    }
+    return stmt.dispatch[static_cast<size_t>(key)];
+  }
+  for (size_t b = 0; b < stmt.branches.size(); ++b) {
+    bool match = true;
+    for (const auto& [attr, value] : stmt.branches[b].equalities) {
+      if (batch.column(attr)[row] != value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return static_cast<int32_t>(b);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Flat inputs for the multi-key dispatch loop, hoisted once per statement.
+struct MultiKeyArgs {
+  const ValueId* const* keys = nullptr;
+  const int32_t* const* luts = nullptr;
+  const uint32_t* lut_sizes = nullptr;
+  const int64_t* strides = nullptr;
+  const ValueId* expected = nullptr;
+  const ValueId* dep = nullptr;
+  int64_t rows = 0;
+  uint64_t* out = nullptr;
+};
+
+/// NK > 0 bakes the key count into the instantiation so the inner loop
+/// unrolls; NK == 0 keeps it a runtime value (rare wide determinant sets).
+/// Dead rows (a key code absent from the LUT) still run all NK lookups —
+/// `live` goes branchless, which beats an early exit on real data where
+/// almost every row's keys are in-domain.
+template <size_t NK>
+void MarkDispatchMulti(const MultiKeyArgs& a, size_t nk_dynamic) {
+  const size_t nk = NK > 0 ? NK : nk_dynamic;
+  for (int64_t base = 0; base < a.rows; base += 64) {
+    uint64_t word = 0;
+    const int64_t end = std::min<int64_t>(a.rows, base + 64);
+    for (int64_t r = base; r < end; ++r) {
+      int64_t cell = 0;
+      bool live = true;
+      for (size_t k = 0; k < nk; ++k) {
+        // Same cmov-over-branch clamp as the single-key loop: slot 0 (the
+        // kNullValue entry) always exists, so the LUT gather never branches.
+        const uint32_t slot = static_cast<uint32_t>(a.keys[k][r] + 1);
+        const bool in_range = slot < a.lut_sizes[k];
+        const int32_t idx = a.luts[k][in_range ? slot : 0];
+        live &= in_range & (idx != 0);
+        cell += static_cast<int64_t>(idx - 1) * a.strides[k];
+      }
+      // `cell` is garbage when !live; it is never dereferenced then.
+      if (!live) continue;
+      const ValueId e = a.expected[cell];
+      if (e == kNoFire || a.dep[r] == e) continue;
+      word |= uint64_t{1} << (r - base);
+    }
+    if (word != 0) a.out[base >> 6] |= word;
+  }
+}
+
+}  // namespace
+
+void CompiledProgram::MarkViolations(const CompiledStatement& stmt,
+                                     const ColumnBatch& batch,
+                                     uint64_t* violated) {
+  const int64_t rows = batch.num_rows();
+  // Both dispatch loops accumulate verdict bits a 64-row word at a time and
+  // issue one store per non-zero word, instead of a read-modify-write into
+  // the mask per violating row.
+  if (stmt.use_dispatch && stmt.key_attrs.size() == 1) {
+    // The synthesizer's dominant shape: a single-determinant FD, fused at
+    // compile time into one expected-value table — a single branchless
+    // gather per row instead of the LUT -> dispatch -> assignments chain.
+    const ValueId* expected = stmt.expected_by_slot.data();
+    const uint32_t slots = static_cast<uint32_t>(stmt.expected_by_slot.size());
+    const ValueId* key = batch.column(stmt.key_attrs[0]);
+    const ValueId* dep = batch.column(stmt.dependent);
+    uint64_t* out = violated;
+    // Clamping out-of-range codes to slot 0 (the kNullValue entry, always
+    // present) keeps the gather unconditional: the range check becomes a
+    // conditional move instead of a data-dependent branch, which
+    // mispredicts on rows whose codes fall outside the literal range.
+    auto word_for = [&](int64_t base, int64_t n) {
+      uint64_t word = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const uint32_t slot = static_cast<uint32_t>(key[base + i] + 1);
+        const bool in_range = slot < slots;
+        const ValueId e = expected[in_range ? slot : 0];
+        const uint64_t viol = static_cast<uint64_t>(
+            in_range & (e != kNoFire) & (dep[base + i] != e));
+        word |= viol << i;
+      }
+      return word;
+    };
+    int64_t base = 0;
+    // Full 64-row words run with a constant trip count the compiler can
+    // unroll; the tail word takes the variable-count path once.
+    for (; base + 64 <= rows; base += 64) {
+      const uint64_t word = word_for(base, 64);
+      if (word != 0) out[base >> 6] |= word;
+    }
+    if (base < rows) {
+      const uint64_t word = word_for(base, rows - base);
+      if (word != 0) out[base >> 6] |= word;
+    }
+    return;
+  }
+  if (stmt.use_dispatch) {
+    // Multi-determinant dispatch. The per-key column and LUT pointers are
+    // hoisted out of the row loop, and the common key counts get a
+    // compile-time-sized inner loop (fully unrolled, pointers kept in
+    // registers); a dynamic count would reload them per row per key.
+    const size_t nk = stmt.key_attrs.size();
+    std::vector<const ValueId*> keys(nk);
+    std::vector<const int32_t*> luts(nk);
+    std::vector<uint32_t> lut_sizes(nk);
+    for (size_t k = 0; k < nk; ++k) {
+      keys[k] = batch.column(stmt.key_attrs[k]);
+      luts[k] = stmt.value_to_index[k].data();
+      lut_sizes[k] = static_cast<uint32_t>(stmt.value_to_index[k].size());
+    }
+    MultiKeyArgs args;
+    args.keys = keys.data();
+    args.luts = luts.data();
+    args.lut_sizes = lut_sizes.data();
+    args.strides = stmt.strides.data();
+    args.expected = stmt.expected.data();
+    args.dep = batch.column(stmt.dependent);
+    args.rows = rows;
+    args.out = violated;
+    switch (nk) {
+      case 2:
+        MarkDispatchMulti<2>(args, nk);
+        break;
+      case 3:
+        MarkDispatchMulti<3>(args, nk);
+        break;
+      case 4:
+        MarkDispatchMulti<4>(args, nk);
+        break;
+      default:
+        MarkDispatchMulti<0>(args, nk);  // Runtime key count.
+        break;
+    }
+    return;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    int32_t b = FireBranch(stmt, batch, r);
+    if (b < 0) continue;
+    if (batch.column(stmt.targets[static_cast<size_t>(b)])[r] !=
+        stmt.assignments[static_cast<size_t>(b)]) {
+      violated[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+  }
+}
+
+void CompiledProgram::Evaluate(const ColumnBatch& batch,
+                               BatchVerdict* out) const {
+  const int64_t rows = batch.num_rows();
+  out->num_rows = rows;
+  out->violations.clear();
+  // Left uninitialized here: the violation path below writes every entry
+  // via run-fills, and the violation-free paths zero it in one fill.
+  out->offsets.resize(static_cast<size_t>(rows) + 1);
+  out->any_violation = false;
+  ClearMask(&out->violated, rows);
+
+  // A batch that cannot carry the program at all (too narrow, or missing a
+  // referenced column) is entirely the interpreter's problem.
+  bool usable = batch.width() >= static_cast<int32_t>(min_row_width_);
+  for (size_t i = 0; usable && i < referenced_attributes_.size(); ++i) {
+    usable = batch.column(referenced_attributes_[i]) != nullptr;
+  }
+  if (!usable) {
+    FillMask(&out->fallback, rows);
+    out->any_fallback = rows > 0;
+    std::fill(out->offsets.begin(), out->offsets.end(), 0);
+    return;
+  }
+  if (batch.any_narrow()) {
+    out->fallback = batch.narrow();
+    out->fallback.resize(rowmask::Words(rows), 0);
+    out->any_fallback = true;
+  } else {
+    ClearMask(&out->fallback, rows);
+    out->any_fallback = false;
+  }
+
+  // Pass 1: mark rows where any statement's fired branch disagrees. Narrow
+  // rows read kNullValue padding, which is safe; their bits are stripped
+  // below so they never reach the violated set.
+  //
+  // Multi-statement programs keep one mask per statement (statement-major in
+  // a thread-local scratch so the buffer is reused across calls and across
+  // serve worker threads without sharing): pass 2 then probes only the
+  // statements that actually flagged a row instead of re-dispatching every
+  // statement per violating row — on dirty batches most of pass 2's work.
+  const size_t n_stmts = statements_.size();
+  const size_t words = rowmask::Words(rows);
+  thread_local std::vector<uint64_t> stmt_scratch;
+  uint64_t* stmt_masks = nullptr;
+  if (n_stmts > 1) {
+    stmt_scratch.assign(n_stmts * words, 0);
+    stmt_masks = stmt_scratch.data();
+  }
+  for (size_t s = 0; s < n_stmts; ++s) {
+    uint64_t* dst =
+        stmt_masks != nullptr ? stmt_masks + s * words : out->violated.data();
+    MarkViolations(statements_[s], batch, dst);
+  }
+  if (stmt_masks != nullptr) {
+    uint64_t* violated = out->violated.data();
+    for (size_t s = 0; s < n_stmts; ++s) {
+      const uint64_t* src = stmt_masks + s * words;
+      for (size_t w = 0; w < words; ++w) violated[w] |= src[w];
+    }
+  }
+  if (out->any_fallback) {
+    for (size_t w = 0; w < out->violated.size(); ++w) {
+      out->violated[w] &= ~out->fallback[w];
+    }
+  }
+  if (!AnyBit(out->violated)) {
+    std::fill(out->offsets.begin(), out->offsets.end(), 0);
+    return;
+  }
+  out->any_violation = true;
+
+  // Pass 2: only violating rows (rare) get their violation list built, row
+  // ascending then statement ascending — the Interpreter::Check order. CSR
+  // offsets between violating rows all carry the same running total, so
+  // they are written run-at-a-time instead of with a loop-carried prefix
+  // sum over every row.
+  int32_t* offsets = out->offsets.data();
+  offsets[0] = 0;
+  int32_t cum = 0;
+  int64_t filled = 0;  // offsets[0..filled] are final.
+  for (int64_t r = rowmask::NextSet(out->violated, 0, rows); r >= 0;
+       r = rowmask::NextSet(out->violated, r + 1, rows)) {
+    size_t before = out->violations.size();
+    for (size_t s = 0; s < n_stmts; ++s) {
+      if (stmt_masks != nullptr &&
+          ((stmt_masks[s * words + (static_cast<size_t>(r) >> 6)] >>
+            (r & 63)) &
+           1) == 0) {
+        continue;
+      }
+      const CompiledStatement& stmt = statements_[s];
+      int32_t b = FireBranch(stmt, batch, r);
+      if (b < 0) continue;
+      AttrIndex target = stmt.targets[static_cast<size_t>(b)];
+      ValueId actual = batch.column(target)[r];
+      ValueId expected = stmt.assignments[static_cast<size_t>(b)];
+      if (actual == expected) continue;
+      Violation v;
+      v.statement_index = static_cast<int32_t>(s);
+      v.branch_index = b;
+      v.attribute = target;
+      v.expected = expected;
+      v.actual = actual;
+      out->violations.push_back(v);
+    }
+    std::fill(offsets + filled + 1, offsets + r + 1, cum);
+    cum += static_cast<int32_t>(out->violations.size() - before);
+    offsets[r + 1] = cum;
+    filled = r + 1;
+  }
+  std::fill(offsets + filled + 1, offsets + rows + 1, cum);
+}
+
+void CompiledProgram::EvaluateTable(const Table& table, RowIndex begin,
+                                    int64_t count, BatchVerdict* out) const {
+  Evaluate(ColumnBatch::FromTable(table, begin, count), out);
+}
+
+void CompiledProgram::EvaluateRows(const std::vector<Row>& rows, size_t begin,
+                                   size_t count, BatchVerdict* out) const {
+  Evaluate(ColumnBatch::FromRows(rows, begin, count,
+                                 static_cast<int32_t>(min_row_width_),
+                                 referenced_attributes_),
+           out);
+}
+
+}  // namespace core
+}  // namespace guardrail

@@ -1,0 +1,165 @@
+#ifndef GUARDRAIL_CORE_BATCH_EVAL_H_
+#define GUARDRAIL_CORE_BATCH_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/interpreter.h"
+#include "table/column_batch.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace core {
+
+/// Per-batch verdicts of a CompiledProgram: which rows violate any
+/// statement (as a 64-bit-word row bitmask), which rows the compiled path
+/// could not evaluate (narrow rows — the caller must run those through
+/// Interpreter::CheckedCheck), and the individual violations in CSR layout
+/// so repairs touch only violating rows.
+///
+/// For every non-fallback row, Violations(row) is byte-identical — same
+/// order, same fields — to Interpreter::Check on the materialized row; the
+/// parity test (tests/batch_eval_test.cc) pins this.
+struct BatchVerdict {
+  int64_t num_rows = 0;
+  /// Rows with >= 1 violation. Fallback rows never appear here.
+  std::vector<uint64_t> violated;
+  /// Rows the compiled path skipped (narrower than the program's
+  /// MinRowWidth); evaluate them with the interpreter instead.
+  std::vector<uint64_t> fallback;
+  /// CSR offsets into `violations`, size num_rows + 1.
+  std::vector<int32_t> offsets;
+  /// All violations, grouped by row (ascending), statement-ascending within
+  /// a row — the order Interpreter::Check emits.
+  std::vector<Violation> violations;
+  bool any_violation = false;
+  bool any_fallback = false;
+
+  int32_t ViolationCount(int64_t row) const {
+    return offsets[static_cast<size_t>(row) + 1] -
+           offsets[static_cast<size_t>(row)];
+  }
+  const Violation* ViolationsBegin(int64_t row) const {
+    return violations.data() + offsets[static_cast<size_t>(row)];
+  }
+  const Violation* ViolationsEnd(int64_t row) const {
+    return violations.data() + offsets[static_cast<size_t>(row) + 1];
+  }
+};
+
+/// A Program lowered once into a flat batch evaluator over dictionary-coded
+/// column vectors (ROADMAP item 1; see docs/PERFORMANCE.md).
+///
+/// Per statement the compiler builds one of two forms:
+///
+///  - Dispatch form, when every branch conditions on the full determinant
+///    set (the shape the synthesizer emits): each determinant's literals are
+///    compacted to a small index via a value->index lookup, and a dense
+///    determinant-tuple -> branch table resolves the fired branch with one
+///    load per row. Codes never seen at compile time (including fresh codes
+///    a serve request minted past the compiled dictionary bounds) map to
+///    "no branch fires", exactly matching equality semantics.
+///  - Mask form, the general fallback (partial-arity conditions such as
+///    IF TRUE, literals outside the dense range, or a dispatch table past
+///    the size cap): branches are probed first-match-wins directly over the
+///    column pointers.
+///
+/// Either way evaluation reads columns, not rows: no Row materialization,
+/// no Value boxing, no per-row virtual calls, results as word bitmasks.
+/// The referenced Program must outlive the CompiledProgram.
+class CompiledProgram {
+ public:
+  /// Dense dispatch tables larger than this fall back to mask form.
+  static constexpr int64_t kMaxDispatchCells = int64_t{1} << 18;
+
+  static CompiledProgram Compile(const Program& program);
+
+  const Program& program() const { return *program_; }
+
+  /// Same contract as Interpreter::MinRowWidth: rows narrower than this
+  /// cannot be evaluated (they take the interpreter fallback).
+  size_t min_row_width() const { return min_row_width_; }
+
+  /// Sorted unique attributes any statement reads or targets — the only
+  /// columns a ColumnBatch must materialize.
+  const std::vector<AttrIndex>& referenced_attributes() const {
+    return referenced_attributes_;
+  }
+
+  /// How many statements compiled to the dense dispatch form (the rest use
+  /// the mask form); exposed for tests and bench labels.
+  int32_t dispatch_statements() const { return dispatch_statements_; }
+
+  /// Evaluates every row of `batch`, which must carry every referenced
+  /// attribute and have width() >= min_row_width() (otherwise all rows are
+  /// reported as fallback). `out` is overwritten; its buffers are reused
+  /// across calls.
+  void Evaluate(const ColumnBatch& batch, BatchVerdict* out) const;
+
+  /// Convenience: evaluates table rows [begin, begin + count) zero-copy.
+  void EvaluateTable(const Table& table, RowIndex begin, int64_t count,
+                     BatchVerdict* out) const;
+
+  /// Convenience: evaluates materialized rows [begin, begin + count),
+  /// transposing only the referenced columns. Narrow rows land in
+  /// out->fallback.
+  void EvaluateRows(const std::vector<Row>& rows, size_t begin, size_t count,
+                    BatchVerdict* out) const;
+
+ private:
+  struct CompiledBranch {
+    std::vector<std::pair<AttrIndex, ValueId>> equalities;
+    ValueId assignment = kNullValue;
+  };
+
+  struct CompiledStatement {
+    AttrIndex dependent = 0;
+    /// Per-branch target / assignment, indexed by branch id (both forms).
+    std::vector<AttrIndex> targets;
+    std::vector<ValueId> assignments;
+
+    // Dispatch form.
+    bool use_dispatch = false;
+    /// Condition attributes in condition (= sorted) order.
+    std::vector<AttrIndex> key_attrs;
+    /// Per key attribute: (code + 1) -> compact index in [1, m]; 0 = code
+    /// unseen among this attribute's literals (no branch can fire).
+    std::vector<std::vector<int32_t>> value_to_index;
+    /// Per key attribute: multiplier of its compact index in the flat key.
+    std::vector<int64_t> strides;
+    /// Flat determinant-tuple key -> branch id, -1 = no branch.
+    std::vector<int32_t> dispatch;
+    /// Pass-1 fast path: per dispatch cell, the fired branch's assignment,
+    /// or the INT32_MIN no-fire sentinel. Collapses the dispatch ->
+    /// assignments gather chain to one load; pass 2 still reads `dispatch`
+    /// for the branch id.
+    std::vector<ValueId> expected;
+    /// Single-key statements only: `expected` additionally fused through
+    /// the LUT, indexed by code + 1 like value_to_index.
+    std::vector<ValueId> expected_by_slot;
+
+    // Mask form.
+    std::vector<CompiledBranch> branches;
+  };
+
+  /// Pass 1: OR the statement's disagreeing rows into the `violated` word
+  /// mask (at least rowmask::Words(batch rows) words).
+  static void MarkViolations(const CompiledStatement& stmt,
+                             const ColumnBatch& batch, uint64_t* violated);
+
+  /// Branch fired by `stmt` on `row` of `batch`, or -1 (pass 2 / mask form).
+  static int32_t FireBranch(const CompiledStatement& stmt,
+                            const ColumnBatch& batch, int64_t row);
+
+  const Program* program_ = nullptr;
+  size_t min_row_width_ = 0;
+  std::vector<AttrIndex> referenced_attributes_;
+  std::vector<CompiledStatement> statements_;
+  int32_t dispatch_statements_ = 0;
+};
+
+}  // namespace core
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_CORE_BATCH_EVAL_H_

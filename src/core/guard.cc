@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/state.h"
 
 namespace guardrail {
 namespace core {
+
+namespace {
+
+/// Rows per compiled-evaluator chunk in table-level calls: small enough to
+/// keep verdict scratch in cache, large enough to amortize the mask setup.
+constexpr int64_t kGuardBatchRows = 4096;
+
+}  // namespace
 
 const char* ErrorPolicyName(ErrorPolicy policy) {
   switch (policy) {
@@ -21,9 +31,10 @@ const char* ErrorPolicyName(ErrorPolicy policy) {
   return "unknown";
 }
 
-void Guard::RectifyViolation(const Violation& violation, Row* row) const {
+void ApplyRectifyRepair(const Program& program, const Violation& violation,
+                        Row* row) {
   const Statement& stmt =
-      program_->statements[static_cast<size_t>(violation.statement_index)];
+      program.statements[static_cast<size_t>(violation.statement_index)];
   const Branch& fired =
       stmt.branches[static_cast<size_t>(violation.branch_index)];
 
@@ -79,6 +90,14 @@ void Guard::RectifyViolation(const Violation& violation, Row* row) const {
   (*row)[static_cast<size_t>(repair_attr)] = repair_value;
 }
 
+const CompiledProgram& Guard::compiled() const {
+  std::call_once(compile_once_, [this] {
+    compiled_ = std::make_unique<const CompiledProgram>(
+        CompiledProgram::Compile(*program_));
+  });
+  return *compiled_;
+}
+
 Result<Row> Guard::ProcessRow(const Row& row, ErrorPolicy policy) const {
   // This is the serving hot path: counters only (one relaxed load + branch
   // per macro when telemetry is off), never spans or logs per row.
@@ -107,19 +126,48 @@ Result<Row> Guard::ProcessRow(const Row& row, ErrorPolicy policy) const {
     case ErrorPolicy::kRectify: {
       GUARDRAIL_COUNTER_INC("guard.rows_rectified");
       Row out = row;
-      for (const auto& v : violations) RectifyViolation(v, &out);
+      for (const auto& v : violations) ApplyRectifyRepair(*program_, v, &out);
       return out;
     }
   }
   return row;
 }
 
-GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
+bool Guard::UseBatch(const Table& table, GuardEvalMode mode) const {
+  if (mode == GuardEvalMode::kInterpreter) return false;
+  // A table narrower than the program's reach cannot take the batch path at
+  // all (every row needs the interpreter's width error), and an armed
+  // "interpreter.check" failpoint must see its per-row trip sequence.
+  if (static_cast<size_t>(table.num_columns()) < interpreter_.MinRowWidth()) {
+    return false;
+  }
+  if (mode == GuardEvalMode::kCompiled) return true;
+  return !FailpointRegistry::Instance().IsArmed("interpreter.check");
+}
+
+GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy,
+                                 GuardEvalMode mode) const {
+  return UseBatch(*table, mode) ? ProcessTableBatched(table, policy)
+                                : ProcessTableScalar(table, policy);
+}
+
+GuardOutcome Guard::ProcessTableScalar(Table* table,
+                                       ErrorPolicy policy) const {
   GuardOutcome outcome;
   outcome.flagged.assign(static_cast<size_t>(table->num_rows()), false);
+  // Table rows are uniformly schema-wide, so CheckedCheck's per-row width
+  // compare is hoisted to this single bound; narrow tables keep the old
+  // per-row CheckedCheck to preserve its error and failpoint ordering.
+  const bool wide_enough = static_cast<size_t>(table->num_columns()) >=
+                           interpreter_.MinRowWidth();
   for (RowIndex r = 0; r < table->num_rows(); ++r) {
     Row row = table->GetRow(r);
-    Result<std::vector<Violation>> checked = interpreter_.CheckedCheck(row);
+    Result<std::vector<Violation>> checked =
+        wide_enough ? [&]() -> Result<std::vector<Violation>> {
+          GUARDRAIL_FAILPOINT("interpreter.check");
+          return interpreter_.Check(row);
+        }()
+                    : interpreter_.CheckedCheck(row);
     ++outcome.rows_checked;
     GUARDRAIL_COUNTER_INC("guard.rows_checked");
     if (checked.ok()) {
@@ -153,7 +201,7 @@ GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
         break;
       case ErrorPolicy::kRectify: {
         GUARDRAIL_COUNTER_INC("guard.rows_rectified");
-        for (const auto& v : violations) RectifyViolation(v, &row);
+        for (const auto& v : violations) ApplyRectifyRepair(*program_, v, &row);
         for (AttrIndex c = 0; c < table->num_columns(); ++c) {
           if (table->Get(r, c) != row[static_cast<size_t>(c)]) {
             table->Set(r, c, row[static_cast<size_t>(c)]);
@@ -167,8 +215,98 @@ GuardOutcome Guard::ProcessTable(Table* table, ErrorPolicy policy) const {
   return outcome;
 }
 
-std::vector<bool> Guard::DetectViolations(const Table& table) const {
+GuardOutcome Guard::ProcessTableBatched(Table* table,
+                                        ErrorPolicy policy) const {
+  const CompiledProgram& prog = compiled();
+  GuardOutcome outcome;
+  outcome.flagged.assign(static_cast<size_t>(table->num_rows()), false);
+  BatchVerdict verdict;
+  Row row;
+  for (RowIndex begin = 0; begin < table->num_rows();
+       begin += kGuardBatchRows) {
+    const int64_t count =
+        std::min<int64_t>(kGuardBatchRows, table->num_rows() - begin);
+    prog.EvaluateTable(*table, begin, count, &verdict);
+    // Table rows can never be narrow, so no fallback rows here;
+    // rows_failed stays 0 exactly as the scalar path would report.
+    int64_t checked = count;
+    int64_t raise_at = -1;  // Chunk-local index kRaise stops at.
+    if (policy == ErrorPolicy::kRaise && verdict.any_violation) {
+      raise_at = rowmask::NextSet(verdict.violated, 0, count);
+      checked = raise_at + 1;
+    }
+    outcome.rows_checked += checked;
+    GUARDRAIL_COUNTER_ADD("guard.rows_checked", checked);
+    if (telemetry::MetricsEnabled()) {
+      for (int64_t r = 0; r < checked; ++r) {
+        GUARDRAIL_HISTOGRAM_RECORD("guard.violations_per_row",
+                                   verdict.ViolationCount(r));
+      }
+    }
+    if (raise_at >= 0) {
+      ++outcome.rows_flagged;
+      outcome.flagged[static_cast<size_t>(begin + raise_at)] = true;
+      GUARDRAIL_COUNTER_INC("guard.rows_raised");
+      return outcome;
+    }
+    if (!verdict.any_violation) continue;
+    for (int64_t r = rowmask::NextSet(verdict.violated, 0, count); r >= 0;
+         r = rowmask::NextSet(verdict.violated, r + 1, count)) {
+      const RowIndex global = begin + r;
+      ++outcome.rows_flagged;
+      outcome.flagged[static_cast<size_t>(global)] = true;
+      switch (policy) {
+        case ErrorPolicy::kRaise:
+        case ErrorPolicy::kIgnore:
+          break;
+        case ErrorPolicy::kCoerce:
+          GUARDRAIL_COUNTER_INC("guard.rows_coerced");
+          for (const Violation* v = verdict.ViolationsBegin(r);
+               v != verdict.ViolationsEnd(r); ++v) {
+            table->Set(global, v->attribute, kNullValue);
+            ++outcome.cells_repaired;
+          }
+          break;
+        case ErrorPolicy::kRectify: {
+          GUARDRAIL_COUNTER_INC("guard.rows_rectified");
+          row = table->GetRow(global);
+          for (const Violation* v = verdict.ViolationsBegin(r);
+               v != verdict.ViolationsEnd(r); ++v) {
+            ApplyRectifyRepair(*program_, *v, &row);
+          }
+          for (AttrIndex c = 0; c < table->num_columns(); ++c) {
+            if (table->Get(global, c) != row[static_cast<size_t>(c)]) {
+              table->Set(global, c, row[static_cast<size_t>(c)]);
+              ++outcome.cells_repaired;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<bool> Guard::DetectViolations(const Table& table,
+                                          GuardEvalMode mode) const {
   std::vector<bool> flags(static_cast<size_t>(table.num_rows()), false);
+  if (UseBatch(table, mode)) {
+    const CompiledProgram& prog = compiled();
+    BatchVerdict verdict;
+    for (RowIndex begin = 0; begin < table.num_rows();
+         begin += kGuardBatchRows) {
+      const int64_t count =
+          std::min<int64_t>(kGuardBatchRows, table.num_rows() - begin);
+      prog.EvaluateTable(table, begin, count, &verdict);
+      if (!verdict.any_violation) continue;
+      for (int64_t r = rowmask::NextSet(verdict.violated, 0, count); r >= 0;
+           r = rowmask::NextSet(verdict.violated, r + 1, count)) {
+        flags[static_cast<size_t>(begin + r)] = true;
+      }
+    }
+    return flags;
+  }
   for (RowIndex r = 0; r < table.num_rows(); ++r) {
     flags[static_cast<size_t>(r)] = !interpreter_.Satisfies(table.GetRow(r));
   }

@@ -2,10 +2,13 @@
 #define GUARDRAIL_CORE_GUARD_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "core/ast.h"
+#include "core/batch_eval.h"
 #include "core/interpreter.h"
 #include "table/table.h"
 
@@ -27,6 +30,21 @@ namespace core {
 enum class ErrorPolicy { kRaise, kIgnore, kCoerce, kRectify };
 
 const char* ErrorPolicyName(ErrorPolicy policy);
+
+/// Which evaluation engine table-level guard calls use.
+///   kAuto        — compiled batch path when it is safe (table wide enough,
+///                  no "interpreter.check" failpoint armed — armed chaos runs
+///                  must replay the exact per-row scalar trip sequence),
+///                  scalar interpreter otherwise.
+///   kInterpreter — always the per-row interpreter (baseline / parity tests).
+///   kCompiled    — the batch path whenever usable (tests, benches).
+enum class GuardEvalMode { kAuto, kInterpreter, kCompiled };
+
+/// The MAP repair for one violation (see ErrorPolicy::kRectify), applied to
+/// `row` in place. Shared by Guard's scalar path and the batch consumers
+/// (serve engine, compiled ProcessTable), which repair only flagged rows.
+void ApplyRectifyRepair(const Program& program, const Violation& violation,
+                        Row* row);
 
 /// Result of guarding a batch of rows.
 struct GuardOutcome {
@@ -62,20 +80,35 @@ class Guard {
   /// violation or evaluation error (the outcome still reports it). Under the
   /// other policies a per-row evaluation failure is isolated: the row is
   /// counted in rows_failed and left untouched, and the batch continues.
-  GuardOutcome ProcessTable(Table* table, ErrorPolicy policy) const;
+  ///
+  /// `mode` selects the engine; the default kAuto uses the compiled batch
+  /// path when safe. Outcomes (counters, flags, repairs) are byte-identical
+  /// across modes — tests/batch_eval_test.cc pins this.
+  GuardOutcome ProcessTable(Table* table, ErrorPolicy policy,
+                            GuardEvalMode mode = GuardEvalMode::kAuto) const;
 
   /// Pure detection: per-row violation flags (Eqn. 1), no mutation.
-  std::vector<bool> DetectViolations(const Table& table) const;
+  std::vector<bool> DetectViolations(
+      const Table& table, GuardEvalMode mode = GuardEvalMode::kAuto) const;
+
+  /// The lazily built batch evaluator (compiled on first use, thread-safe).
+  const CompiledProgram& compiled() const;
 
   const Interpreter& interpreter() const { return interpreter_; }
   const Program* program() const { return program_; }
 
  private:
-  /// Applies the MAP repair for one violation to `row` (see kRectify).
-  void RectifyViolation(const Violation& violation, Row* row) const;
+  GuardOutcome ProcessTableScalar(Table* table, ErrorPolicy policy) const;
+  GuardOutcome ProcessTableBatched(Table* table, ErrorPolicy policy) const;
+
+  /// Whether the compiled path may serve this table under `mode`.
+  bool UseBatch(const Table& table, GuardEvalMode mode) const;
 
   const Program* program_;
   Interpreter interpreter_;
+  // Compiled on demand so scalar-only consumers never pay the build.
+  mutable std::once_flag compile_once_;
+  mutable std::unique_ptr<const CompiledProgram> compiled_;
 };
 
 }  // namespace core

@@ -80,6 +80,10 @@ std::vector<Violation> Interpreter::Check(const Row& row) const {
     const Branch& branch = stmt.branches[static_cast<size_t>(b)];
     ValueId actual = row[static_cast<size_t>(branch.target)];
     if (actual != branch.assignment) {
+      // Reserve lazily: the common clean row stays allocation-free, and a
+      // dirty row pays one allocation for its worst case (one violation per
+      // statement) instead of a doubling sequence.
+      if (out.empty()) out.reserve(program_->statements.size());
       Violation v;
       v.statement_index = static_cast<int32_t>(s);
       v.branch_index = b;

@@ -349,6 +349,59 @@ RowResult ValidateOneRow(const core::Guard& guard, const Schema& schema,
   return out;
 }
 
+/// Vets rows [begin, begin + count) through the snapshot's compiled batch
+/// evaluator, writing results into out[0..count). Clean rows (the vast
+/// majority) are never materialized or touched beyond the columnar scan;
+/// violating rows replicate ValidateOneRow's verdict bytes and guard
+/// counters; rows the evaluator routes to fallback (narrow rows) go through
+/// ValidateOneRow itself so their error text is identical.
+void ValidateRowBlock(const core::CompiledProgram& compiled,
+                      const core::Guard& guard, const Schema& schema,
+                      const std::vector<Row>& rows, int64_t begin,
+                      int64_t count, core::ErrorPolicy scheme,
+                      RowResult* out) {
+  core::BatchVerdict verdict;
+  compiled.EvaluateRows(rows, static_cast<size_t>(begin),
+                        static_cast<size_t>(count), &verdict);
+  if (!verdict.any_violation && !verdict.any_fallback) return;  // All kOk.
+  const bool repairing = scheme == core::ErrorPolicy::kCoerce ||
+                         scheme == core::ErrorPolicy::kRectify;
+  for (int64_t r = 0; r < count; ++r) {
+    if (verdict.any_fallback && rowmask::Test(verdict.fallback, r)) {
+      out[r] = ValidateOneRow(guard, schema,
+                              rows[static_cast<size_t>(begin + r)], scheme);
+      continue;
+    }
+    int32_t nviol = verdict.ViolationCount(r);
+    if (nviol == 0) continue;  // Default-constructed kOk.
+    RowResult& res = out[r];
+    res.verdict = RowVerdict::kViolation;
+    res.violations = static_cast<uint16_t>(nviol > 0xFFFF ? 0xFFFF : nviol);
+    if (!repairing) continue;
+    // Same counters Guard::ProcessRow emits on the scalar path; clean rows
+    // never reach ProcessRow there either.
+    GUARDRAIL_COUNTER_INC("guard.rows_checked");
+    GUARDRAIL_HISTOGRAM_RECORD("guard.violations_per_row",
+                               static_cast<int64_t>(nviol));
+    const Row& original = rows[static_cast<size_t>(begin + r)];
+    Row repaired = original;
+    if (scheme == core::ErrorPolicy::kCoerce) {
+      GUARDRAIL_COUNTER_INC("guard.rows_coerced");
+      for (const core::Violation* v = verdict.ViolationsBegin(r);
+           v != verdict.ViolationsEnd(r); ++v) {
+        repaired[static_cast<size_t>(v->attribute)] = kNullValue;
+      }
+    } else {
+      GUARDRAIL_COUNTER_INC("guard.rows_rectified");
+      for (const core::Violation* v = verdict.ViolationsBegin(r);
+           v != verdict.ViolationsEnd(r); ++v) {
+        core::ApplyRectifyRepair(*guard.program(), *v, &repaired);
+      }
+    }
+    if (!(repaired == original)) res.detail = RowToCsvRecord(schema, repaired);
+  }
+}
+
 }  // namespace
 
 Result<std::vector<Row>> DecodeRows(RowFormat format,
@@ -475,6 +528,14 @@ ValidateResponse ValidationEngine::HandleAdmitted(
                        : CancellationToken::Never();
 
   core::Guard guard(&snapshot->program);
+  // The compiled batch evaluator serves whole row blocks; armed
+  // "interpreter.check" chaos must replay its exact per-row scalar trip
+  // sequence, so such runs (and engines configured scalar) skip it.
+  const core::CompiledProgram* compiled =
+      options_.use_batch_eval && snapshot->compiled != nullptr &&
+              !FailpointRegistry::Instance().IsArmed("interpreter.check")
+          ? snapshot->compiled.get()
+          : nullptr;
   const int64_t n = static_cast<int64_t>(rows->size());
   span.AddArg("rows", n);
   response.rows.resize(static_cast<size_t>(n));
@@ -496,6 +557,12 @@ ValidateResponse ValidationEngine::HandleAdmitted(
         [&](int64_t shard) {
           const int64_t begin = shard * per_shard;
           const int64_t end = begin + per_shard < n ? begin + per_shard : n;
+          if (compiled != nullptr) {
+            ValidateRowBlock(*compiled, guard, working, *rows, begin,
+                             end - begin, request.scheme,
+                             response.rows.data() + begin);
+            return;
+          }
           for (int64_t r = begin; r < end; ++r) {
             response.rows[static_cast<size_t>(r)] = ValidateOneRow(
                 guard, working, (*rows)[static_cast<size_t>(r)],
@@ -503,6 +570,20 @@ ValidateResponse ValidationEngine::HandleAdmitted(
           }
         },
         pf);
+  } else if (compiled != nullptr) {
+    // Inline batch path: blocks of shard size, deadline checked between
+    // blocks (a block is far cheaper than 64 scalar rows ever were).
+    const int64_t per_block =
+        options_.rows_per_shard < 1 ? 1 : options_.rows_per_shard;
+    for (int64_t begin = 0; begin < n; begin += per_block) {
+      if (cancel.Cancelled()) {
+        scan = cancel.CheckTimeout("serve.validate");
+        break;
+      }
+      const int64_t count = begin + per_block < n ? per_block : n - begin;
+      ValidateRowBlock(*compiled, guard, working, *rows, begin, count,
+                       request.scheme, response.rows.data() + begin);
+    }
   } else {
     DeadlineChecker checker(&cancel, /*stride=*/64);
     for (int64_t r = 0; r < n; ++r) {

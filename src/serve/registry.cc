@@ -72,6 +72,13 @@ Result<uint64_t> ProgramRegistry::LoadFromText(const std::string& dataset,
         " error(s)):\n" + report.ToText());
   }
 
+  // Compile the batch evaluator once, after the analyzer gate: every
+  // request served from this snapshot shares it. The program it points into
+  // lives inside the same heap-allocated snapshot, so the pointer stays
+  // valid exactly as long as any request holds the snapshot.
+  snapshot->compiled = std::make_unique<const core::CompiledProgram>(
+      core::CompiledProgram::Compile(snapshot->program));
+
   snapshot->load_unix_micros = NowUnixMicros();
   uint64_t version = 0;
   {

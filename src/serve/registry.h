@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/ast.h"
+#include "core/batch_eval.h"
 #include "table/schema.h"
 
 namespace guardrail {
@@ -34,6 +35,11 @@ struct ProgramSnapshot {
   /// The schema the program was resolved against (attribute order defines
   /// the wire row layout for this dataset).
   Schema schema;
+  /// Batch evaluator compiled once at publication, pointing into `program`
+  /// (which is heap-stable for the snapshot's lifetime). Every request on
+  /// this snapshot shares it; the engine falls back to the interpreter when
+  /// it is absent or a chaos failpoint is armed.
+  std::unique_ptr<const core::CompiledProgram> compiled;
 
   int32_t statement_count() const {
     return static_cast<int32_t>(program.statements.size());

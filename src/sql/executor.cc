@@ -174,23 +174,42 @@ class Evaluator {
     return Status::Internal("unknown expression kind");
   }
 
-  /// The guarded row used for model input (lazily computed).
+  /// The guarded row used for model input (lazily computed). When safe, the
+  /// guard runs through the compiled batch evaluator over scanned-table
+  /// chunks (one columnar evaluation per kGuardChunkRows rows) instead of
+  /// per-row interpreter calls; verdicts, stats, and counters are identical.
   Result<Row> GuardedRow() {
     if (!guarded_ready_) {
       if (exec_->guard_ != nullptr) {
-        GUARDRAIL_FAILPOINT("sql.guard_row");
-        StopWatch watch;
-        Result<Row> processed =
-            exec_->guard_->ProcessRow(raw_row_, exec_->guard_policy_);
-        double guard_seconds = watch.ElapsedSeconds();
-        exec_->stats_.guard_seconds += guard_seconds;
-        GUARDRAIL_COUNTER_ADD("sql.guard_micros",
-                              static_cast<int64_t>(guard_seconds * 1e6));
-        if (!processed.ok()) return processed.status();
-        if (!(processed.value() == raw_row_)) {
-          ++exec_->stats_.rows_guard_flagged;
+        if (guard_batch_state_ == kGuardBatchUndecided) {
+          // Armed failpoints on this path must keep their exact per-row
+          // trip sequence, so chaos runs stay on the scalar path wholesale.
+          FailpointRegistry& failpoints = FailpointRegistry::Instance();
+          bool eligible =
+              !failpoints.IsArmed("sql.guard_row") &&
+              !failpoints.IsArmed("interpreter.check") &&
+              static_cast<size_t>(table_->num_columns()) >=
+                  exec_->guard_->interpreter().MinRowWidth();
+          guard_batch_state_ =
+              eligible ? kGuardBatchCompiled : kGuardBatchScalar;
         }
-        guarded_row_ = std::move(processed).value();
+        if (guard_batch_state_ == kGuardBatchCompiled) {
+          GUARDRAIL_RETURN_NOT_OK(GuardRowBatched());
+        } else {
+          GUARDRAIL_FAILPOINT("sql.guard_row");
+          StopWatch watch;
+          Result<Row> processed =
+              exec_->guard_->ProcessRow(raw_row_, exec_->guard_policy_);
+          double guard_seconds = watch.ElapsedSeconds();
+          exec_->stats_.guard_seconds += guard_seconds;
+          GUARDRAIL_COUNTER_ADD("sql.guard_micros",
+                                static_cast<int64_t>(guard_seconds * 1e6));
+          if (!processed.ok()) return processed.status();
+          if (!(processed.value() == raw_row_)) {
+            ++exec_->stats_.rows_guard_flagged;
+          }
+          guarded_row_ = std::move(processed).value();
+        }
       } else {
         guarded_row_ = raw_row_;
       }
@@ -305,12 +324,89 @@ class Evaluator {
         "aggregate " + name + " in a non-aggregated context");
   }
 
+  /// Scanned-table rows covered by one compiled guard evaluation.
+  static constexpr int64_t kGuardChunkRows = 1024;
+  enum GuardBatchState {
+    kGuardBatchUndecided = 0,
+    kGuardBatchCompiled,
+    kGuardBatchScalar,
+  };
+
+  /// Compiled-path twin of the scalar ProcessRow call above: ensures the
+  /// chunk containing row_index_ is evaluated, then applies the policy to
+  /// this row from the chunk's CSR violations. Emits the same guard.*
+  /// counters and stats as Guard::ProcessRow would for this row; the chunk
+  /// evaluation cost lands on the row that triggered it, so accumulated
+  /// guard_seconds stays the true total.
+  Status GuardRowBatched() {
+    StopWatch watch;
+    if (guard_chunk_begin_ < 0 || row_index_ < guard_chunk_begin_ ||
+        row_index_ >= guard_chunk_begin_ + guard_chunk_count_) {
+      guard_chunk_begin_ = row_index_ - (row_index_ % kGuardChunkRows);
+      guard_chunk_count_ =
+          std::min<int64_t>(kGuardChunkRows,
+                            table_->num_rows() - guard_chunk_begin_);
+      exec_->guard_->compiled().EvaluateTable(
+          *table_, guard_chunk_begin_, guard_chunk_count_, &guard_verdict_);
+    }
+    const int64_t local = row_index_ - guard_chunk_begin_;
+    GUARDRAIL_COUNTER_INC("guard.rows_checked");
+    const int32_t num_violations = guard_verdict_.ViolationCount(local);
+    GUARDRAIL_HISTOGRAM_RECORD("guard.violations_per_row",
+                               static_cast<int64_t>(num_violations));
+    Status result = Status::OK();
+    if (num_violations == 0) {
+      guarded_row_ = raw_row_;
+    } else {
+      switch (exec_->guard_policy_) {
+        case core::ErrorPolicy::kRaise:
+          GUARDRAIL_COUNTER_INC("guard.rows_raised");
+          result = Status::ConstraintViolation(
+              "row violates " + std::to_string(num_violations) +
+              " integrity constraint(s)");
+          break;
+        case core::ErrorPolicy::kIgnore:
+          guarded_row_ = raw_row_;
+          break;
+        case core::ErrorPolicy::kCoerce:
+          GUARDRAIL_COUNTER_INC("guard.rows_coerced");
+          guarded_row_ = raw_row_;
+          for (const core::Violation* v = guard_verdict_.ViolationsBegin(local);
+               v != guard_verdict_.ViolationsEnd(local); ++v) {
+            guarded_row_[static_cast<size_t>(v->attribute)] = kNullValue;
+          }
+          break;
+        case core::ErrorPolicy::kRectify:
+          GUARDRAIL_COUNTER_INC("guard.rows_rectified");
+          guarded_row_ = raw_row_;
+          for (const core::Violation* v = guard_verdict_.ViolationsBegin(local);
+               v != guard_verdict_.ViolationsEnd(local); ++v) {
+            core::ApplyRectifyRepair(*exec_->guard_->program(), *v,
+                                     &guarded_row_);
+          }
+          break;
+      }
+    }
+    double guard_seconds = watch.ElapsedSeconds();
+    exec_->stats_.guard_seconds += guard_seconds;
+    GUARDRAIL_COUNTER_ADD("sql.guard_micros",
+                          static_cast<int64_t>(guard_seconds * 1e6));
+    if (result.ok() && !(guarded_row_ == raw_row_)) {
+      ++exec_->stats_.rows_guard_flagged;
+    }
+    return result;
+  }
+
   Executor* exec_;
   const Table* table_;
   RowIndex row_index_ = 0;
   Row raw_row_;
   Row guarded_row_;
   bool guarded_ready_ = false;
+  int guard_batch_state_ = kGuardBatchUndecided;
+  RowIndex guard_chunk_begin_ = -1;
+  int64_t guard_chunk_count_ = 0;
+  core::BatchVerdict guard_verdict_;
   const std::map<const Expr*, SqlValue>* finalized_ = nullptr;
 };
 
