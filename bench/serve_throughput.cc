@@ -17,10 +17,12 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/semantic.h"
 #include "bench_common.h"
 #include "common/rng.h"
 #include "core/batch_eval.h"
 #include "core/guard.h"
+#include "core/serialization.h"
 #include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
@@ -169,6 +171,89 @@ int Run() {
   const double kernel_speedup =
       kernel_interp_rps > 0.0 ? kernel_compiled_rps / kernel_interp_rps : 0.0;
 
+  // ---- Phase 0b: certified minimization kernel ------------------------
+  // A redundant "ensemble" program — the zip -> city statement repeated, the
+  // shape a raw member-DAG union produces — versus its certified
+  // minimization, published through the registry's certificate gate (marker
+  // + companion certificate, exactly what `guardrail analyze --minimize`
+  // emits). rows/s through the compiled engine for each; CI gates
+  // minimized >= raw.
+  constexpr int kEnsembleCopies = 4;
+  std::string ensemble_text = "# guardrail-program v1\n";
+  for (int c = 0; c < kEnsembleCopies; ++c) {
+    std::string body = ProgramText();
+    ensemble_text += body.substr(body.find('\n') + 1);
+  }
+  auto raw_version =
+      registry.LoadFromText("demo_raw", ensemble_text, seed_table->schema());
+  if (!raw_version.ok()) {
+    std::fprintf(stderr, "raw ensemble load failed: %s\n",
+                 raw_version.status().ToString().c_str());
+    return 1;
+  }
+  auto raw_snapshot = registry.Get("demo_raw");
+  auto minimized = analysis::MinimizeProgram(raw_snapshot->program,
+                                             raw_snapshot->schema);
+  if (!minimized.ok()) {
+    std::fprintf(stderr, "minimization failed: %s\n",
+                 minimized.status().ToString().c_str());
+    return 1;
+  }
+  std::string minimized_text = core::SerializeProgram(
+      minimized->program, raw_snapshot->schema,
+      std::string(analysis::kMinimizedMarker + 2));
+  auto min_version =
+      registry.LoadFromText("demo_min", minimized_text, seed_table->schema(),
+                            "", minimized->certificate);
+  if (!min_version.ok()) {
+    std::fprintf(stderr, "certified publish failed: %s\n",
+                 min_version.status().ToString().c_str());
+    return 1;
+  }
+  auto min_snapshot = registry.Get("demo_min");
+  const int64_t ensemble_statements = raw_snapshot->statement_count();
+  const int64_t minimized_statements = min_snapshot->statement_count();
+  double kernel_ensemble_rps = 0.0;
+  double kernel_minimized_rps = 0.0;
+  {
+    using clock = std::chrono::steady_clock;
+    auto seconds_since = [](clock::time_point t0) {
+      return std::chrono::duration_cast<std::chrono::duration<double>>(
+                 clock::now() - t0)
+          .count();
+    };
+    const double rows = static_cast<double>(kernel_table.num_rows());
+    for (int rep = 0; rep < 3; ++rep) {
+      core::BatchVerdict raw_verdict;
+      auto t0 = clock::now();
+      raw_snapshot->compiled->EvaluateTable(kernel_table, 0,
+                                            kernel_table.num_rows(),
+                                            &raw_verdict);
+      kernel_ensemble_rps = std::max(
+          kernel_ensemble_rps, rows / std::max(seconds_since(t0), 1e-9));
+
+      core::BatchVerdict min_verdict;
+      t0 = clock::now();
+      min_snapshot->compiled->EvaluateTable(kernel_table, 0,
+                                            kernel_table.num_rows(),
+                                            &min_verdict);
+      kernel_minimized_rps = std::max(
+          kernel_minimized_rps, rows / std::max(seconds_since(t0), 1e-9));
+      if (rowmask::Count(raw_verdict.violated) !=
+          rowmask::Count(min_verdict.violated)) {
+        std::fprintf(stderr, "minimized verdict mismatch: %lld vs %lld\n",
+                     static_cast<long long>(
+                         rowmask::Count(min_verdict.violated)),
+                     static_cast<long long>(
+                         rowmask::Count(raw_verdict.violated)));
+        return 1;
+      }
+    }
+  }
+  const double minimization_speedup =
+      kernel_ensemble_rps > 0.0 ? kernel_minimized_rps / kernel_ensemble_rps
+                                : 0.0;
+
   serve::EngineOptions engine_options;
   serve::ValidationEngine engine(&registry, engine_options);
   serve::ServerOptions server_options;
@@ -308,6 +393,14 @@ int Run() {
   table.AddRow({"kernel compiled rows/s",
                 bench::FmtInt(static_cast<int64_t>(kernel_compiled_rps))});
   table.AddRow({"kernel speedup", bench::Fmt(kernel_speedup, 2)});
+  table.AddRow({"ensemble stmts (raw->min)",
+                bench::FmtInt(ensemble_statements) + " -> " +
+                    bench::FmtInt(minimized_statements)});
+  table.AddRow({"kernel raw-ensemble rows/s",
+                bench::FmtInt(static_cast<int64_t>(kernel_ensemble_rps))});
+  table.AddRow({"kernel minimized rows/s",
+                bench::FmtInt(static_cast<int64_t>(kernel_minimized_rps))});
+  table.AddRow({"minimization speedup", bench::Fmt(minimization_speedup, 2)});
   std::printf("Serve throughput (localhost TCP, %d connections x %d batches "
               "x %d rows):\n\n",
               connections, batches, rows_per_batch);
@@ -338,6 +431,14 @@ int Run() {
   json += ", \"kernel_compiled_rows_per_sec\": " +
           std::to_string(static_cast<int64_t>(kernel_compiled_rps));
   json += ", \"kernel_speedup\": " + bench::Fmt(kernel_speedup, 3);
+  json += ", \"ensemble_statements\": " + std::to_string(ensemble_statements);
+  json +=
+      ", \"minimized_statements\": " + std::to_string(minimized_statements);
+  json += ", \"kernel_ensemble_rows_per_sec\": " +
+          std::to_string(static_cast<int64_t>(kernel_ensemble_rps));
+  json += ", \"kernel_minimized_rows_per_sec\": " +
+          std::to_string(static_cast<int64_t>(kernel_minimized_rps));
+  json += ", \"minimization_speedup\": " + bench::Fmt(minimization_speedup, 3);
   json += "}\n]\n";
   if (std::FILE* f = std::fopen("BENCH_serve_throughput.json", "w")) {
     std::fputs(json.c_str(), f);

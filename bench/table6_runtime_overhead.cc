@@ -90,6 +90,77 @@ KernelSample MeasureKernel(const core::Guard& guard, const Table& dirty) {
   return sample;
 }
 
+struct MinimizationSample {
+  int64_t ensemble_statements = 0;
+  int64_t minimized_statements = 0;
+  double ensemble_rows_per_sec = 0.0;
+  double minimized_rows_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+// Best-of-3 compiled-engine rows/sec for the raw member-DAG ensemble union
+// versus its certified minimization (SynthesisReport::minimization), on the
+// replicated dirty split. The raw union keeps every member's statements —
+// mostly duplicates — so this measures exactly what the certificate buys at
+// serving time. Replication is smaller than MeasureKernel's: the widest raw
+// unions run thousands of statements and the ratio stabilizes well before
+// 2^15 rows.
+MinimizationSample MeasureMinimization(const core::SynthesisReport& synth,
+                                       const Table& dirty) {
+  MinimizationSample sample;
+  if (!synth.minimized || dirty.num_rows() == 0) return sample;
+  sample.ensemble_statements =
+      static_cast<int64_t>(synth.ensemble_program.statements.size());
+  sample.minimized_statements =
+      static_cast<int64_t>(synth.minimization.program.statements.size());
+
+  using clock = std::chrono::steady_clock;
+  auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               clock::now() - t0)
+        .count();
+  };
+  constexpr int64_t kTargetRows = int64_t{1} << 15;
+  Table big{dirty.schema()};
+  while (big.num_rows() < kTargetRows) {
+    for (RowIndex r = 0; r < dirty.num_rows(); ++r) {
+      if (!big.AppendRow(dirty.GetRow(r)).ok()) break;
+    }
+  }
+  const double rows = static_cast<double>(big.num_rows());
+
+  core::Guard raw_guard(&synth.ensemble_program);
+  core::Guard min_guard(&synth.minimization.program);
+  raw_guard.compiled();
+  min_guard.compiled();
+  telemetry::EnableMetrics(false);
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = clock::now();
+    core::GuardOutcome raw = raw_guard.ProcessTable(
+        &big, core::ErrorPolicy::kIgnore, core::GuardEvalMode::kCompiled);
+    sample.ensemble_rows_per_sec = std::max(
+        sample.ensemble_rows_per_sec, rows / std::max(seconds_since(t0), 1e-9));
+
+    t0 = clock::now();
+    core::GuardOutcome minimized = min_guard.ProcessTable(
+        &big, core::ErrorPolicy::kIgnore, core::GuardEvalMode::kCompiled);
+    sample.minimized_rows_per_sec =
+        std::max(sample.minimized_rows_per_sec,
+                 rows / std::max(seconds_since(t0), 1e-9));
+    if (raw.rows_flagged != minimized.rows_flagged) {
+      std::fprintf(stderr, "minimized verdict mismatch: %lld vs %lld\n",
+                   static_cast<long long>(minimized.rows_flagged),
+                   static_cast<long long>(raw.rows_flagged));
+    }
+  }
+  telemetry::EnableMetrics(true);
+  sample.speedup = sample.ensemble_rows_per_sec > 0.0
+                       ? sample.minimized_rows_per_sec /
+                             sample.ensemble_rows_per_sec
+                       : 0.0;
+  return sample;
+}
+
 int Run() {
   // Guard/inference times come from the telemetry counters the executor
   // feeds (sql.guard_micros / sql.inference_micros), so the table matches a
@@ -98,7 +169,8 @@ int Run() {
   bench::TextTable table({"Dataset ID", "Guardrail Time (s)",
                           "Inference Time (s)", "Guard/Inference",
                           "Rows guarded", "Interp rows/s", "Compiled rows/s",
-                          "Speedup"});
+                          "Speedup", "Stmts raw->min", "Min rows/s",
+                          "Min speedup"});
   double total_guard = 0.0;
   double total_speedup = 0.0;
   int datasets = 0;
@@ -134,6 +206,8 @@ int Run() {
     double inference_seconds =
         static_cast<double>(bench::CounterValue("sql.inference_micros")) / 1e6;
     KernelSample kernel = MeasureKernel(guard, p.test_dirty);
+    MinimizationSample minimization =
+        MeasureMinimization(p.synthesis, p.test_dirty);
     total_guard += guard_seconds;
     total_speedup += kernel.speedup;
     if (datasets > 0) json += ",\n";
@@ -148,7 +222,12 @@ int Run() {
                       static_cast<int64_t>(kernel.interp_rows_per_sec)),
                   bench::FmtInt(
                       static_cast<int64_t>(kernel.compiled_rows_per_sec)),
-                  bench::Fmt(kernel.speedup, 2)});
+                  bench::Fmt(kernel.speedup, 2),
+                  bench::FmtInt(minimization.ensemble_statements) + "->" +
+                      bench::FmtInt(minimization.minimized_statements),
+                  bench::FmtInt(static_cast<int64_t>(
+                      minimization.minimized_rows_per_sec)),
+                  bench::Fmt(minimization.speedup, 2)});
     json += "  {\"dataset\": " + std::to_string(id);
     json += ", \"guard_seconds\": " + bench::Fmt(guard_seconds, 6);
     json += ", \"inference_seconds\": " + bench::Fmt(inference_seconds, 6);
@@ -159,6 +238,18 @@ int Run() {
     json += ", \"compiled_rows_per_sec\": " +
             std::to_string(static_cast<int64_t>(kernel.compiled_rows_per_sec));
     json += ", \"speedup\": " + bench::Fmt(kernel.speedup, 3);
+    json += ", \"ensemble_statements\": " +
+            std::to_string(minimization.ensemble_statements);
+    json += ", \"minimized_statements\": " +
+            std::to_string(minimization.minimized_statements);
+    json += ", \"ensemble_rows_per_sec\": " +
+            std::to_string(
+                static_cast<int64_t>(minimization.ensemble_rows_per_sec));
+    json += ", \"minimized_rows_per_sec\": " +
+            std::to_string(
+                static_cast<int64_t>(minimization.minimized_rows_per_sec));
+    json += ", \"minimization_speedup\": " +
+            bench::Fmt(minimization.speedup, 3);
     json += "}";
   }
   json += "\n]\n";

@@ -42,6 +42,11 @@ DiagnosticReport Analyzer::Run(const core::Program& program,
     RunContradictionPass(ctx, &report);
     report.passes_run.emplace_back("contradiction");
   }
+  if (options_.check_semantic) {
+    telemetry::Span pass_span("analysis.semantic");
+    RunSemanticPass(ctx, &report);
+    report.passes_run.emplace_back("semantic");
+  }
   if (options_.check_nontriviality && data != nullptr) {
     telemetry::Span pass_span("analysis.nontriviality");
     RunNonTrivialityPass(ctx, &report);

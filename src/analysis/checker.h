@@ -38,6 +38,12 @@ struct AnalysisOptions {
   /// Pass 5: coverage-hole reporting — observed determinant regions no
   /// branch covers. Needs data.
   bool check_coverage = true;
+  /// Pass 6: whole-program implication analysis — implied/duplicate
+  /// statements (GRL601/602), branches unreachable under the program
+  /// (GRL701), transitive cross-statement contradictions (GRL702).
+  /// Schema-only, so deployment gates (registry publish, SQL planner) get it
+  /// for free.
+  bool check_semantic = true;
 
   /// Branch tolerance for the epsilon-validity re-check (Eqn. 3); mirror the
   /// FillOptions::epsilon the program was synthesized with.

@@ -1,81 +1,20 @@
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "analysis/implication.h"
 #include "analysis/passes/passes.h"
 
 namespace guardrail {
 namespace analysis {
 
-namespace {
-
-/// Merges two sorted equality conjunctions. Returns false when they bind the
-/// same attribute to different values (the joint region is empty); otherwise
-/// fills `out` with the union of constraints.
-bool MergeConditions(const core::Condition& a, const core::Condition& b,
-                     std::vector<std::pair<AttrIndex, ValueId>>* out) {
-  out->clear();
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.equalities.size() && j < b.equalities.size()) {
-    const auto& ea = a.equalities[i];
-    const auto& eb = b.equalities[j];
-    if (ea.first < eb.first) {
-      out->push_back(ea);
-      ++i;
-    } else if (eb.first < ea.first) {
-      out->push_back(eb);
-      ++j;
-    } else {
-      if (ea.second != eb.second) return false;
-      out->push_back(ea);
-      ++i;
-      ++j;
-    }
-  }
-  out->insert(out->end(), a.equalities.begin() + static_cast<long>(i),
-              a.equalities.end());
-  out->insert(out->end(), b.equalities.begin() + static_cast<long>(j),
-              b.equalities.end());
-  return true;
-}
-
-/// True when `cond` holds everywhere in the (satisfiable) region described by
-/// the sorted constraint set `region`: every equality of `cond` is one of the
-/// region's constraints.
-bool ConditionImpliedByRegion(
-    const core::Condition& cond,
-    const std::vector<std::pair<AttrIndex, ValueId>>& region) {
-  size_t j = 0;
-  for (const auto& eq : cond.equalities) {
-    while (j < region.size() && region[j].first < eq.first) ++j;
-    if (j >= region.size() || region[j] != eq) return false;
-    ++j;
-  }
-  return true;
-}
-
-/// Whether an earlier branch of `stmt` preempts `branch_index` throughout
-/// `region`: under first-match-wins the branch only fires on rows no earlier
-/// branch matches, so if some earlier branch matches *everywhere* in the
-/// region, this branch never fires there.
-bool PreemptedInRegion(
-    const core::Statement& stmt, size_t branch_index,
-    const std::vector<std::pair<AttrIndex, ValueId>>& region) {
-  for (size_t e = 0; e < branch_index; ++e) {
-    if (ConditionImpliedByRegion(stmt.branches[e].condition, region)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
+// Region algebra (MergeConditions / ConditionImpliedByRegion /
+// PreemptedInRegion) lives in analysis/implication.h, shared with the
+// whole-program semantic pass; this pass keeps the pairwise same-dependent
+// scan that pins findings to a concrete statement pair.
 void RunContradictionPass(const PassContext& ctx, DiagnosticReport* report) {
   const core::Program& program = *ctx.program;
   const Schema& schema = *ctx.schema;
-  std::vector<std::pair<AttrIndex, ValueId>> region;
+  Region region;
 
   for (size_t s1 = 0; s1 < program.statements.size(); ++s1) {
     const core::Statement& stmt1 = program.statements[s1];

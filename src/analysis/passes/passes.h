@@ -71,6 +71,14 @@ void RunNonTrivialityPass(const PassContext& ctx, DiagnosticReport* report);
 /// makes the hole dangerous.
 void RunCoveragePass(const PassContext& ctx, DiagnosticReport* report);
 
+/// Pass 6 (GRL6xx/GRL7xx): whole-program implication analysis. Statements
+/// the rest of the program provably implies (GRL601), exact duplicates
+/// (GRL602), branches whose whole region the program already condemns
+/// (GRL701), and transitive cross-statement contradictions beyond GRL301's
+/// pairwise scan (GRL702). Implemented in analysis/semantic.cc over the
+/// closure engine of analysis/implication.h.
+void RunSemanticPass(const PassContext& ctx, DiagnosticReport* report);
+
 }  // namespace analysis
 }  // namespace guardrail
 

@@ -180,11 +180,49 @@ CompiledProgram CompiledProgram::Compile(const Program& program) {
 
     if (!cs.use_dispatch) {
       cs.branches.reserve(stmt.branches.size());
-      for (const Branch& branch : stmt.branches) {
+      for (size_t b = 0; b < stmt.branches.size(); ++b) {
+        const Branch& branch = stmt.branches[b];
         CompiledBranch cb;
         cb.equalities = branch.condition.equalities;
         cb.assignment = branch.assignment;
+        cb.branch_id = static_cast<int32_t>(b);
         cs.branches.push_back(std::move(cb));
+      }
+      // Dominance probe order: when every branch conditions on the full
+      // determinant set with a distinct tuple, conditions are mutually
+      // exclusive and at most one branch can match a row — probe order is
+      // then free, so probe the highest-support (hottest) branch first and
+      // let most rows exit the first-match scan at probe one. branch_id
+      // keeps verdicts byte-identical to the interpreter's program order.
+      bool order_free = !stmt.branches.empty();
+      std::vector<std::vector<std::pair<AttrIndex, ValueId>>> conds;
+      for (const Branch& branch : stmt.branches) {
+        std::vector<AttrIndex> attrs;
+        for (const auto& [attr, value] : branch.condition.equalities) {
+          attrs.push_back(attr);
+        }
+        if (attrs != stmt.determinants) {
+          order_free = false;
+          break;
+        }
+        conds.push_back(branch.condition.equalities);
+      }
+      if (order_free) {
+        std::sort(conds.begin(), conds.end());
+        order_free =
+            std::adjacent_find(conds.begin(), conds.end()) == conds.end();
+      }
+      if (order_free) {
+        std::stable_sort(cs.branches.begin(), cs.branches.end(),
+                         [&stmt](const CompiledBranch& a,
+                                 const CompiledBranch& b) {
+                           return stmt.branches[static_cast<size_t>(
+                                      a.branch_id)]
+                                      .support >
+                                  stmt.branches[static_cast<size_t>(
+                                      b.branch_id)]
+                                      .support;
+                         });
       }
     }
     compiled.statements_.push_back(std::move(cs));
@@ -204,15 +242,18 @@ int32_t CompiledProgram::FireBranch(const CompiledStatement& stmt,
     }
     return stmt.dispatch[static_cast<size_t>(key)];
   }
-  for (size_t b = 0; b < stmt.branches.size(); ++b) {
+  // Probe order may be dominance-sorted (see Compile); when it is, the
+  // conditions are mutually exclusive, so returning the first match is
+  // still the unique match. branch_id maps back to program order.
+  for (const CompiledBranch& cb : stmt.branches) {
     bool match = true;
-    for (const auto& [attr, value] : stmt.branches[b].equalities) {
+    for (const auto& [attr, value] : cb.equalities) {
       if (batch.column(attr)[row] != value) {
         match = false;
         break;
       }
     }
-    if (match) return static_cast<int32_t>(b);
+    if (match) return cb.branch_id;
   }
   return -1;
 }

@@ -111,6 +111,10 @@ class CompiledProgram {
   struct CompiledBranch {
     std::vector<std::pair<AttrIndex, ValueId>> equalities;
     ValueId assignment = kNullValue;
+    /// Branch id in the source Statement. Mask-form probing may run in
+    /// support (dominance) order rather than program order — see Compile —
+    /// but verdicts always report the original id.
+    int32_t branch_id = 0;
   };
 
   struct CompiledStatement {

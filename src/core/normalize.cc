@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
 
 namespace guardrail {
@@ -21,7 +22,37 @@ bool BranchesAreDisjoint(const Statement& stmt) {
   return true;
 }
 
+// Total order on statements: (dependent, determinants, branch list). The
+// branch-level tiebreak keeps the order well-defined for any input — a
+// comparator with ties would leave std::sort free to order equal-header
+// statements by chance, and program-level order must be reproducible
+// (minimization certificates and golden files hash the printed text).
+bool CanonicalStatementLess(const Statement& a, const Statement& b) {
+  if (a.dependent != b.dependent) return a.dependent < b.dependent;
+  if (a.determinants != b.determinants) return a.determinants < b.determinants;
+  auto branch_key = [](const Branch& x) {
+    return std::tie(x.condition.equalities, x.assignment, x.target);
+  };
+  return std::lexicographical_compare(
+      a.branches.begin(), a.branches.end(), b.branches.begin(),
+      b.branches.end(), [&](const Branch& x, const Branch& y) {
+        return branch_key(x) < branch_key(y);
+      });
+}
+
 }  // namespace
+
+void CanonicalizeProgramOrder(Program* program) {
+  for (auto& stmt : program->statements) {
+    std::sort(stmt.determinants.begin(), stmt.determinants.end());
+    for (auto& branch : stmt.branches) {
+      std::sort(branch.condition.equalities.begin(),
+                branch.condition.equalities.end());
+    }
+  }
+  std::sort(program->statements.begin(), program->statements.end(),
+            CanonicalStatementLess);
+}
 
 NormalizeStats NormalizeProgram(Program* program) {
   NormalizeStats stats;
@@ -106,11 +137,9 @@ NormalizeStats NormalizeProgram(Program* program) {
       kept.push_back(std::move(stmt));
     }
   }
-  std::sort(kept.begin(), kept.end(),
-            [](const Statement& a, const Statement& b) {
-              if (a.dependent != b.dependent) return a.dependent < b.dependent;
-              return a.determinants < b.determinants;
-            });
+  // Header keys are unique after the merge above, but CanonicalStatementLess
+  // stays well-defined for any input via its branch-level tiebreak.
+  std::sort(kept.begin(), kept.end(), CanonicalStatementLess);
   program->statements = std::move(kept);
   return stats;
 }

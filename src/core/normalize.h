@@ -37,6 +37,18 @@ struct NormalizeStats {
 /// meaningful.
 NormalizeStats NormalizeProgram(Program* program);
 
+/// Deterministic ordering without rewriting: sorts determinant lists and
+/// condition conjunctions (order-free semantically), then orders statements
+/// by (dependent, determinants, branches). Unlike NormalizeProgram nothing
+/// is merged or removed — exact duplicates and weaker variants stay put.
+/// This is the canonical form for the synthesis ensemble: redundancy in the
+/// member-DAG union is removed by the certified minimizer (with a replayable
+/// equivalence proof), not by an uncertified rewrite, so the raw union must
+/// survive canonicalization intact. Statement order itself never affects
+/// verdicts (statements are independent; only branch order within a
+/// statement is semantic), so this is a pure reordering.
+void CanonicalizeProgramOrder(Program* program);
+
 /// Human-readable one-line summary: "#stmts / #branches / attrs covered".
 std::string ProgramSummary(const Program& program, const Schema& schema);
 

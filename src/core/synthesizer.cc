@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/nontriviality.h"
+#include "core/normalize.h"
 #include "pgm/encoded_data.h"
 
 namespace guardrail {
@@ -265,6 +266,7 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
   }
 
   Program best_program;
+  Program ensemble;
   ProgramSketch best_sketch;
   double best_coverage = -1.0;
   size_t dags_filled = 0;
@@ -278,6 +280,18 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
       break;
     }
     ++dags_filled;
+    // Ensemble before the winner steals the statements: the raw union of
+    // every complete member program, canonically ordered below so it is
+    // byte-identical for any thread count or enumeration order. Members
+    // mostly agree — shared sketch statements fill identically through the
+    // statement cache, so the union carries exact duplicates — and where
+    // finite-sample PC gives a dependent different parent sets the union
+    // carries both variants. Deliberately NOT normalized: the minimization
+    // rung removes the redundancy with a replayable certificate instead of
+    // an uncertified merge rewrite.
+    ensemble.statements.insert(ensemble.statements.end(),
+                               fill.program.statements.begin(),
+                               fill.program.statements.end());
     if (fill.coverage > best_coverage) {
       best_coverage = fill.coverage;
       best_program = std::move(fill.program);
@@ -299,7 +313,8 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
   report.program = std::move(best_program);
   report.chosen_sketch = std::move(best_sketch);
   report.coverage = best_coverage < 0.0 ? 0.0 : best_coverage;
-  report.total_seconds = total_watch.ElapsedSeconds();
+  CanonicalizeProgramOrder(&ensemble);
+  report.ensemble_program = std::move(ensemble);
 
   if (enumeration_cut_short || fill_cut_short) {
     report.rung = SynthesisRung::kSingleDag;
@@ -310,6 +325,9 @@ Result<SynthesisReport> Synthesizer::SynthesizeFromMec(
         "; selected over " + std::to_string(dags_filled) + " of " +
         std::to_string(dags.size()) + " candidate DAG(s)";
   }
+  // The rung runs only on non-degraded fills (budget gone = no closures).
+  MinimizeEnsemble(data.schema(), &report);
+  report.total_seconds = total_watch.ElapsedSeconds();
   return report;
 }
 
@@ -363,6 +381,10 @@ Result<SynthesisReport> Synthesizer::FillSingleDag(
   report.coverage = ProgramCoverage(program, data);
   report.program = std::move(program);
   report.chosen_sketch = std::move(sketch);
+  // Single member: the raw union is the program itself, in canonical order.
+  report.ensemble_program = report.program;
+  CanonicalizeProgramOrder(&report.ensemble_program);
+  MinimizeEnsemble(data.schema(), &report);
   return report;
 }
 
@@ -392,6 +414,33 @@ SynthesisReport Synthesizer::Synthesize(const Table& data, Rng* rng,
                         << telemetry::Kv("reason", report.degradation_reason);
   }
   return report;
+}
+
+void Synthesizer::MinimizeEnsemble(const Schema& schema,
+                                   SynthesisReport* report) const {
+  if (!options_.minimize || report->ensemble_program.empty() ||
+      report->budget_expired) {
+    return;
+  }
+  telemetry::Span min_span("minimize_ensemble", /*always_time=*/true);
+  Result<analysis::MinimizationResult> minimized = analysis::MinimizeProgram(
+      report->ensemble_program, schema, options_.minimize_options);
+  if (!minimized.ok()) {
+    GUARDRAIL_COUNTER_INC("synthesize.minimize_failures_total");
+    GUARDRAIL_LOG(WARN) << "ensemble minimization failed"
+                        << telemetry::Kv("status",
+                                         minimized.status().ToString());
+    return;
+  }
+  report->minimization = std::move(*minimized);
+  report->minimized = true;
+  min_span.AddArg("statements_before",
+                  report->minimization.statements_before);
+  min_span.AddArg("statements_after", report->minimization.statements_after);
+  GUARDRAIL_COUNTER_INC("synthesize.minimize_runs_total");
+  GUARDRAIL_COUNTER_ADD(
+      "synthesize.minimize_statements_dropped",
+      static_cast<int64_t>(report->minimization.dropped.size()));
 }
 
 void Synthesizer::VerifyProgram(const Table& data,

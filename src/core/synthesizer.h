@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/checker.h"
+#include "analysis/semantic.h"
 #include "common/deadline.h"
 #include "common/rng.h"
 #include "core/ast.h"
@@ -61,6 +62,16 @@ struct SynthesisOptions {
   bool enforce_gnt = false;
   /// CI-test configuration for the GNT check (raw-data tests).
   pgm::GSquareTest::Options gnt_ci;
+  /// Post-synthesis minimization rung (analysis/semantic.h): build the
+  /// ensemble program — the union of every completely filled member-DAG
+  /// program, the strongest constraint set the MEC supports — and run the
+  /// certified minimizer over it, recording the result in
+  /// SynthesisReport::minimization. The chosen `program` is never replaced;
+  /// callers opt into serving the minimized ensemble explicitly (it is a
+  /// stronger guard than any single member program).
+  bool minimize = true;
+  /// Row-sample budget of the minimization certificate's replay.
+  analysis::MinimizeOptions minimize_options;
   /// Post-synthesis invariant verification (src/analysis). The analyzer
   /// always runs after a non-degraded synthesis and WARN-logs findings plus
   /// `analysis.*` telemetry counters; with verify_programs set, any
@@ -148,6 +159,26 @@ struct SynthesisReport {
   /// Populated on the kTrivial rung (and harmless to use on any rung).
   std::vector<DomainConstraint> domain_constraints;
 
+  // ---- Whole-program minimization (analysis/semantic.h). ----
+  /// Raw union of every completely filled member-DAG program in canonical
+  /// order (CanonicalizeProgramOrder) — byte-identical for any thread count
+  /// or DAG enumeration order, but deliberately NOT deduplicated. Members
+  /// mostly agree, so the union carries exact duplicates (shared sketch
+  /// statements fill identically through the statement cache); where
+  /// finite-sample PC gives a dependent different parent sets across
+  /// members, it carries both variants. The minimization rung removes that
+  /// redundancy with a replayable equivalence certificate — the certified
+  /// path replaces an uncertified normalize/merge rewrite. Equals `program`
+  /// (reordered) when a single DAG was filled.
+  Program ensemble_program;
+  /// Certified minimization of `ensemble_program` (when
+  /// SynthesisOptions::minimize and the fill was not budget-degraded).
+  /// `minimization.program` is the dominance-ordered minimized ensemble and
+  /// `minimization.certificate` its machine-checkable equivalence proof.
+  analysis::MinimizationResult minimization;
+  /// True when `minimization` was computed and its certificate emitted.
+  bool minimized = false;
+
   // ---- Post-synthesis invariant verification (src/analysis). ----
   /// Static-analysis findings on the synthesized program (empty when the
   /// check was skipped because the budget had already expired).
@@ -213,6 +244,12 @@ class Synthesizer {
   /// WARN-logs findings, and under verify_programs fails `verification` on
   /// error-severity diagnostics.
   void VerifyProgram(const Table& data, SynthesisReport* report) const;
+
+  /// The minimization rung: certified-minimizes report->ensemble_program
+  /// into report->minimization when SynthesisOptions::minimize is set and
+  /// the fill was not budget-degraded. Failure never fails synthesis — the
+  /// rung WARN-logs and leaves `minimized` false.
+  void MinimizeEnsemble(const Schema& schema, SynthesisReport* report) const;
 
   SynthesisOptions options_;
 };

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "analysis/checker.h"
+#include "analysis/semantic.h"
 #include "common/failpoint.h"
 #include "common/telemetry/telemetry.h"
 #include "core/serialization.h"
@@ -42,10 +43,10 @@ uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
   return h;
 }
 
-Result<uint64_t> ProgramRegistry::LoadFromText(const std::string& dataset,
-                                               const std::string& program_text,
-                                               const Schema& base_schema,
-                                               const std::string& source_path) {
+Result<uint64_t> ProgramRegistry::LoadFromText(
+    const std::string& dataset, const std::string& program_text,
+    const Schema& base_schema, const std::string& source_path,
+    const std::string& certificate_text) {
   GUARDRAIL_FAILPOINT("serve.registry_load");
   telemetry::Span span("serve.load_program");
   span.AddArg("dataset", dataset);
@@ -55,9 +56,37 @@ Result<uint64_t> ProgramRegistry::LoadFromText(const std::string& dataset,
   snapshot->schema = base_schema;
   snapshot->source_path = source_path;
   snapshot->source_hash = HashBytes(program_text);
+  if (!certificate_text.empty()) {
+    // The certificate is part of the published identity: editing only the
+    // certificate must look like a new source to the reload change check.
+    snapshot->source_hash =
+        HashBytes(certificate_text, snapshot->source_hash);
+  }
   GUARDRAIL_ASSIGN_OR_RETURN(
       snapshot->program,
       core::DeserializeProgram(program_text, &snapshot->schema));
+
+  // Certified-minimization gate: a program that claims to be minimized must
+  // prove it. The certificate re-derives every dropped statement with the
+  // implication engine and replays seeded rows through the interpreter
+  // against the embedded original — no proof, no publish.
+  if (analysis::HasMinimizedMarker(program_text)) {
+    if (certificate_text.empty()) {
+      GUARDRAIL_COUNTER_INC("serve.registry.rejected_uncertified");
+      return Status::InvalidArgument(
+          "program for dataset '" + dataset +
+          "' carries the minimized marker but no equivalence certificate; "
+          "refusing to publish an unproven minimization");
+    }
+    Status certified = analysis::VerifyCertificate(
+        certificate_text, snapshot->program, snapshot->schema);
+    if (!certified.ok()) {
+      GUARDRAIL_COUNTER_INC("serve.registry.rejected_uncertified");
+      return Status::InvalidArgument(
+          "minimization certificate for dataset '" + dataset +
+          "' failed verification: " + certified.ToString());
+    }
+  }
 
   // Gate on the analyzer's schema-level passes. Error diagnostics mean the
   // program would mis-vet rows; refuse to publish it.
@@ -169,7 +198,24 @@ Result<int> ProgramRegistry::PollDirectory(const std::string& dir) {
       csv_text = std::move(csv).value();
     }
 
-    uint64_t combined = HashBytes(csv_text, HashBytes(*program_text));
+    // Companion minimization certificate (required by LoadFromText when the
+    // program text carries the minimized marker).
+    fs::path cert_path = path;
+    cert_path.replace_extension(".cert.json");
+    std::string cert_text;
+    if (fs::is_regular_file(cert_path, ec)) {
+      auto cert = ReadFileBytes(cert_path.string());
+      if (!cert.ok()) {
+        GUARDRAIL_LOG(WARN)
+            << "skipping program with unreadable certificate"
+            << telemetry::Kv("path", cert_path.string());
+        continue;
+      }
+      cert_text = std::move(cert).value();
+    }
+
+    uint64_t combined =
+        HashBytes(cert_text, HashBytes(csv_text, HashBytes(*program_text)));
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto seen = attempted_hash_.find(dataset);
@@ -200,8 +246,8 @@ Result<int> ProgramRegistry::PollDirectory(const std::string& dir) {
       schema = table->schema();
     }
 
-    auto version =
-        LoadFromText(dataset, *program_text, schema, path.string());
+    auto version = LoadFromText(dataset, *program_text, schema, path.string(),
+                                cert_text);
     if (!version.ok()) {
       GUARDRAIL_COUNTER_INC("serve.registry.load_errors");
       GUARDRAIL_LOG(WARN) << "program load failed; previous version stays live"

@@ -68,10 +68,19 @@ class ProgramRegistry {
   /// Parses `program_text` (the `# guardrail-program v1` format) against a
   /// copy of `base_schema`, analyzes it, and — if clean — publishes it as
   /// the dataset's next version. Returns the new version number.
+  ///
+  /// Minimized programs (text carrying the `# guardrail-minimized` marker,
+  /// see analysis/semantic.h) are additionally gated on their equivalence
+  /// certificate: `certificate_text` must hold a certificate that
+  /// analysis::VerifyCertificate accepts for this exact program, or the
+  /// publish is refused. A minimizer (or an operator editing a minimized
+  /// file by hand) must never ship a weaker guard than the original without
+  /// a replayable proof that the verdicts are identical.
   Result<uint64_t> LoadFromText(const std::string& dataset,
                                 const std::string& program_text,
                                 const Schema& base_schema,
-                                const std::string& source_path = "");
+                                const std::string& source_path = "",
+                                const std::string& certificate_text = "");
 
   /// The dataset's current snapshot, or nullptr when it has none.
   std::shared_ptr<const ProgramSnapshot> Get(const std::string& dataset) const;
@@ -81,11 +90,13 @@ class ProgramRegistry {
 
   /// Scans `dir` for `<dataset>.grl` program files, each with an optional
   /// companion `<dataset>.csv` whose header (and rows, when present) seeds
-  /// the schema the program is resolved against. (Re)loads every file whose
-  /// combined content hash changed since the last poll. A file that fails to
-  /// parse or analyze is skipped with a WARN log — the previous version (if
-  /// any) stays live; a daemon must not die, or lose a good program, because
-  /// one reload was bad.
+  /// the schema the program is resolved against, and an optional companion
+  /// `<dataset>.cert.json` minimization certificate (required when the
+  /// program text carries the minimized marker — see LoadFromText).
+  /// (Re)loads every file whose combined content hash changed since the last
+  /// poll. A file that fails to parse, analyze, or certify is skipped with a
+  /// WARN log — the previous version (if any) stays live; a daemon must not
+  /// die, or lose a good program, because one reload was bad.
   ///
   /// Returns the number of versions published by this poll.
   Result<int> PollDirectory(const std::string& dir);

@@ -42,10 +42,12 @@ FilterPlan PlanFilter(const Expr* where, bool enable_pushdown);
 
 /// Planner-side vetting of a constraint program before it may intercept
 /// query rows: runs the static analyzer's schema-level passes (type/domain,
-/// satisfiability, contradictions — src/analysis) and rejects programs
-/// carrying error-severity diagnostics with InvalidArgument. A broken guard
-/// silently corrupts every query it vets, so the check sits on the attach
-/// path (Executor::AttachGuard), not the per-row path.
+/// satisfiability, pairwise contradictions, and the whole-program semantic
+/// pass whose closure engine catches transitive GRL702 contradictions —
+/// src/analysis) and rejects programs carrying error-severity diagnostics
+/// with InvalidArgument. A broken guard silently corrupts every query it
+/// vets, so the check sits on the attach path (Executor::AttachGuard), not
+/// the per-row path.
 Status ValidateGuardProgram(const core::Program& program,
                             const Schema& schema);
 

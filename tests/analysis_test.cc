@@ -94,7 +94,7 @@ TEST(AnalysisCleanTest, FullAnalysisOfCleanProgramIsSilent) {
   Analyzer analyzer(MatchingOptions());
   DiagnosticReport report = analyzer.Analyze(s.program, s.schema, s.data);
   EXPECT_TRUE(report.diagnostics.empty()) << report.ToText();
-  EXPECT_EQ(report.passes_run.size(), 5u);
+  EXPECT_EQ(report.passes_run.size(), 6u);
 }
 
 TEST(AnalysisCleanTest, SchemaOnlyAnalysisOfCleanProgramIsSilent) {
@@ -102,7 +102,7 @@ TEST(AnalysisCleanTest, SchemaOnlyAnalysisOfCleanProgramIsSilent) {
   Analyzer analyzer(MatchingOptions());
   DiagnosticReport report = analyzer.Analyze(s.program, s.schema);
   EXPECT_TRUE(report.diagnostics.empty()) << report.ToText();
-  EXPECT_EQ(report.passes_run.size(), 3u);
+  EXPECT_EQ(report.passes_run.size(), 4u);
 }
 
 // ----------------------------------------------------- mutation self-test --
@@ -113,6 +113,7 @@ enum class MutationCategory {
   kContradiction,
   kNonTriviality,
   kCoverage,
+  kImplication,
 };
 
 const char* CategoryName(MutationCategory c) {
@@ -127,6 +128,8 @@ const char* CategoryName(MutationCategory c) {
       return "non-triviality";
     case MutationCategory::kCoverage:
       return "coverage";
+    case MutationCategory::kImplication:
+      return "implication";
   }
   return "?";
 }
@@ -302,6 +305,189 @@ TEST(AnalysisMutationTest, CatchesAtLeast95PercentOfSeededCorruptions) {
   EXPECT_GE(static_cast<double>(caught),
             0.95 * static_cast<double>(mutants.size()))
       << caught << "/" << mutants.size() << " mutants caught";
+}
+
+// Redundancy/implication corruptions for the whole-program semantic pass
+// (GRL6xx/GRL7xx). Each mutant injects a statement the implication lattice
+// must flag: exact duplicates, semantically-equal rewrites, provably weaker
+// clones, branches whose whole region the program condemns, and transitive
+// contradictions invisible to the pairwise GRL301 scan.
+std::vector<Mutant> SeedImplicationMutants(const core::Program& clean,
+                                           const Schema& schema) {
+  std::vector<Mutant> mutants;
+  auto add = [&](const std::string& name, core::Program program) {
+    mutants.push_back(
+        {MutationCategory::kImplication, name, std::move(program)});
+  };
+
+  for (size_t si = 0; si < clean.statements.size(); ++si) {
+    const core::Statement& stmt = clean.statements[si];
+    const std::string at = "stmt" + std::to_string(si);
+
+    {
+      // Exact duplicate: GRL602.
+      core::Program p = clean;
+      p.statements.push_back(stmt);
+      add(at + ":exact-duplicate", std::move(p));
+    }
+    {
+      // Duplicate with skewed advisory metadata: still GRL602 (support does
+      // not participate in statement identity).
+      core::Program p = clean;
+      core::Statement clone = stmt;
+      for (core::Branch& b : clone.branches) b.support += 17;
+      p.statements.push_back(std::move(clone));
+      add(at + ":metadata-skewed-duplicate", std::move(p));
+    }
+    if (stmt.branches.size() > 1) {
+      // Reversed branch order: not structurally equal (first-match order
+      // differs), but the branches are mutually exclusive so the closure
+      // proves verdict-equality — GRL601.
+      core::Program p = clean;
+      core::Statement clone = stmt;
+      std::reverse(clone.branches.begin(), clone.branches.end());
+      p.statements.push_back(std::move(clone));
+      add(at + ":reversed-branch-duplicate", std::move(p));
+    }
+    if (stmt.branches.size() > 1) {
+      // Clone keeping only half the branches: each surviving branch is
+      // implied by the original statement — GRL601.
+      core::Program p = clean;
+      core::Statement clone = stmt;
+      clone.branches.resize(clone.branches.size() / 2);
+      p.statements.push_back(std::move(clone));
+      add(at + ":partial-clone", std::move(p));
+    }
+    {
+      // Determinant-superset clone agreeing with the original on every
+      // narrowed region: strictly weaker — GRL601.
+      const AttrIndex note = schema.FindAttribute("note");
+      core::Program p = clean;
+      core::Statement clone = stmt;
+      clone.determinants.push_back(note);
+      std::sort(clone.determinants.begin(), clone.determinants.end());
+      for (core::Branch& b : clone.branches) {
+        b.condition.equalities.emplace_back(note, 0);
+        std::sort(b.condition.equalities.begin(), b.condition.equalities.end());
+      }
+      p.statements.push_back(std::move(clone));
+      add(at + ":determinant-superset-clone", std::move(p));
+    }
+    {
+      // A statement conditioning on a region the original already condemns
+      // (determinant value paired with the *wrong* dependent value): every
+      // matching row is flagged before this branch matters — GRL701.
+      const AttrIndex note = schema.FindAttribute("note");
+      const core::Branch& witness = stmt.branches[0];
+      core::Statement dead;
+      dead.determinants = stmt.determinants;
+      dead.determinants.push_back(stmt.dependent);
+      std::sort(dead.determinants.begin(), dead.determinants.end());
+      dead.dependent = note;
+      core::Branch b;
+      b.condition.equalities = witness.condition.equalities;
+      b.condition.equalities.emplace_back(
+          stmt.dependent,
+          OtherValue(schema, stmt.dependent, witness.assignment));
+      std::sort(b.condition.equalities.begin(), b.condition.equalities.end());
+      b.target = note;
+      b.assignment = 0;
+      b.support = 10;
+      dead.branches.push_back(std::move(b));
+      core::Program p = clean;
+      p.statements.push_back(std::move(dead));
+      add(at + ":unreachable-region", std::move(p));
+    }
+  }
+
+  // Transitive contradictions (GRL702). The zip -> city -> state chain
+  // composes zip=z into a forced state value s(z); a fallback branch writing
+  // `note` under zip=z is contradicted by a state-conditioned note-writer —
+  // but only at closure depth 2, and the pairwise GRL301 scan is blinded by
+  // a first-match-preempting agreeing branch.
+  const AttrIndex zip = schema.FindAttribute("zip");
+  const AttrIndex city = schema.FindAttribute("city");
+  const AttrIndex state = schema.FindAttribute("state");
+  const AttrIndex note = schema.FindAttribute("note");
+  const core::Statement* zip_to_city = nullptr;
+  const core::Statement* city_to_state = nullptr;
+  for (const core::Statement& stmt : clean.statements) {
+    if (stmt.dependent == city && stmt.determinants == std::vector{zip}) {
+      zip_to_city = &stmt;
+    }
+    if (stmt.dependent == state && stmt.determinants == std::vector{city}) {
+      city_to_state = &stmt;
+    }
+  }
+  if (zip_to_city != nullptr && city_to_state != nullptr) {
+    auto composed_state = [&](ValueId z) -> ValueId {
+      for (const core::Branch& b1 : zip_to_city->branches) {
+        if (b1.condition.equalities[0] != std::pair{zip, z}) continue;
+        for (const core::Branch& b2 : city_to_state->branches) {
+          if (b2.condition.equalities[0] ==
+              std::pair{city, b1.assignment}) {
+            return b2.assignment;
+          }
+        }
+      }
+      return kNullValue;
+    };
+    int built = 0;
+    for (const core::Branch& zb : zip_to_city->branches) {
+      if (built >= 3) break;
+      const ValueId z = zb.condition.equalities[0].second;
+      const ValueId s = composed_state(z);
+      if (s == kNullValue) continue;
+      core::Statement writer;  // state=s -> note=1
+      writer.determinants = {state};
+      writer.dependent = note;
+      writer.branches.push_back(
+          {core::Condition{{{state, s}}}, note, 1, 10, {}});
+      core::Statement victim;  // agreeing guard branch, then zip=z -> note=0
+      victim.determinants = {zip, state};
+      victim.dependent = note;
+      victim.branches.push_back(
+          {core::Condition{{{zip, z}, {state, s}}}, note, 1, 10, {}});
+      victim.branches.push_back({core::Condition{{{zip, z}}}, note, 0, 10, {}});
+      core::Program p;
+      // The writer goes first so the closure reaches it only after the
+      // chain binds state — a genuine depth-2 fire.
+      p.statements.push_back(std::move(writer));
+      p.statements.insert(p.statements.end(), clean.statements.begin(),
+                          clean.statements.end());
+      p.statements.push_back(std::move(victim));
+      add("zip" + std::to_string(z) + ":transitive-contradiction",
+          std::move(p));
+      ++built;
+    }
+  }
+  return mutants;
+}
+
+TEST(AnalysisMutationTest, ImplicationMutantsCaughtAtFullRate) {
+  const CleanSetup& s = ChainSetup();
+  ASSERT_FALSE(s.program.empty());
+  std::vector<Mutant> mutants = SeedImplicationMutants(s.program, s.schema);
+  ASSERT_GE(mutants.size(), 15u);
+
+  // Schema-only analysis: the semantic pass needs no data, and the
+  // data-dependent passes must not be what catches these.
+  Analyzer analyzer(MatchingOptions());
+  for (const Mutant& mutant : mutants) {
+    DiagnosticReport report = analyzer.Analyze(mutant.program, s.schema);
+    bool detected = false;
+    for (const auto& d : report.diagnostics) {
+      if (d.code.rfind("GRL6", 0) == 0 || d.code.rfind("GRL7", 0) == 0) {
+        detected = true;
+        break;
+      }
+    }
+    if (!detected) {
+      ADD_FAILURE() << "implication mutant " << mutant.name
+                    << " drew no GRL6xx/GRL7xx diagnostic:\n"
+                    << report.ToText();
+    }
+  }
 }
 
 TEST(AnalysisMutationTest, SchemaOnlyAnalysisCatchesStructuralMutants) {

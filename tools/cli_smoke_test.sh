@@ -54,13 +54,57 @@ grep -q '"counts": {"error": 0, "warning": 0, "info": 0}' "$DIR/analyze.json"
 # A corrupted program draws error-severity diagnostics: exit 4 plus valid
 # machine-readable JSON naming the code.
 sed "s/city <- 'Berkeley'/city <- 'Oakland'/" "$DIR/prog.grl" > "$DIR/bad.grl"
-if "$BIN" analyze "$DIR/bad.grl" "$DIR/data.csv" --json > "$DIR/bad.json"; then
-  echo "expected nonzero exit for error diagnostics" >&2
+rc=0
+"$BIN" analyze "$DIR/bad.grl" "$DIR/data.csv" --json > "$DIR/bad.json" || rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "expected exit 4 for error diagnostics, got $rc" >&2
   exit 1
 fi
 python3 -m json.tool "$DIR/bad.json" > /dev/null
 grep -q '"code": "GRL404"' "$DIR/bad.json"
 grep -q '"severity": "error"' "$DIR/bad.json"
+
+# Pinned analyze exit-code semantics (docs/ANALYSIS.md): warning-severity
+# diagnostics on an otherwise-clean program exit 0 — warnings advise, they
+# must not fail pipelines — while I/O failures exit 2 and bad flags exit 1.
+# A duplicated statement draws the GRL601/GRL602 implication warnings.
+{ echo "# guardrail-program v1"; grep -v '^#' "$DIR/prog.grl"; \
+  grep -v '^#' "$DIR/prog.grl"; } > "$DIR/dup.grl"
+"$BIN" analyze "$DIR/dup.grl" "$DIR/data.csv" > "$DIR/dup.log"
+grep -q "GRL601" "$DIR/dup.log"
+grep -q "GRL602" "$DIR/dup.log"
+grep -q "2 warning(s)" "$DIR/dup.log"
+rc=0
+"$BIN" analyze "$DIR/missing.grl" "$DIR/data.csv" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "expected exit 2 for missing program file, got $rc" >&2
+  exit 1
+fi
+rc=0
+"$BIN" analyze "$DIR/prog.grl" "$DIR/data.csv" --scheme=bogus \
+  > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 for bad flag, got $rc" >&2
+  exit 1
+fi
+
+# Certified minimization: --minimize drops the duplicate, emits the
+# equivalence certificate, and marks the minimized artifact.
+"$BIN" analyze "$DIR/dup.grl" "$DIR/data.csv" --minimize \
+  --certificate="$DIR/cert.json" --minimized-out="$DIR/min.grl" \
+  > "$DIR/minimize.log"
+grep -q "minimized: 2 -> 1 statement(s)" "$DIR/minimize.log"
+python3 -m json.tool "$DIR/cert.json" > /dev/null
+grep -q '"format": "guardrail-minimization-certificate-v1"' "$DIR/cert.json"
+grep -q '^# guardrail-minimized$' "$DIR/min.grl"
+# The minimized program is verdict-identical on the dirty batch.
+rc=0
+"$BIN" check "$DIR/min.grl" "$DIR/dirty.csv" > "$DIR/min_check.log" || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit 3 for violations under minimized program, got $rc" >&2
+  exit 1
+fi
+grep -q "gibbon" "$DIR/min_check.log"
 
 # Deadline-aware synthesis: a generous budget on this tiny input stays on
 # the top rung (same program), and a zero budget still exits cleanly with a
@@ -170,5 +214,40 @@ if ! wait "$SERVE_PID"; then
   exit 1
 fi
 grep -q "drained" "$DIR/serve.log"
+
+# Certified publish gate (docs/ANALYSIS.md): a minimized program without its
+# certificate is refused at load; dropping the companion cert into the
+# directory hot-reloads and publishes it.
+mkdir "$DIR/programs_min"
+cp "$DIR/min.grl" "$DIR/programs_min/mini.grl"
+cp "$DIR/data.csv" "$DIR/programs_min/mini.csv"
+"$BIN" serve --programs="$DIR/programs_min" --port=0 --reload-ms=100 \
+  > "$DIR/serve_min.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/^listening on 127.0.0.1:\([0-9]*\)$/\1/p' \
+    "$DIR/serve_min.log")
+  [ -n "$PORT" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+[ -n "$PORT" ]
+grep -q "0 dataset(s) loaded" "$DIR/serve_min.log"
+grep -q "refusing to publish an unproven minimization" "$DIR/serve_min.log"
+cp "$DIR/cert.json" "$DIR/programs_min/mini.cert.json"
+i=0
+while [ $i -lt 100 ]; do
+  if "$BIN" validate "127.0.0.1:$PORT" mini "$DIR/data.csv" \
+      > "$DIR/validate_min.log" 2>&1; then
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.1
+done
+grep -q "0 of 16 row(s) flagged" "$DIR/validate_min.log"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
 
 echo "cli smoke OK"

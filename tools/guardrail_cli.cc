@@ -9,11 +9,18 @@
 //       Report rows violating the constraints (row numbers are 1-based data
 //       rows, header excluded). Exit code 3 when violations exist.
 //   guardrail analyze <program.grl> <data.csv> [--json] [--epsilon=E]
-//       [--scheme=raise|ignore|coerce|rectify]
+//       [--scheme=raise|ignore|coerce|rectify] [--minimize]
+//       [--certificate=out.json] [--minimized-out=out.grl]
 //       Statically analyze the program against the relation: type/domain
-//       checking, dead branches, contradictions, non-triviality audit, and
-//       coverage holes (docs/ANALYSIS.md). --json emits machine-readable
-//       diagnostics. Exit code 4 when error-severity diagnostics exist.
+//       checking, dead branches, contradictions, non-triviality audit,
+//       coverage holes, and whole-program implication (docs/ANALYSIS.md).
+//       --json emits machine-readable diagnostics. --minimize additionally
+//       runs the certified minimizer: implied statements are dropped with a
+//       machine-checkable equivalence certificate (--certificate) and the
+//       minimized program — carrying the `# guardrail-minimized` marker the
+//       serving registry's publish gate keys on — is written to
+//       --minimized-out. Exit codes: 0 clean or warnings only, 4 when
+//       error-severity diagnostics exist, 2 on I/O or parse failure.
 //   guardrail repair <program.grl> <in.csv> <out.csv>
 //       Rectify violations (MAP repair) and write the cleaned CSV.
 //   guardrail profile <data.csv>
@@ -66,6 +73,7 @@
 #include <vector>
 
 #include "analysis/checker.h"
+#include "analysis/semantic.h"
 #include "common/csv.h"
 #include "common/deadline.h"
 #include "common/string_util.h"
@@ -174,7 +182,9 @@ int CmdCheck(const std::string& program_path, const std::string& data_path) {
 }
 
 int CmdAnalyze(const std::string& program_path, const std::string& data_path,
-               bool json, double epsilon, core::ErrorPolicy scheme) {
+               bool json, double epsilon, core::ErrorPolicy scheme,
+               bool minimize, const std::string& certificate_path,
+               const std::string& minimized_out_path) {
   auto table = LoadCsvTable(data_path);
   if (!table.ok()) return Fail(table.status());
   Schema schema = table->schema();
@@ -191,6 +201,39 @@ int CmdAnalyze(const std::string& program_path, const std::string& data_path,
     std::printf("%s\n", report.ToJson().c_str());
   } else {
     std::fputs(report.ToText().c_str(), stdout);
+  }
+
+  if (minimize) {
+    auto minimized = analysis::MinimizeProgram(*program, schema);
+    if (!minimized.ok()) return Fail(minimized.status());
+    std::printf(
+        "minimized: %lld -> %lld statement(s), %lld -> %lld branch(es), "
+        "%zu dropped\n",
+        static_cast<long long>(minimized->statements_before),
+        static_cast<long long>(minimized->statements_after),
+        static_cast<long long>(minimized->branches_before),
+        static_cast<long long>(minimized->branches_after),
+        minimized->dropped.size());
+    if (!certificate_path.empty()) {
+      std::ofstream cert_out(certificate_path, std::ios::binary);
+      if (!cert_out ||
+          !(cert_out << minimized->certificate)) {
+        return Fail(Status::IoError("cannot write " + certificate_path));
+      }
+      std::printf("certificate written to %s\n", certificate_path.c_str());
+    }
+    if (!minimized_out_path.empty()) {
+      // The marker comment makes the registry's publish gate demand the
+      // certificate before this program can be served.
+      std::string comment = std::string(analysis::kMinimizedMarker + 2) +
+                            "\nminimized from " + program_path;
+      Status saved = core::SaveProgramToFile(minimized_out_path,
+                                             minimized->program, schema,
+                                             comment);
+      if (!saved.ok()) return Fail(saved);
+      std::printf("minimized program written to %s\n",
+                  minimized_out_path.c_str());
+    }
   }
   return report.HasErrors() ? 4 : 0;
 }
@@ -466,6 +509,8 @@ int Usage() {
                "  guardrail check <program.grl> <data.csv>\n"
                "  guardrail analyze <program.grl> <data.csv> [--json]"
                " [--epsilon=E] [--scheme=raise|ignore|coerce|rectify]\n"
+               "                    [--minimize] [--certificate=out.json]"
+               " [--minimized-out=out.grl]\n"
                "  guardrail repair <program.grl> <in.csv> <out.csv>\n"
                "  guardrail profile <data.csv>\n"
                "  guardrail query <data.csv> \"<SELECT ...>\""
@@ -499,6 +544,9 @@ int Main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   bool json = false;
+  bool minimize = false;
+  std::string certificate_path;
+  std::string minimized_out_path;
   double analyze_epsilon = 0.02;
   core::ErrorPolicy scheme = core::ErrorPolicy::kRaise;
   std::string programs_dir;
@@ -527,8 +575,24 @@ int Main(int argc, char** argv) {
     constexpr std::string_view kEndpoints = "--endpoints=";
     constexpr std::string_view kRetries = "--retries=";
     constexpr std::string_view kHedgeMs = "--hedge-ms=";
+    constexpr std::string_view kCertificate = "--certificate=";
+    constexpr std::string_view kMinimizedOut = "--minimized-out=";
     if (arg == "--json") {
       json = true;
+      continue;
+    }
+    if (arg == "--minimize") {
+      minimize = true;
+      continue;
+    }
+    if (arg.rfind(kCertificate, 0) == 0) {
+      certificate_path = std::string(arg.substr(kCertificate.size()));
+      if (certificate_path.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kMinimizedOut, 0) == 0) {
+      minimized_out_path = std::string(arg.substr(kMinimizedOut.size()));
+      if (minimized_out_path.empty()) return Usage();
       continue;
     }
     if (arg.rfind(kEpsilon, 0) == 0) {
@@ -665,7 +729,8 @@ int Main(int argc, char** argv) {
   } else if (command == "check" && n == 3) {
     rc = CmdCheck(args[1], args[2]);
   } else if (command == "analyze" && n == 3) {
-    rc = CmdAnalyze(args[1], args[2], json, analyze_epsilon, scheme);
+    rc = CmdAnalyze(args[1], args[2], json, analyze_epsilon, scheme, minimize,
+                    certificate_path, minimized_out_path);
   } else if (command == "repair" && n == 4) {
     rc = CmdRepair(args[1], args[2], args[3]);
   } else if (command == "profile" && n == 2) {
