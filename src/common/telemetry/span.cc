@@ -1,5 +1,7 @@
 #include "common/telemetry/span.h"
 
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 
 #include "common/telemetry/metrics.h"
@@ -18,6 +20,14 @@ struct TraceBuffer {
   std::mutex mu;
   std::vector<TraceEventRecord> events;
   int64_t dropped = 0;
+  // Streaming sink (StartTraceStream): when `stream` is open, events flush
+  // to it whenever the buffer reaches `flush_threshold` instead of hitting
+  // the in-memory cap.
+  FILE* stream = nullptr;
+  size_t flush_threshold = 0;
+  // True once at least one record was written to `stream` (comma placement
+  // in the JSON event array).
+  bool stream_has_events = false;
 };
 
 TraceBuffer& Buffer() {
@@ -45,9 +55,44 @@ uint32_t CurrentTid() {
   return tid;
 }
 
+/// Renders one record as a Chrome trace_event JSON object (no separator).
+void AppendTraceEventJson(const TraceEventRecord& e, std::string* out) {
+  *out += "\n{\"name\": \"";
+  AppendJsonEscaped(e.name, out);
+  *out += "\", \"ph\": \"";
+  *out += e.phase;
+  *out += "\", \"ts\": " + std::to_string(e.ts_micros) +
+          ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+  if (e.phase == 'i') *out += ", \"s\": \"t\"";
+  if (!e.args_json.empty()) *out += ", \"args\": {" + e.args_json + "}";
+  *out += "}";
+}
+
+/// Writes every buffered event to the open stream and clears the buffer.
+/// Caller holds buffer.mu and has checked buffer.stream != nullptr.
+void FlushToStreamLocked(TraceBuffer* buffer) {
+  std::string chunk;
+  for (const TraceEventRecord& e : buffer->events) {
+    if (buffer->stream_has_events) chunk += ",";
+    buffer->stream_has_events = true;
+    AppendTraceEventJson(e, &chunk);
+  }
+  if (!chunk.empty()) {
+    fwrite(chunk.data(), 1, chunk.size(), buffer->stream);
+  }
+  buffer->events.clear();
+}
+
 void Append(TraceEventRecord record) {
   TraceBuffer& buffer = Buffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.stream != nullptr) {
+    buffer.events.push_back(std::move(record));
+    if (buffer.events.size() >= buffer.flush_threshold) {
+      FlushToStreamLocked(&buffer);
+    }
+    return;
+  }
   if (buffer.events.size() >= kMaxTraceEvents) {
     ++buffer.dropped;
     return;
@@ -158,18 +203,52 @@ std::string TraceToJson() {
   for (const TraceEventRecord& e : buffer.events) {
     if (!first) out += ",";
     first = false;
-    out += "\n{\"name\": \"";
-    AppendJsonEscaped(e.name, &out);
-    out += "\", \"ph\": \"";
-    out += e.phase;
-    out += "\", \"ts\": " + std::to_string(e.ts_micros) +
-           ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
-    if (e.phase == 'i') out += ", \"s\": \"t\"";
-    if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
-    out += "}";
+    AppendTraceEventJson(e, &out);
   }
   out += "\n]\n}\n";
   return out;
+}
+
+Status StartTraceStream(const std::string& path, size_t flush_threshold) {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.stream != nullptr) {
+    return Status::AlreadyExists("a trace stream is already active");
+  }
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot create trace stream file: " + path);
+  }
+  const char* header = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  fwrite(header, 1, strlen(header), f);
+  buffer.stream = f;
+  buffer.flush_threshold = flush_threshold == 0 ? 1 : flush_threshold;
+  buffer.stream_has_events = false;
+  // Events already buffered before the stream opened belong to the stream's
+  // timeline too; they flush with the first threshold crossing (or at stop).
+  EnableTracing(true);
+  return Status::OK();
+}
+
+Status StopTraceStream() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.stream == nullptr) return Status::OK();
+  FlushToStreamLocked(&buffer);
+  const char* footer = "\n]\n}\n";
+  fwrite(footer, 1, strlen(footer), buffer.stream);
+  const bool ok = fclose(buffer.stream) == 0;
+  buffer.stream = nullptr;
+  buffer.flush_threshold = 0;
+  buffer.stream_has_events = false;
+  if (!ok) return Status::IoError("closing the trace stream failed");
+  return Status::OK();
+}
+
+bool TraceStreamActive() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.stream != nullptr;
 }
 
 void ClearTrace() {

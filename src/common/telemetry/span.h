@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "common/telemetry/state.h"
 
 namespace guardrail {
@@ -78,6 +79,30 @@ std::string TraceToJson();
 
 /// Clears the trace buffer (events and drop count).
 void ClearTrace();
+
+// ---- Streaming trace sink ----------------------------------------------
+// For long-running processes (the serving daemon, `guardrail stream`) whose
+// traces outgrow the in-memory cap: events flush incrementally to a Chrome
+// trace_event JSON file whenever the buffer reaches `flush_threshold`, so
+// memory stays bounded no matter how long the process runs and the file is
+// loadable in chrome://tracing after a clean stop. While a stream is
+// active, SnapshotTraceEvents / TraceToJson see only the not-yet-flushed
+// tail, and the buffer-cap drop path is never taken.
+
+/// Opens `path`, writes the document header, and routes subsequent trace
+/// events through the bounded streaming buffer. Fails if a stream is
+/// already active or the file cannot be created. Enables tracing as a side
+/// effect (a silent stream would record an empty file).
+Status StartTraceStream(const std::string& path,
+                        size_t flush_threshold = 4096);
+
+/// Flushes any buffered events, writes the document footer, and closes the
+/// file. No-op (OK) when no stream is active. The trace buffer keeps
+/// collecting in memory afterwards; tracing stays enabled.
+Status StopTraceStream();
+
+/// True between a successful StartTraceStream and the matching stop.
+bool TraceStreamActive();
 
 }  // namespace telemetry
 }  // namespace guardrail

@@ -92,6 +92,9 @@ void ResetAllForTest() {
   EnableMetrics(false);
   EnableTracing(false);
   MetricsRegistry::Instance().ResetAll();
+  // A live streaming sink would otherwise leak its FILE* across tests (and
+  // keep swallowing the next test's events).
+  (void)StopTraceStream();
   ClearTrace();
   SetLogSink(nullptr);
   SetLogLevel(LogLevel::kWarn);

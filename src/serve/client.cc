@@ -134,5 +134,13 @@ Result<HealthResponse> Client::Health() {
   return response;
 }
 
+Result<IngestResponse> Client::Ingest(const IngestRequest& request) {
+  GUARDRAIL_ASSIGN_OR_RETURN(std::string payload,
+                             RoundTrip(EncodeIngestRequest(request)));
+  IngestResponse response;
+  GUARDRAIL_RETURN_NOT_OK(DecodeIngestResponse(payload, &response));
+  return response;
+}
+
 }  // namespace serve
 }  // namespace guardrail

@@ -34,6 +34,10 @@ class Client {
   /// this to judge replica liveness between requests).
   Result<HealthResponse> Health();
 
+  /// Feeds a batch of trusted rows to the server's streaming synthesizer
+  /// (protocol v3; the server must run with --ingest).
+  Result<IngestResponse> Ingest(const IngestRequest& request);
+
   bool connected() const { return fd_ >= 0; }
 
  private:

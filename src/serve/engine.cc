@@ -416,12 +416,15 @@ Result<std::vector<Row>> DecodeRows(RowFormat format,
   return Status::InvalidArgument("unknown row format");
 }
 
-bool ResponseDedupWindow::Lookup(uint64_t request_id,
+bool ResponseDedupWindow::Lookup(uint64_t request_id, uint64_t live_version,
                                  ValidateResponse* out) const {
   if (request_id == 0 || capacity_ == 0) return false;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = by_id_.find(request_id);
   if (it == by_id_.end()) return false;
+  // A hot reload superseded the program this entry's verdicts were computed
+  // against: miss, so the retry re-runs under the live version.
+  if (it->second.program_version != live_version) return false;
   *out = it->second;
   out->duplicate = true;
   return true;
@@ -432,7 +435,14 @@ void ResponseDedupWindow::Remember(uint64_t request_id,
   if (request_id == 0 || capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = by_id_.try_emplace(request_id, response);
-  if (!inserted) return;  // First answer wins; never overwrite.
+  if (!inserted) {
+    // First answer wins within a program version; a recompute under a newer
+    // version displaces the stale entry (its FIFO slot is unchanged).
+    if (it->second.program_version != response.program_version) {
+      it->second = response;
+    }
+    return;
+  }
   order_.push_back(request_id);
   while (static_cast<int>(order_.size()) > capacity_) {
     by_id_.erase(order_.front());
@@ -449,9 +459,16 @@ ValidateResponse ValidationEngine::Handle(const ValidateRequest& request) {
   GUARDRAIL_COUNTER_INC("serve.requests");
   // Retransmit of an already-answered id: replay the remembered bytes
   // before admission — a replay is free and must not be shed, or a retry
-  // storm could starve the very retries it caused.
+  // storm could starve the very retries it caused. The replay is scoped to
+  // the dataset's live program version (a cheap snapshot refcount bump): a
+  // retry spanning a hot reload recomputes instead of replaying verdicts
+  // from the superseded program.
   ValidateResponse response;
-  if (dedup_.Lookup(request.request_id, &response)) {
+  uint64_t live_version = 0;
+  if (auto snapshot = registry_->Get(request.dataset)) {
+    live_version = snapshot->version;
+  }
+  if (dedup_.Lookup(request.request_id, live_version, &response)) {
     GUARDRAIL_COUNTER_INC("serve.dedup_hits");
     return response;
   }

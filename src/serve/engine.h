@@ -77,17 +77,27 @@ struct EngineOptions {
 /// makes coerce/rectify verdicts exactly-once under client retries: the
 /// first execution's bytes are returned again, never a second execution.
 /// Only kOk responses are remembered — a shed or failed request must really
-/// retry. Thread-safe.
+/// retry.
+///
+/// Entries are scoped by the program version they were computed against: a
+/// retry that spans a hot reload re-runs under the live program instead of
+/// replaying a superseded-program verdict (its repairs would be stale
+/// against the constraints now being enforced), and the re-run's response
+/// displaces the stale entry. Thread-safe.
 class ResponseDedupWindow {
  public:
   explicit ResponseDedupWindow(int capacity)
       : capacity_(capacity < 0 ? 0 : capacity) {}
 
   /// True (and *out filled, with duplicate=true) when `request_id` was
-  /// already answered.
-  bool Lookup(uint64_t request_id, ValidateResponse* out) const;
+  /// already answered by a response computed against `live_version`. An
+  /// entry from a superseded version misses, so the caller recomputes.
+  bool Lookup(uint64_t request_id, uint64_t live_version,
+              ValidateResponse* out) const;
 
   /// Remembers a completed response, evicting the oldest id past capacity.
+  /// First answer wins within a program version; a response computed
+  /// against a newer version than the remembered one displaces it.
   void Remember(uint64_t request_id, const ValidateResponse& response);
 
   int size() const;

@@ -1,5 +1,7 @@
 #include "serve/protocol.h"
 
+#include <bit>
+
 namespace guardrail {
 namespace serve {
 
@@ -299,7 +301,7 @@ Status PeekMsgType(std::string_view payload, MsgType* out) {
   if (payload.empty()) return Status::InvalidArgument("empty frame payload");
   uint8_t raw = static_cast<uint8_t>(payload[0]);
   if (raw < static_cast<uint8_t>(MsgType::kValidateRequest) ||
-      raw > static_cast<uint8_t>(MsgType::kHealthResponse)) {
+      raw > static_cast<uint8_t>(MsgType::kIngestResponse)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(raw));
   }
@@ -394,6 +396,68 @@ Status DecodePingResponse(std::string_view payload, PingResponse* out) {
 Status DecodeHealthRequest(std::string_view payload) {
   WireReader reader(payload);
   GUARDRAIL_RETURN_NOT_OK(ExpectMsgType(&reader, MsgType::kHealthRequest));
+  return reader.Finish();
+}
+
+std::string EncodeIngestRequest(const IngestRequest& request) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(MsgType::kIngestRequest), &payload);
+  PutU8(static_cast<uint8_t>(request.format), &payload);
+  PutU8(request.force_refresh ? 1 : 0, &payload);
+  PutString(request.dataset, &payload);
+  PutString(request.payload, &payload);
+  return FinishFrame(std::move(payload));
+}
+
+std::string EncodeIngestResponse(const IngestResponse& response) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(MsgType::kIngestResponse), &payload);
+  PutU8(static_cast<uint8_t>(response.code), &payload);
+  PutString(response.error, &payload);
+  PutU64(response.rows_ingested, &payload);
+  PutU8(static_cast<uint8_t>(response.action), &payload);
+  PutU64(std::bit_cast<uint64_t>(response.drift_score), &payload);
+  PutU64(response.program_version, &payload);
+  PutU8(response.published ? 1 : 0, &payload);
+  return FinishFrame(std::move(payload));
+}
+
+Status DecodeIngestRequest(std::string_view payload, IngestRequest* out) {
+  WireReader reader(payload);
+  GUARDRAIL_RETURN_NOT_OK(ExpectMsgType(&reader, MsgType::kIngestRequest));
+  uint8_t format = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&format));
+  GUARDRAIL_RETURN_NOT_OK(FormatFromWire(format, &out->format));
+  uint8_t force = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&force));
+  out->force_refresh = force != 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetString(&out->dataset));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetString(&out->payload));
+  return reader.Finish();
+}
+
+Status DecodeIngestResponse(std::string_view payload, IngestResponse* out) {
+  WireReader reader(payload);
+  GUARDRAIL_RETURN_NOT_OK(ExpectMsgType(&reader, MsgType::kIngestResponse));
+  uint8_t code = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&code));
+  GUARDRAIL_RETURN_NOT_OK(StatusCodeFromWire(code, &out->code));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetString(&out->error));
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU64(&out->rows_ingested));
+  uint8_t action = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&action));
+  if (action > static_cast<uint8_t>(IngestAction::kFull)) {
+    return Status::InvalidArgument("unknown ingest action id " +
+                                   std::to_string(action));
+  }
+  out->action = static_cast<IngestAction>(action);
+  uint64_t score_bits = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU64(&score_bits));
+  out->drift_score = std::bit_cast<double>(score_bits);
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU64(&out->program_version));
+  uint8_t published = 0;
+  GUARDRAIL_RETURN_NOT_OK(reader.GetU8(&published));
+  out->published = published != 0;
   return reader.Finish();
 }
 

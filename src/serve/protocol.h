@@ -30,8 +30,9 @@ namespace serve {
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 inline constexpr uint32_t kFramePrefixBytes = 4;
 /// v2 added the client-assigned request id, the retry-after / duplicate
-/// response fields, and the Health frames.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// response fields, and the Health frames. v3 added the streaming Ingest
+/// frames (docs/STREAMING.md).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 enum class MsgType : uint8_t {
   kValidateRequest = 1,
@@ -40,6 +41,8 @@ enum class MsgType : uint8_t {
   kPingResponse = 4,
   kHealthRequest = 5,
   kHealthResponse = 6,
+  kIngestRequest = 7,
+  kIngestResponse = 8,
 };
 
 /// How the rows of a ValidateRequest payload are encoded.
@@ -113,6 +116,46 @@ struct ValidateResponse {
   /// a newer one mid-flight.
   uint64_t program_version = 0;
   std::vector<RowResult> rows;
+};
+
+/// One batch of trusted rows feeding a dataset's streaming synthesizer
+/// (protocol v3; served only when the daemon runs with --ingest). Unlike
+/// ValidateRequest, these rows *teach* the stream — they update sufficient
+/// statistics and may trigger a resynthesis under the server's policy.
+struct IngestRequest {
+  std::string dataset;
+  RowFormat format = RowFormat::kCsv;
+  /// Skip the drift gate and force a full resynthesis after this batch.
+  bool force_refresh = false;
+  /// The rows, encoded per `format`.
+  std::string payload;
+};
+
+/// What a refresh attempt did, on the wire. Mirrors stream::RefreshAction;
+/// kept as explicit ids so the C++ enum can evolve without moving bytes.
+enum class IngestAction : uint8_t {
+  kNone = 0,         // No refresh attempted (policy said wait, or window small).
+  kNoop = 1,         // Drift scored clean; served program untouched.
+  kIncremental = 2,  // Localized drift; affected statements re-filled.
+  kFull = 3,         // Full resynthesis from accumulated data.
+};
+
+struct IngestResponse {
+  /// kOk when the batch was ingested (whether or not a refresh ran);
+  /// kNotImplemented when the server runs without --ingest.
+  StatusCode code = StatusCode::kOk;
+  std::string error;  // Populated when code != kOk.
+  /// Rows accepted into the stream from this batch.
+  uint64_t rows_ingested = 0;
+  IngestAction action = IngestAction::kNone;
+  /// Max per-pair drift G² statistic scored this attempt (bit-cast double;
+  /// 0.0 when no drift scoring ran).
+  double drift_score = 0.0;
+  /// The dataset's served program version after this batch (0 when the
+  /// stream has not published yet).
+  uint64_t program_version = 0;
+  /// True when this batch's refresh published a new program version.
+  bool published = false;
 };
 
 struct DatasetInfo {
@@ -200,6 +243,8 @@ std::string EncodePingRequest();
 std::string EncodePingResponse(const PingResponse& response);
 std::string EncodeHealthRequest();
 std::string EncodeHealthResponse(const HealthResponse& response);
+std::string EncodeIngestRequest(const IngestRequest& request);
+std::string EncodeIngestResponse(const IngestResponse& response);
 
 /// First byte of the payload as a message type (not yet range-checked
 /// against the known types; decoders do that).
@@ -211,6 +256,8 @@ Status DecodePingRequest(std::string_view payload);
 Status DecodePingResponse(std::string_view payload, PingResponse* out);
 Status DecodeHealthRequest(std::string_view payload);
 Status DecodeHealthResponse(std::string_view payload, HealthResponse* out);
+Status DecodeIngestRequest(std::string_view payload, IngestRequest* out);
+Status DecodeIngestResponse(std::string_view payload, IngestResponse* out);
 
 }  // namespace serve
 }  // namespace guardrail

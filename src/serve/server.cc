@@ -277,6 +277,22 @@ std::string Server::HandlePayload(std::string_view payload) {
       }
       return EncodeValidateResponse(engine_->Handle(request));
     }
+    case MsgType::kIngestRequest: {
+      IngestRequest request;
+      st = DecodeIngestRequest(payload, &request);
+      if (!st.ok()) {
+        GUARDRAIL_COUNTER_INC("serve.bad_frames");
+        return ErrorFrame(StatusCode::kInvalidArgument, st.message());
+      }
+      IngestResponse response;
+      if (!options_.ingest_handler) {
+        response.code = StatusCode::kNotImplemented;
+        response.error = "this server does not accept ingest (run with --ingest)";
+      } else {
+        response = options_.ingest_handler(request);
+      }
+      return EncodeIngestResponse(response);
+    }
     default:
       GUARDRAIL_COUNTER_INC("serve.bad_frames");
       return ErrorFrame(StatusCode::kInvalidArgument,

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -26,6 +27,11 @@ struct ServerOptions {
   /// Concurrent connections; arrivals past this are accepted and closed
   /// immediately so the peer sees a clean EOF rather than a hung connect.
   int max_connections = 128;
+  /// Handler for protocol-v3 IngestBatch frames (`guardrail serve --ingest`
+  /// wires stream::StreamService::HandleIngest here). Null answers every
+  /// ingest with kNotImplemented — the serve layer itself never depends on
+  /// the streaming subsystem.
+  std::function<IngestResponse(const IngestRequest&)> ingest_handler;
 };
 
 /// Framed-TCP front end of the guard-serving daemon: one thread per

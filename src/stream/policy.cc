@@ -1,0 +1,26 @@
+#include "stream/policy.h"
+
+namespace guardrail {
+namespace stream {
+
+std::optional<ResynthesisMode> ParseResynthesisMode(const std::string& name) {
+  if (name == "interval") return ResynthesisMode::kInterval;
+  if (name == "drift") return ResynthesisMode::kDriftThreshold;
+  if (name == "manual") return ResynthesisMode::kManual;
+  return std::nullopt;
+}
+
+const char* ResynthesisModeName(ResynthesisMode mode) {
+  switch (mode) {
+    case ResynthesisMode::kInterval:
+      return "interval";
+    case ResynthesisMode::kDriftThreshold:
+      return "drift";
+    case ResynthesisMode::kManual:
+      return "manual";
+  }
+  return "unknown";
+}
+
+}  // namespace stream
+}  // namespace guardrail

@@ -1,0 +1,65 @@
+#ifndef GUARDRAIL_STREAM_POLICY_H_
+#define GUARDRAIL_STREAM_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace guardrail {
+namespace stream {
+
+/// When a stream attempts a refresh (docs/STREAMING.md, "Resynthesis
+/// policy"). The policy decides *when to look*; the drift detector and
+/// incremental synthesizer decide *what to do* once looking.
+enum class ResynthesisMode {
+  /// Attempt a refresh every `interval_batches` ingested batches.
+  kInterval,
+  /// Attempt a refresh after every batch; the drift detector's thresholds
+  /// gate the actual work, so clean batches cost only the pair scoring.
+  kDriftThreshold,
+  /// Refresh only when explicitly requested (IngestRequest::force_refresh
+  /// or `guardrail stream --force-refresh`).
+  kManual,
+};
+
+struct PolicyOptions {
+  ResynthesisMode mode = ResynthesisMode::kDriftThreshold;
+  /// kInterval: batches between refresh attempts.
+  int64_t interval_batches = 8;
+};
+
+/// Pure decision function: should this batch trigger a refresh attempt?
+class ResynthesisPolicy {
+ public:
+  explicit ResynthesisPolicy(PolicyOptions options) : options_(options) {}
+
+  /// `batches_since_refresh` counts ingested batches since the last refresh
+  /// attempt (successful or no-op); `manual` is an explicit caller trigger
+  /// that fires under every mode.
+  bool ShouldRefresh(int64_t batches_since_refresh, bool manual) const {
+    if (manual) return true;
+    switch (options_.mode) {
+      case ResynthesisMode::kInterval:
+        return batches_since_refresh >= options_.interval_batches;
+      case ResynthesisMode::kDriftThreshold:
+        return true;
+      case ResynthesisMode::kManual:
+        return false;
+    }
+    return false;
+  }
+
+  const PolicyOptions& options() const { return options_; }
+
+ private:
+  PolicyOptions options_;
+};
+
+/// "interval" / "drift" / "manual" <-> enum (CLI flag surface).
+std::optional<ResynthesisMode> ParseResynthesisMode(const std::string& name);
+const char* ResynthesisModeName(ResynthesisMode mode);
+
+}  // namespace stream
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_STREAM_POLICY_H_

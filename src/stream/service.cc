@@ -1,0 +1,180 @@
+#include "stream/service.h"
+
+#include <utility>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/telemetry/telemetry.h"
+#include "serve/engine.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace stream {
+
+namespace {
+
+serve::IngestAction ToWire(RefreshAction action) {
+  switch (action) {
+    case RefreshAction::kNone:
+      return serve::IngestAction::kNone;
+    case RefreshAction::kNoop:
+      return serve::IngestAction::kNoop;
+    case RefreshAction::kIncremental:
+      return serve::IngestAction::kIncremental;
+    case RefreshAction::kFull:
+      return serve::IngestAction::kFull;
+  }
+  return serve::IngestAction::kNone;
+}
+
+}  // namespace
+
+StreamService::StreamService(serve::ProgramRegistry* registry,
+                             StreamServiceOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+int64_t StreamService::active_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(streams_.size());
+}
+
+StreamService::DatasetStream* StreamService::GetOrCreate(
+    const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(dataset);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(dataset,
+                      std::make_unique<DatasetStream>(options_.incremental,
+                                                      options_.policy))
+             .first;
+  }
+  return it->second.get();
+}
+
+serve::IngestResponse StreamService::HandleIngest(
+    const serve::IngestRequest& request) {
+  serve::IngestResponse response;
+  if (request.dataset.empty()) {
+    response.code = StatusCode::kInvalidArgument;
+    response.error = "ingest request names no dataset";
+    return response;
+  }
+  DatasetStream* stream = GetOrCreate(request.dataset);
+  std::lock_guard<std::mutex> lock(stream->mu);
+  GUARDRAIL_COUNTER_INC("stream.ingest.batches");
+
+  // A fresh stream adopts the served schema when the dataset already has a
+  // published program (the wire row layout must agree with validation);
+  // otherwise the first CSV batch's header defines it.
+  if (stream->synth.schema().num_attributes() == 0) {
+    if (auto snapshot = registry_->Get(request.dataset)) {
+      stream->synth.SeedSchema(snapshot->schema);
+      stream->served_version = snapshot->version;
+    }
+  }
+
+  if (stream->synth.schema().num_attributes() > 0) {
+    Result<std::vector<Row>> rows =
+        serve::DecodeRows(request.format, request.payload,
+                          &stream->synth.mutable_schema(),
+                          options_.max_batch_rows);
+    if (!rows.ok()) {
+      response.code = rows.status().code();
+      response.error = rows.status().message();
+      return response;
+    }
+    Status ingested = stream->synth.IngestRows(*rows);
+    if (!ingested.ok()) {
+      response.code = ingested.code();
+      response.error = ingested.message();
+      return response;
+    }
+    response.rows_ingested = static_cast<uint64_t>(rows->size());
+  } else {
+    if (request.format != serve::RowFormat::kCsv) {
+      response.code = StatusCode::kInvalidArgument;
+      response.error =
+          "JSON ingest needs an existing schema; publish a program for this "
+          "dataset or send the first batch as CSV";
+      return response;
+    }
+    Result<CsvDocument> doc = ParseCsv(request.payload);
+    if (!doc.ok()) {
+      response.code = doc.status().code();
+      response.error = doc.status().message();
+      return response;
+    }
+    if (static_cast<int64_t>(doc->rows.size()) > options_.max_batch_rows) {
+      response.code = StatusCode::kInvalidArgument;
+      response.error = "batch of " + std::to_string(doc->rows.size()) +
+                       " row(s) exceeds the per-request cap of " +
+                       std::to_string(options_.max_batch_rows);
+      return response;
+    }
+    Result<Table> batch = Table::FromCsv(*doc);
+    if (!batch.ok()) {
+      response.code = batch.status().code();
+      response.error = batch.status().message();
+      return response;
+    }
+    Status ingested = stream->synth.IngestTable(*batch);
+    if (!ingested.ok()) {
+      response.code = ingested.code();
+      response.error = ingested.message();
+      return response;
+    }
+    response.rows_ingested = static_cast<uint64_t>(batch->num_rows());
+  }
+
+  ++stream->batches_since_refresh;
+  const bool manual = request.force_refresh;
+  bool attempt;
+  if (!stream->synth.bootstrapped()) {
+    // Bootstrap once enough rows accumulated for a meaningful first
+    // synthesis (or on an explicit trigger).
+    attempt = manual ||
+              stream->synth.rows_ingested() >= options_.bootstrap_rows;
+  } else {
+    attempt = stream->policy.ShouldRefresh(stream->batches_since_refresh,
+                                           manual);
+  }
+  if (attempt) {
+    stream->batches_since_refresh = 0;
+    const bool force_full = manual && stream->synth.bootstrapped();
+    Result<RefreshResult> refreshed = stream->synth.Refresh(force_full);
+    if (!refreshed.ok()) {
+      response.code = refreshed.status().code();
+      response.error = refreshed.status().message();
+      response.program_version = stream->served_version;
+      return response;
+    }
+    response.action = ToWire(refreshed->action);
+    response.drift_score = refreshed->drift.max_statistic;
+    if (refreshed->published_changed) {
+      Result<uint64_t> version = registry_->LoadFromText(
+          request.dataset, refreshed->program_text, stream->synth.schema(),
+          "stream://" + request.dataset, refreshed->certificate_text);
+      if (!version.ok()) {
+        // The refreshed program failed the registry's analyzer/certificate
+        // gate; the previous version stays live (same contract as a bad
+        // watch-dir reload).
+        GUARDRAIL_LOG(WARN) << "stream publish refused for '"
+                            << request.dataset
+                            << "': " << version.status().message();
+        response.code = version.status().code();
+        response.error = version.status().message();
+        response.program_version = stream->served_version;
+        return response;
+      }
+      stream->served_version = *version;
+      response.published = true;
+      GUARDRAIL_COUNTER_INC("stream.resynth.published");
+    }
+  }
+  response.program_version = stream->served_version;
+  return response;
+}
+
+}  // namespace stream
+}  // namespace guardrail

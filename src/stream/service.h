@@ -1,0 +1,74 @@
+#ifndef GUARDRAIL_STREAM_SERVICE_H_
+#define GUARDRAIL_STREAM_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "stream/incremental.h"
+#include "stream/policy.h"
+
+namespace guardrail {
+namespace stream {
+
+struct StreamServiceOptions {
+  IncrementalOptions incremental;
+  PolicyOptions policy;
+  /// Per-ingest row cap (mirrors EngineOptions::max_batch_rows).
+  int64_t max_batch_rows = int64_t{1} << 20;
+  /// Rows the stream must accumulate before the first (bootstrap) synthesis
+  /// runs; a force_refresh ingest overrides the floor.
+  int64_t bootstrap_rows = 256;
+};
+
+/// Per-dataset streaming state behind the daemon's IngestBatch frames: owns
+/// one IncrementalSynthesizer per dataset, applies the resynthesis policy
+/// per batch, and hot-publishes refreshed programs through the shared
+/// ProgramRegistry — the exact versioned-reload path the watch directory
+/// uses, certificate gate included (docs/STREAMING.md).
+///
+/// Thread-safe: the stream map has its own mutex and every dataset stream
+/// serializes its ingests behind a per-dataset mutex, so concurrent
+/// connections feeding different datasets never contend.
+class StreamService {
+ public:
+  StreamService(serve::ProgramRegistry* registry,
+                StreamServiceOptions options);
+
+  /// The server's ingest hook (ServerOptions::ingest_handler). Never
+  /// throws; failures come back as response codes.
+  serve::IngestResponse HandleIngest(const serve::IngestRequest& request);
+
+  /// Datasets with an active stream.
+  int64_t active_streams() const;
+
+ private:
+  struct DatasetStream {
+    std::mutex mu;
+    IncrementalSynthesizer synth;
+    ResynthesisPolicy policy;
+    int64_t batches_since_refresh = 0;
+    uint64_t served_version = 0;
+
+    DatasetStream(const IncrementalOptions& incremental,
+                  const PolicyOptions& policy_options)
+        : synth(incremental), policy(policy_options) {}
+  };
+
+  DatasetStream* GetOrCreate(const std::string& dataset);
+
+  serve::ProgramRegistry* registry_;
+  StreamServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<DatasetStream>> streams_;
+};
+
+}  // namespace stream
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_STREAM_SERVICE_H_

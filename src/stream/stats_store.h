@@ -1,0 +1,100 @@
+#ifndef GUARDRAIL_STREAM_STATS_STORE_H_
+#define GUARDRAIL_STREAM_STATS_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/column_batch.h"
+#include "table/table.h"
+
+namespace guardrail {
+namespace stream {
+
+/// Mergeable sufficient statistics for streaming synthesis: one contingency
+/// table per unordered attribute pair plus per-attribute marginals, updated
+/// from dictionary-coded row batches (docs/STREAMING.md).
+///
+/// Everything the drift detector needs — and everything the pairwise stage
+/// of CI testing needs — reduces to these counts, so a stream ingests rows
+/// once, cheaply, and synthesis-scale work happens only when the counts say
+/// the distribution moved.
+///
+/// Merge is commutative and associative count addition: shard-local stores
+/// built over disjoint row ranges combine into exactly the store a single
+/// serial pass would have produced, which is what makes batched and
+/// parallel ingest deterministic (see stream_test's associativity and
+/// split-invariance checks).
+class StatsStore {
+ public:
+  /// A dense pair contingency table. Dimensions grow dynamically as new
+  /// dictionary codes appear in the stream; counts are row-major
+  /// (x-value major, y-value minor) with x < y by attribute index.
+  struct PairTable {
+    int32_t card_x = 0;
+    int32_t card_y = 0;
+    std::vector<int64_t> counts;
+    /// Rows where both attributes were non-NULL.
+    int64_t total = 0;
+
+    int64_t Count(ValueId vx, ValueId vy) const {
+      if (vx < 0 || vy < 0 || vx >= card_x || vy >= card_y) return 0;
+      return counts[static_cast<size_t>(vx) * static_cast<size_t>(card_y) +
+                    static_cast<size_t>(vy)];
+    }
+  };
+
+  StatsStore() = default;
+  explicit StatsStore(int32_t num_attributes) { Reset(num_attributes); }
+
+  /// Drops all counts and re-sizes to `num_attributes`.
+  void Reset(int32_t num_attributes);
+
+  int32_t num_attributes() const { return num_attributes_; }
+  int64_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Counts every row of a columnar batch into the pair tables and
+  /// marginals. Every attribute in [0, num_attributes) must be materialized
+  /// in the batch (ColumnBatch::FromTable always is). NULL cells are skipped
+  /// per-attribute; a pair cell counts only when both sides are non-NULL.
+  void IngestBatch(const ColumnBatch& batch);
+
+  /// Convenience: ingests rows [begin, begin + count) of `table`
+  /// (count < 0 means "through the last row").
+  void IngestTable(const Table& table, int64_t begin = 0, int64_t count = -1);
+
+  /// Adds every count of `other` into this store (commutative, associative).
+  /// Both stores must cover the same number of attributes.
+  void Merge(const StatsStore& other);
+
+  /// The (x, y) contingency table; requires x < y.
+  const PairTable& pair(AttrIndex x, AttrIndex y) const;
+
+  /// Per-value non-NULL counts for one attribute (index = dictionary code).
+  const std::vector<int64_t>& marginal(AttrIndex a) const {
+    return marginals_[static_cast<size_t>(a)];
+  }
+
+  /// FNV-1a over every dimension and count in fixed order — equal for any
+  /// ingest batching or merge tree that saw the same multiset of rows.
+  uint64_t ContentHash() const;
+
+ private:
+  size_t PairIndex(AttrIndex x, AttrIndex y) const {
+    // x < y over n attributes, lexicographic pair enumeration.
+    const int64_t n = num_attributes_;
+    return static_cast<size_t>(x * (2 * n - x - 1) / 2 + (y - x - 1));
+  }
+
+  static void GrowPair(PairTable* table, int32_t card_x, int32_t card_y);
+
+  int32_t num_attributes_ = 0;
+  int64_t num_rows_ = 0;
+  std::vector<PairTable> pairs_;
+  std::vector<std::vector<int64_t>> marginals_;
+};
+
+}  // namespace stream
+}  // namespace guardrail
+
+#endif  // GUARDRAIL_STREAM_STATS_STORE_H_

@@ -17,8 +17,14 @@ uint64_t Mix64(uint64_t z) {
 
 }  // namespace
 
-SemModel::SemModel(std::vector<SemNode> nodes, uint64_t function_seed)
-    : nodes_(std::move(nodes)), function_seed_(function_seed) {
+SemModel::SemModel(std::vector<SemNode> nodes, uint64_t function_seed,
+                   std::vector<uint64_t> node_salts)
+    : nodes_(std::move(nodes)),
+      function_seed_(function_seed),
+      node_salts_(std::move(node_salts)) {
+  GUARDRAIL_CHECK(node_salts_.empty() ||
+                  node_salts_.size() == nodes_.size())
+      << "node_salts must be empty or one per node";
   // Kahn topological sort; validates acyclicity.
   const int32_t n = num_nodes();
   std::vector<int32_t> indegree(static_cast<size_t>(n), 0);
@@ -57,7 +63,8 @@ ValueId SemModel::StructuralFunction(
   // this can never collapse to a constant function of a varying parent, so
   // every structural edge carries a statistically visible signal.
   const uint64_t k = static_cast<uint64_t>(spec.cardinality);
-  uint64_t h = Mix64(function_seed_ ^ (0x517CC1B727220A95ULL * (node + 1)));
+  uint64_t h = Mix64(function_seed_ ^ node_salt(node) ^
+                     (0x517CC1B727220A95ULL * (node + 1)));
   uint64_t acc = h % k;  // Offset.
   for (size_t i = 0; i < parent_values.size(); ++i) {
     GUARDRAIL_CHECK_GE(parent_values[i], 0);
@@ -169,6 +176,42 @@ SemModel BuildRandomSem(const RandomSemOptions& options, Rng* rng) {
     nodes.push_back(std::move(node));
   }
   return SemModel(std::move(nodes), rng->NextUint64());
+}
+
+SemDriftInfo MakeDriftedSem(const SemModel& base,
+                            const SemDriftOptions& options, Rng* rng) {
+  std::vector<AttrIndex> eligible;
+  for (AttrIndex j = 0; j < base.num_nodes(); ++j) {
+    if (!base.nodes()[static_cast<size_t>(j)].parents.empty()) {
+      eligible.push_back(j);
+    }
+  }
+  GUARDRAIL_CHECK(!eligible.empty())
+      << "drift needs at least one non-root node";
+  size_t num_changed = static_cast<size_t>(
+      options.changed_fraction * static_cast<double>(eligible.size()) + 0.5);
+  num_changed = std::max<size_t>(1, std::min(num_changed, eligible.size()));
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(eligible.size(), num_changed);
+
+  std::vector<uint64_t> salts(static_cast<size_t>(base.num_nodes()), 0);
+  std::vector<AttrIndex> changed;
+  for (size_t p : picks) {
+    const AttrIndex node = eligible[p];
+    // Nonzero salt re-keys this node's structural function: a fresh cyclic-
+    // linear map over the same domain, so the conditional P(X | parents)
+    // moves while everything else in the model is untouched.
+    salts[static_cast<size_t>(node)] = Mix64(rng->NextUint64()) | 1;
+    changed.push_back(node);
+  }
+  std::sort(changed.begin(), changed.end());
+  // Compose with any salts the base already carries (chained drifts).
+  for (AttrIndex j = 0; j < base.num_nodes(); ++j) {
+    salts[static_cast<size_t>(j)] ^= base.node_salt(j);
+  }
+  return SemDriftInfo{
+      SemModel(base.nodes(), base.function_seed(), std::move(salts)),
+      std::move(changed)};
 }
 
 }  // namespace guardrail

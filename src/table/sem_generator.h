@@ -29,10 +29,22 @@ struct SemNode {
 /// combo -> value maps.
 class SemModel {
  public:
-  SemModel(std::vector<SemNode> nodes, uint64_t function_seed);
+  /// `node_salts` perturbs individual structural functions: node j's f_X is
+  /// derived from function_seed ^ node_salts[j], so two models sharing a
+  /// seed but differing in one node's salt differ in exactly that node's
+  /// conditional distribution. Empty (the default) means all-zero salts —
+  /// byte-identical to the historical two-argument behavior.
+  SemModel(std::vector<SemNode> nodes, uint64_t function_seed,
+           std::vector<uint64_t> node_salts = {});
 
   const std::vector<SemNode>& nodes() const { return nodes_; }
   int32_t num_nodes() const { return static_cast<int32_t>(nodes_.size()); }
+
+  uint64_t node_salt(AttrIndex node) const {
+    return node_salts_.empty() ? 0
+                               : node_salts_[static_cast<size_t>(node)];
+  }
+  uint64_t function_seed() const { return function_seed_; }
 
   /// Topological order of the node DAG (parents precede children).
   const std::vector<AttrIndex>& topological_order() const { return topo_; }
@@ -61,6 +73,8 @@ class SemModel {
  private:
   std::vector<SemNode> nodes_;
   uint64_t function_seed_;
+  /// Empty, or one salt per node (0 = unperturbed); see the constructor.
+  std::vector<uint64_t> node_salts_;
   std::vector<AttrIndex> topo_;
 };
 
@@ -92,6 +106,30 @@ struct RandomSemOptions {
 /// Builds a random SEM; `rng` drives the structure, node `function_seed`s are
 /// derived from it so sampling is reproducible.
 SemModel BuildRandomSem(const RandomSemOptions& options, Rng* rng);
+
+/// Knobs for MakeDriftedSem (the streaming benchmark's shifted segment).
+struct SemDriftOptions {
+  /// Fraction of non-root nodes whose conditional distribution is
+  /// perturbed (at least one node always changes).
+  double changed_fraction = 0.5;
+};
+
+/// A drifted SEM plus its ground truth: which nodes' conditionals moved.
+struct SemDriftInfo {
+  SemModel model;
+  /// Perturbed nodes, ascending. Everything else is untouched: structure,
+  /// cardinalities, noise rates, root marginals, and every other node's
+  /// structural function are bit-identical to the base model's.
+  std::vector<AttrIndex> changed_nodes;
+};
+
+/// Derives a distribution-shifted variant of `base` by re-salting the
+/// structural functions of a random subset of non-root nodes: same DAG,
+/// same domains, different conditionals exactly at `changed_nodes` — the
+/// labeled shift a drift detector should flag (and localize) when sampling
+/// switches from `base` to the drifted model.
+SemDriftInfo MakeDriftedSem(const SemModel& base,
+                            const SemDriftOptions& options, Rng* rng);
 
 }  // namespace guardrail
 

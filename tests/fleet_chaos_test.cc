@@ -293,14 +293,22 @@ TEST(DedupTest, RetransmitReplaysOriginalVerdicts) {
     EXPECT_TRUE(second->rows[r] == first->rows[r]) << "row " << r;
   }
 
-  // Even after a hot reload publishes v2, the old id still answers with the
-  // v1 bytes — a retry can never re-apply verdicts under a newer program.
+  // A hot reload publishing v2 invalidates the cached v1 entry: the same id
+  // recomputes against the live program — replaying v1 repairs against v2
+  // constraints would hand back stale verdicts — and the recompute becomes
+  // the remembered answer for the id.
   ASSERT_TRUE(
       node.registry.LoadFromText("demo", kProgramText, DemoSchema()).ok());
   auto third = client->Validate(request);
   ASSERT_TRUE(third.ok());
-  EXPECT_TRUE(third->duplicate);
-  EXPECT_EQ(third->program_version, 1u);
+  EXPECT_FALSE(third->duplicate);
+  EXPECT_EQ(third->program_version, 2u);
+
+  // Retransmitting once more replays the v2 recompute.
+  auto fourth = client->Validate(request);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_TRUE(fourth->duplicate);
+  EXPECT_EQ(fourth->program_version, 2u);
 
   // A fresh id is computed anew, against the new version.
   request.request_id = 78;
@@ -314,16 +322,32 @@ TEST(DedupTest, WindowIsBoundedFifo) {
   ResponseDedupWindow window(2);
   ValidateResponse response;
   response.code = StatusCode::kOk;
+  response.program_version = 1;
   window.Remember(1, response);
   window.Remember(2, response);
   window.Remember(3, response);  // Evicts id 1.
   EXPECT_EQ(window.size(), 2);
   ValidateResponse out;
-  EXPECT_FALSE(window.Lookup(1, &out));
-  EXPECT_TRUE(window.Lookup(2, &out));
+  EXPECT_FALSE(window.Lookup(1, 1, &out));
+  EXPECT_TRUE(window.Lookup(2, 1, &out));
   EXPECT_TRUE(out.duplicate);
-  EXPECT_TRUE(window.Lookup(3, &out));
-  EXPECT_FALSE(window.Lookup(0, &out));  // 0 = unassigned, never cached.
+  EXPECT_TRUE(window.Lookup(3, 1, &out));
+  EXPECT_FALSE(window.Lookup(0, 1, &out));  // 0 = unassigned, never cached.
+
+  // Version scoping: an entry computed against v1 misses once v2 is live...
+  EXPECT_FALSE(window.Lookup(2, 2, &out));
+  // ...and the v2 recompute displaces it, while a same-version Remember
+  // keeps the first answer.
+  ValidateResponse v2 = response;
+  v2.program_version = 2;
+  v2.error = "recomputed";
+  window.Remember(2, v2);
+  ValidateResponse v2_again = v2;
+  v2_again.error = "second answer, must not win";
+  window.Remember(2, v2_again);
+  EXPECT_TRUE(window.Lookup(2, 2, &out));
+  EXPECT_EQ(out.error, "recomputed");
+  EXPECT_FALSE(window.Lookup(2, 1, &out));
 }
 
 TEST(DedupTest, ShedResponsesAreNotCached) {

@@ -30,12 +30,28 @@
 //   guardrail explain "<SELECT ...>"
 //       Show the physical plan, including the predicate-pushdown split.
 //   guardrail serve --programs=DIR [--port=N] [--queue-depth=N]
-//       [--reload-ms=N]
+//       [--reload-ms=N] [--ingest] [--resynth-policy=interval|drift|manual]
+//       [--resynth-interval=N] [--drift-alpha=A] [--drift-global-fraction=F]
+//       [--drift-min-rows=N]
 //       Run the guard-serving daemon (docs/SERVING.md): load every
 //       <dataset>.grl (+ companion <dataset>.csv schema) program in DIR,
 //       listen on 127.0.0.1, hot-reload DIR on changes, and answer framed
 //       Validate requests. SIGTERM/SIGINT drains gracefully: accepting
 //       stops, in-flight requests finish, then "drained" is printed.
+//       --ingest additionally answers protocol-v3 IngestBatch frames: each
+//       batch feeds a per-dataset streaming synthesizer, and refreshed
+//       programs hot-publish through the same versioned registry path as
+//       the watch directory (docs/STREAMING.md).
+//   guardrail stream <data.csv> [--batch-rows=N] [--out=FILE]
+//       [--resynth-policy=...] [--drift-*=...] [--force-refresh]
+//   guardrail stream <data.csv> --endpoint=host:port --dataset=NAME
+//       [--batch-rows=N] [--force-refresh]
+//       Replay a CSV as a stream of ingest batches. Without --endpoint the
+//       replay runs in-process (bootstrap, drift scoring, incremental or
+//       full refreshes are reported per batch and the final program is
+//       printed or written to --out). With --endpoint each batch is sent as
+//       an IngestBatch frame to a daemon running with --ingest.
+//       --force-refresh forces a full resynthesis on the final batch.
 //   guardrail validate <host:port> <dataset> <data.csv>
 //       [--scheme=raise|ignore|coerce|rectify] [--format=csv|json]
 //       [--time-budget-ms=N]
@@ -55,6 +71,11 @@
 //                       see docs/PARALLELISM.md.
 //   --trace-out=FILE    Write a Chrome trace_event JSON timeline of the run
 //                       (load in chrome://tracing or https://ui.perfetto.dev).
+//   --trace-stream-out=FILE
+//                       Stream trace events to FILE incrementally with a
+//                       bounded in-memory buffer — for long-lived commands
+//                       (serve, stream) whose timeline would overflow the
+//                       in-memory trace cap.
 //   --metrics-out=FILE  Write all telemetry counters/histograms as JSON.
 //   --log-level=LEVEL   debug|info|warn|error|off (default warn; the
 //                       GUARDRAIL_LOG_LEVEL env var is the fallback).
@@ -65,7 +86,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <algorithm>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -92,6 +115,9 @@
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "stream/incremental.h"
+#include "stream/policy.h"
+#include "stream/service.h"
 #include "table/profile.h"
 #include "table/table.h"
 
@@ -311,7 +337,9 @@ std::atomic<bool> g_serve_stop{false};
 void HandleStopSignal(int) { g_serve_stop.store(true); }
 
 int CmdServe(const std::string& programs_dir, int port, int queue_depth,
-             int reload_ms) {
+             int reload_ms, bool ingest,
+             const stream::PolicyOptions& policy_options,
+             const stream::DriftOptions& drift_options, int num_threads) {
   serve::ProgramRegistry registry;
   serve::EngineOptions engine_options;
   if (queue_depth > 0) engine_options.max_inflight = queue_depth;
@@ -321,12 +349,36 @@ int CmdServe(const std::string& programs_dir, int port, int queue_depth,
   options.port = port;
   options.watch_dir = programs_dir;
   if (reload_ms > 0) options.reload_interval_ms = reload_ms;
+
+  // With --ingest the daemon also learns: IngestBatch frames feed the
+  // streaming synthesizer, which hot-publishes refreshed programs through
+  // the same registry the Validate path reads.
+  std::unique_ptr<stream::StreamService> stream_service;
+  if (ingest) {
+    stream::StreamServiceOptions stream_options;
+    stream_options.policy = policy_options;
+    stream_options.incremental.drift = drift_options;
+    if (num_threads > 0) {
+      stream_options.incremental.synthesis.num_threads = num_threads;
+    }
+    stream_service =
+        std::make_unique<stream::StreamService>(&registry, stream_options);
+    options.ingest_handler =
+        [service = stream_service.get()](const serve::IngestRequest& request) {
+          return service->HandleIngest(request);
+        };
+  }
+
   serve::Server server(&registry, &engine, options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
 
   std::printf("listening on 127.0.0.1:%d\n", server.port());
   std::printf("%zu dataset(s) loaded\n", registry.List().size());
+  if (ingest) {
+    std::printf("ingest enabled (resynthesis policy: %s)\n",
+                stream::ResynthesisModeName(policy_options.mode));
+  }
   std::fflush(stdout);
 
   g_serve_stop.store(false);
@@ -338,6 +390,166 @@ int CmdServe(const std::string& programs_dir, int port, int queue_depth,
   server.Drain();
   std::printf("drained\n");
   std::fflush(stdout);
+  return 0;
+}
+
+const char* IngestActionName(serve::IngestAction action) {
+  switch (action) {
+    case serve::IngestAction::kNone: return "none";
+    case serve::IngestAction::kNoop: return "noop";
+    case serve::IngestAction::kIncremental: return "incremental";
+    case serve::IngestAction::kFull: return "full";
+  }
+  return "?";
+}
+
+// Remote half of `guardrail stream`: slice the CSV into batches and send
+// each as a protocol-v3 IngestBatch frame to a daemon running --ingest.
+int StreamRemote(const CsvDocument& doc, int64_t batch_rows,
+                 const std::string& endpoint, const std::string& dataset,
+                 bool force_refresh) {
+  size_t colon = endpoint.rfind(':');
+  double port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseDouble(endpoint.substr(colon + 1), &port) || port < 1 ||
+      port > 65535) {
+    return Fail(Status::InvalidArgument("endpoint must be host:port, got '" +
+                                        endpoint + "'"));
+  }
+  const std::string host = endpoint.substr(0, colon);
+
+  const int64_t total = static_cast<int64_t>(doc.rows.size());
+  int64_t batch_id = 0;
+  for (int64_t begin = 0; begin < total; begin += batch_rows) {
+    const int64_t count = std::min(batch_rows, total - begin);
+    CsvDocument slice;
+    slice.header = doc.header;
+    slice.rows.assign(doc.rows.begin() + begin,
+                      doc.rows.begin() + begin + count);
+    serve::IngestRequest request;
+    request.dataset = dataset;
+    request.force_refresh = force_refresh && begin + count >= total;
+    request.payload = WriteCsv(slice);
+    // A feeder must outlive flaky transport: reconnect and resend on any
+    // transport error (a batch that died before its response may or may not
+    // have been ingested — resending is the at-least-once contract the
+    // stream-side statistics are robust to at these batch sizes).
+    Result<serve::IngestResponse> response = Status::OK();
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      auto client = serve::Client::Connect(host, static_cast<int>(port));
+      if (!client.ok()) {
+        response = client.status();
+        continue;
+      }
+      response = client->Ingest(request);
+      if (response.ok()) break;
+    }
+    if (!response.ok()) return Fail(response.status());
+    if (response->code != StatusCode::kOk) {
+      std::fprintf(stderr, "server error on batch %lld: %s\n",
+                   static_cast<long long>(batch_id),
+                   response->error.c_str());
+      return 2;
+    }
+    std::printf("batch %lld: %llu row(s) -> %s | drift G2 %.2f | version "
+                "%llu%s\n",
+                static_cast<long long>(batch_id),
+                static_cast<unsigned long long>(response->rows_ingested),
+                IngestActionName(response->action), response->drift_score,
+                static_cast<unsigned long long>(response->program_version),
+                response->published ? " [published]" : "");
+    ++batch_id;
+  }
+  return 0;
+}
+
+int CmdStream(const std::string& data_path, int64_t batch_rows,
+              const stream::PolicyOptions& policy_options,
+              const stream::DriftOptions& drift_options, bool force_refresh,
+              const std::string& endpoint, const std::string& dataset,
+              const std::string& out_path, int num_threads) {
+  auto doc = ReadCsvFile(data_path);
+  if (!doc.ok()) return Fail(doc.status());
+  const int64_t total = static_cast<int64_t>(doc->rows.size());
+  if (total == 0) {
+    return Fail(Status::InvalidArgument("no data rows in " + data_path));
+  }
+  if (batch_rows <= 0) batch_rows = 256;
+
+  if (!endpoint.empty()) {
+    return StreamRemote(*doc, batch_rows, endpoint, dataset, force_refresh);
+  }
+
+  // Local replay: the full streaming loop in-process — bootstrap, per-batch
+  // drift scoring, incremental/full refreshes — without a daemon.
+  stream::IncrementalOptions incremental;
+  incremental.drift = drift_options;
+  if (num_threads > 0) incremental.synthesis.num_threads = num_threads;
+  stream::IncrementalSynthesizer synth(incremental);
+  stream::ResynthesisPolicy policy(policy_options);
+
+  constexpr int64_t kBootstrapRows = 256;
+  int64_t batch_id = 0;
+  int64_t batches_since_refresh = 0;
+  for (int64_t begin = 0; begin < total; begin += batch_rows) {
+    const int64_t count = std::min(batch_rows, total - begin);
+    CsvDocument slice;
+    slice.header = doc->header;
+    slice.rows.assign(doc->rows.begin() + begin,
+                      doc->rows.begin() + begin + count);
+    // Each batch is dictionary-coded independently and label-merged on
+    // ingest, exactly like wire batches from independent producers.
+    auto batch = Table::FromCsv(slice);
+    if (!batch.ok()) return Fail(batch.status());
+    Status ingested = synth.IngestTable(*batch);
+    if (!ingested.ok()) return Fail(ingested);
+    ++batches_since_refresh;
+    const bool last = begin + count >= total;
+
+    bool attempt;
+    if (!synth.bootstrapped()) {
+      attempt = last || synth.rows_ingested() >= kBootstrapRows;
+    } else {
+      attempt = policy.ShouldRefresh(batches_since_refresh,
+                                     force_refresh && last);
+    }
+    if (attempt) {
+      batches_since_refresh = 0;
+      const bool force_full = force_refresh && last && synth.bootstrapped();
+      auto result = synth.Refresh(force_full);
+      if (!result.ok()) return Fail(result.status());
+      std::printf(
+          "batch %lld (%lld rows in): %s | drifted pairs %zu | max G2 %.2f "
+          "| refilled %lld reused %lld | %.3fs%s\n",
+          static_cast<long long>(batch_id),
+          static_cast<long long>(synth.rows_ingested()),
+          stream::RefreshActionName(result->action),
+          result->drift.drifted.size(), result->drift.max_statistic,
+          static_cast<long long>(result->statements_refilled),
+          static_cast<long long>(result->statements_reused),
+          result->seconds, result->published_changed ? " [published]" : "");
+      if (!result->reason.empty() &&
+          result->action != stream::RefreshAction::kNoop) {
+        std::printf("  reason: %s\n", result->reason.c_str());
+      }
+    }
+    ++batch_id;
+  }
+
+  if (!synth.bootstrapped()) {
+    return Fail(Status::Internal("stream never bootstrapped"));
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out || !(out << synth.program_text())) {
+      return Fail(Status::IoError("cannot write " + out_path));
+    }
+    std::printf("final program written to %s\n", out_path.c_str());
+  } else {
+    std::printf("final program after %lld row(s):\n%s",
+                static_cast<long long>(synth.rows_ingested()),
+                synth.program_text().c_str());
+  }
   return 0;
 }
 
@@ -517,7 +729,16 @@ int Usage() {
                " [--time-budget-ms=N]\n"
                "  guardrail explain \"<SELECT ...>\"\n"
                "  guardrail serve --programs=DIR [--port=N]"
-               " [--queue-depth=N] [--reload-ms=N]\n"
+               " [--queue-depth=N] [--reload-ms=N] [--ingest]\n"
+               "                  [--resynth-policy=interval|drift|manual]"
+               " [--resynth-interval=N]\n"
+               "                  [--drift-alpha=A] [--drift-global-fraction=F]"
+               " [--drift-min-rows=N]\n"
+               "  guardrail stream <data.csv> [--batch-rows=N] [--out=FILE]"
+               " [--force-refresh]\n"
+               "                  [--resynth-policy=...] [--drift-*=...]\n"
+               "  guardrail stream <data.csv> --endpoint=host:port"
+               " --dataset=NAME [--batch-rows=N]\n"
                "  guardrail validate <host:port> <dataset> <data.csv>"
                " [--scheme=...] [--format=csv|json] [--time-budget-ms=N]\n"
                "  guardrail validate --endpoints=h:p,h:p,... <dataset>"
@@ -527,6 +748,9 @@ int Usage() {
                " (default: hardware concurrency)\n"
                "  --trace-out=FILE    write a Chrome trace_event JSON timeline"
                " (chrome://tracing, Perfetto)\n"
+               "  --trace-stream-out=FILE\n"
+               "                      stream trace events to FILE incrementally"
+               " (bounded memory; for serve/stream)\n"
                "  --metrics-out=FILE  write telemetry counters/histograms as"
                " JSON\n"
                "  --log-level=LEVEL   debug|info|warn|error|off (default"
@@ -557,6 +781,15 @@ int Main(int argc, char** argv) {
   std::string endpoints_spec;
   int retries = -1;   // -1 = pool default.
   int hedge_ms = 0;
+  bool ingest = false;
+  bool force_refresh = false;
+  stream::PolicyOptions policy_options;
+  stream::DriftOptions drift_options;
+  int64_t batch_rows = 0;  // 0 = CmdStream default.
+  std::string stream_endpoint;
+  std::string stream_dataset;
+  std::string out_path;
+  std::string trace_stream_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -577,8 +810,102 @@ int Main(int argc, char** argv) {
     constexpr std::string_view kHedgeMs = "--hedge-ms=";
     constexpr std::string_view kCertificate = "--certificate=";
     constexpr std::string_view kMinimizedOut = "--minimized-out=";
+    constexpr std::string_view kResynthPolicy = "--resynth-policy=";
+    constexpr std::string_view kResynthInterval = "--resynth-interval=";
+    constexpr std::string_view kDriftAlpha = "--drift-alpha=";
+    constexpr std::string_view kDriftGlobalFraction =
+        "--drift-global-fraction=";
+    constexpr std::string_view kDriftMinRows = "--drift-min-rows=";
+    constexpr std::string_view kBatchRows = "--batch-rows=";
+    constexpr std::string_view kEndpoint = "--endpoint=";
+    constexpr std::string_view kDataset = "--dataset=";
+    constexpr std::string_view kOut = "--out=";
+    constexpr std::string_view kTraceStreamOut = "--trace-stream-out=";
     if (arg == "--json") {
       json = true;
+      continue;
+    }
+    if (arg == "--ingest") {
+      ingest = true;
+      continue;
+    }
+    if (arg == "--force-refresh") {
+      force_refresh = true;
+      continue;
+    }
+    if (arg.rfind(kResynthPolicy, 0) == 0) {
+      auto mode = stream::ParseResynthesisMode(
+          std::string(arg.substr(kResynthPolicy.size())));
+      if (!mode.has_value()) return Usage();
+      policy_options.mode = *mode;
+      continue;
+    }
+    if (arg.rfind(kResynthInterval, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kResynthInterval.size()), &parsed) ||
+          parsed < 1) {
+        return Usage();
+      }
+      policy_options.interval_batches = static_cast<int64_t>(parsed);
+      policy_options.mode = stream::ResynthesisMode::kInterval;
+      continue;
+    }
+    if (arg.rfind(kDriftAlpha, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kDriftAlpha.size()), &parsed) ||
+          parsed <= 0 || parsed >= 1) {
+        return Usage();
+      }
+      drift_options.alpha = parsed;
+      continue;
+    }
+    if (arg.rfind(kDriftGlobalFraction, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kDriftGlobalFraction.size()), &parsed) ||
+          parsed <= 0 || parsed > 1) {
+        return Usage();
+      }
+      drift_options.global_fraction = parsed;
+      continue;
+    }
+    if (arg.rfind(kDriftMinRows, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kDriftMinRows.size()), &parsed) ||
+          parsed < 1) {
+        return Usage();
+      }
+      drift_options.min_window_rows = static_cast<int64_t>(parsed);
+      // Small demo streams need the per-pair power floor lowered too.
+      drift_options.min_pair_rows = std::min(drift_options.min_pair_rows,
+                                             drift_options.min_window_rows);
+      continue;
+    }
+    if (arg.rfind(kBatchRows, 0) == 0) {
+      double parsed = 0;
+      if (!ParseDouble(arg.substr(kBatchRows.size()), &parsed) || parsed < 1) {
+        return Usage();
+      }
+      batch_rows = static_cast<int64_t>(parsed);
+      continue;
+    }
+    if (arg.rfind(kEndpoint, 0) == 0) {
+      stream_endpoint = std::string(arg.substr(kEndpoint.size()));
+      if (stream_endpoint.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kDataset, 0) == 0) {
+      stream_dataset = std::string(arg.substr(kDataset.size()));
+      if (stream_dataset.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kOut, 0) == 0) {
+      out_path = std::string(arg.substr(kOut.size()));
+      if (out_path.empty()) return Usage();
+      continue;
+    }
+    if (arg.rfind(kTraceStreamOut, 0) == 0) {
+      trace_stream_out = std::string(arg.substr(kTraceStreamOut.size()));
+      if (trace_stream_out.empty()) return Usage();
       continue;
     }
     if (arg == "--minimize") {
@@ -717,6 +1044,10 @@ int Main(int argc, char** argv) {
   }
   if (!trace_out.empty()) telemetry::EnableTracing(true);
   if (!metrics_out.empty()) telemetry::EnableMetrics(true);
+  if (!trace_stream_out.empty()) {
+    Status st = telemetry::StartTraceStream(trace_stream_out);
+    if (!st.ok()) return Fail(st);
+  }
 
   size_t n = args.size();
   std::string command = n > 0 ? args[0] : "";
@@ -740,7 +1071,13 @@ int Main(int argc, char** argv) {
   } else if (command == "explain" && n == 2) {
     rc = CmdExplain(args[1]);
   } else if (command == "serve" && n == 1 && !programs_dir.empty()) {
-    rc = CmdServe(programs_dir, serve_port, queue_depth, reload_ms);
+    rc = CmdServe(programs_dir, serve_port, queue_depth, reload_ms, ingest,
+                  policy_options, drift_options, num_threads);
+  } else if (command == "stream" && n == 2 &&
+             (stream_endpoint.empty() == stream_dataset.empty())) {
+    rc = CmdStream(args[1], batch_rows, policy_options, drift_options,
+                   force_refresh, stream_endpoint, stream_dataset, out_path,
+                   num_threads);
   } else if (command == "validate" && n == 3 && !endpoints_spec.empty()) {
     rc = CmdValidateFleet(endpoints_spec, args[1], args[2], scheme,
                           row_format, time_budget_ms, retries, hedge_ms);
@@ -753,6 +1090,10 @@ int Main(int argc, char** argv) {
 
   // Telemetry files are written even when the command failed — a failing run
   // is exactly when the trace is most interesting.
+  if (!trace_stream_out.empty()) {
+    Status st = telemetry::StopTraceStream();
+    if (!st.ok()) return Fail(st);
+  }
   if (!trace_out.empty()) {
     Status st = telemetry::WriteTrace(trace_out);
     if (!st.ok()) return Fail(st);
